@@ -1,0 +1,144 @@
+#![warn(missing_docs)]
+
+//! # lf-baselines
+//!
+//! Re-implementations of the seven systems the paper evaluates against,
+//! each as *(format + kernel mapping + tuning procedure)* on the shared
+//! simulator:
+//!
+//! | system | format | tuning | construction overhead source |
+//! |---|---|---|---|
+//! | cuSPARSE | CSR | none | format conversion only |
+//! | Triton | BSR 8×8 | none | conversion; reports OOM on padding blow-ups |
+//! | Sputnik | CSR + swizzle | none | conversion + row sort |
+//! | dgSPARSE | CSR | none | conversion |
+//! | TACO | CSR | 36-schedule sweep, keep fastest | sweep kernel re-runs |
+//! | SparseTIR | composable hyb | exhaustive autotune over (partitions × shared widths) | per-candidate compile + kernel re-runs |
+//! | STile | hybrid {ELL-buckets, CSR rows} | microbenchmark-refined cost model + greedy | microbenchmarks + compiles |
+//!
+//! Tuning overheads combine **simulated GPU seconds** (the candidate
+//! kernels the real systems execute on the device) with **calibrated
+//! constants** for host-side work the simulator cannot time (TVM
+//! compilation for SparseTIR/STile — see `tuning::CompileCostModel`,
+//! documented in DESIGN.md).
+
+pub mod sparsetir;
+pub mod stile;
+pub mod systems;
+pub mod tuning;
+
+pub use sparsetir::SparseTir;
+pub use stile::STile;
+pub use systems::{CuSparse, DgSparse, Sputnik, TacoSwept, Triton};
+pub use tuning::{CompileCostModel, ConstructionCost};
+
+use lf_kernels::SpmmKernel;
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+
+/// A baseline system prepared for a concrete matrix and dense width.
+pub struct Prepared<T> {
+    /// The kernel the system would launch.
+    pub kernel: Box<dyn SpmmKernel<T>>,
+    /// What preparing it cost.
+    pub construction: ConstructionCost,
+}
+
+/// A baseline SpMM system.
+pub trait System<T: AtomicScalar>: Send + Sync {
+    /// System name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Build the system's format and (if it tunes) run its tuning
+    /// procedure. Returns `None` when the format does not fit in device
+    /// memory (the paper's OOM entries).
+    fn prepare(&self, csr: &CsrMatrix<T>, j: usize, device: &DeviceModel) -> Option<Prepared<T>>;
+
+    /// Simulated kernel time in ms, or `None` on OOM.
+    fn kernel_time_ms(
+        &self,
+        csr: &CsrMatrix<T>,
+        j: usize,
+        device: &DeviceModel,
+    ) -> Option<f64> {
+        self.prepare(csr, j, device)
+            .map(|p| p.kernel.profile(j, device).time_ms)
+    }
+}
+
+/// The full comparison roster of Figure 6 (LiteForm itself lives in
+/// `liteform-core`).
+pub fn roster<T: AtomicScalar>() -> Vec<Box<dyn System<T>>> {
+    vec![
+        Box::new(CuSparse),
+        Box::new(Triton::default()),
+        Box::new(Sputnik),
+        Box::new(DgSparse),
+        Box::new(TacoSwept),
+        Box::new(SparseTir::default()),
+        Box::new(STile::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::gen::mixed_regions;
+    use lf_sparse::{DenseMatrix, Pcg32};
+
+    #[test]
+    fn every_system_produces_correct_numerics() {
+        let device = DeviceModel::v100();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let csr: CsrMatrix<f64> =
+            CsrMatrix::from_coo(&mixed_regions(200, 200, 4000, 4, &mut rng));
+        let b = DenseMatrix::random(200, 24, &mut rng);
+        let want = csr.spmm_reference(&b).unwrap();
+        for system in roster::<f64>() {
+            let prepared = system
+                .prepare(&csr, 24, &device)
+                .unwrap_or_else(|| panic!("{} OOM on a tiny matrix", system.name()));
+            let got = prepared.kernel.run(&b).unwrap();
+            assert!(
+                got.approx_eq(&want, 1e-9),
+                "{} produced wrong numerics",
+                system.name()
+            );
+        }
+    }
+
+    #[test]
+    fn roster_has_seven_distinct_systems() {
+        let systems = roster::<f32>();
+        assert_eq!(systems.len(), 7);
+        let names: std::collections::HashSet<_> = systems.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn tuned_systems_report_overhead() {
+        let device = DeviceModel::v100();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&mixed_regions(300, 300, 6000, 4, &mut rng));
+        for system in roster::<f32>() {
+            let p = system.prepare(&csr, 64, &device).unwrap();
+            let tuned = matches!(system.name(), "taco" | "sparsetir" | "stile");
+            if tuned {
+                assert!(
+                    p.construction.total_s() > 0.0 && p.construction.candidates_evaluated > 0,
+                    "{} should report tuning cost",
+                    system.name()
+                );
+            } else {
+                assert_eq!(
+                    p.construction.candidates_evaluated,
+                    0,
+                    "{} should not tune",
+                    system.name()
+                );
+            }
+        }
+    }
+}

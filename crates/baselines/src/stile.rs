@@ -1,0 +1,472 @@
+//! STile baseline: a hybrid composition that assigns each *row group* one
+//! of several formats ({bucketed-ELL, CSR}), chosen by a roofline cost
+//! model whose bandwidth coefficients are refined by microbenchmarks run
+//! on the device (§2.2). The microbenchmark sweep is the system's
+//! construction-overhead signature (Figure 8).
+
+use crate::tuning::{CompileCostModel, ConstructionCost};
+use crate::{Prepared, System};
+use lf_cell::{build_cell, CellConfig};
+use lf_kernels::common::{b_row_tx, spmm_flops};
+use lf_kernels::{CellKernel, SpmmKernel};
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::coalesce::segment_transactions;
+use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
+use lf_sparse::gen::uniform_random;
+use lf_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Pcg32, Result, SparseError};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Row-subset CSR kernel.
+// ---------------------------------------------------------------------
+
+/// A CSR SpMM kernel restricted to a subset of rows (the other rows are
+/// owned by sibling kernels of the hybrid composition).
+pub struct CsrRowSubsetKernel<T> {
+    csr: CsrMatrix<T>,
+    rows: Vec<usize>,
+}
+
+impl<T: AtomicScalar> CsrRowSubsetKernel<T> {
+    /// Restrict `csr` to `rows` (sorted, deduplicated internally).
+    pub fn new(csr: CsrMatrix<T>, mut rows: Vec<usize>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        CsrRowSubsetKernel { csr, rows }
+    }
+}
+
+impl<T: AtomicScalar> SpmmKernel<T> for CsrRowSubsetKernel<T> {
+    fn name(&self) -> &'static str {
+        "csr-row-subset"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        self.csr.shape()
+    }
+
+    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        if self.csr.cols() != b.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmm",
+                lhs: self.csr.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let j = b.cols();
+        let mut c = DenseMatrix::zeros(self.csr.rows(), j);
+        {
+            let cells = T::as_cells(c.as_mut_slice());
+            parallel_for(self.rows.len(), default_workers(), |idx| {
+                let i = self.rows[idx];
+                for (&k, &a) in self.csr.row_cols(i).iter().zip(self.csr.row_values(i)) {
+                    let brow = b.row(k as usize);
+                    for (jj, &bv) in brow.iter().enumerate() {
+                        T::atomic_add(&cells[i * j + jj], a * bv);
+                    }
+                }
+            });
+        }
+        Ok(c)
+    }
+
+    fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
+        let elem = std::mem::size_of::<T>();
+        let ws = self.csr.cols() * j * elem;
+        let per_row = b_row_tx(j, elem, device);
+        let mut launch = LaunchSpec::new(self.name(), 256)
+            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        for chunk in self.rows.chunks(8) {
+            let mut cols: Vec<u32> = Vec::new();
+            let mut colval = 0u64;
+            let mut nnz = 0usize;
+            for &r in chunk {
+                let len = self.csr.row_len(r);
+                nnz += len;
+                colval += 2 * segment_transactions(len, 4, device.transaction_bytes);
+                cols.extend_from_slice(self.csr.row_cols(r));
+            }
+            let unique = lf_kernels::common::count_unique(&cols) as u64 * per_row;
+            let total = nnz as u64 * per_row;
+            let (b_dram, b_l2) =
+                lf_kernels::common::split_b_traffic(unique, total - unique, ws, device);
+            // Row-index indirection + C writes for subset rows only.
+            let meta = segment_transactions(chunk.len(), 4, device.transaction_bytes) + 1;
+            launch.push(BlockCost {
+                dram_transactions: b_dram + colval + meta + chunk.len() as u64 * per_row,
+                l2_transactions: b_l2,
+                flops: spmm_flops(nnz, j),
+                atomic_transactions: 0,
+                lane_efficiency: 1.0,
+            });
+        }
+        vec![launch]
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.csr.memory_bytes() + self.rows.len() * 4
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hybrid composition kernel.
+// ---------------------------------------------------------------------
+
+/// A composition of row-disjoint sub-kernels launched back to back (no
+/// horizontal fusion — STile emits one kernel per format group).
+pub struct HybridKernel<T> {
+    parts: Vec<Box<dyn SpmmKernel<T>>>,
+    shape: (usize, usize),
+}
+
+impl<T: AtomicScalar> HybridKernel<T> {
+    /// Compose row-disjoint parts.
+    pub fn new(parts: Vec<Box<dyn SpmmKernel<T>>>, shape: (usize, usize)) -> Self {
+        HybridKernel { parts, shape }
+    }
+
+    /// Number of sub-kernels.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl<T: AtomicScalar> SpmmKernel<T> for HybridKernel<T> {
+    fn name(&self) -> &'static str {
+        "stile-hybrid"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        let mut c = DenseMatrix::zeros(self.shape.0, b.cols());
+        for part in &self.parts {
+            let partial = part.run(b)?;
+            for (acc, &v) in c.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+                *acc += v;
+            }
+        }
+        Ok(c)
+    }
+
+    fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.launches(j, device))
+            .collect()
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.format_bytes()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The STile system.
+// ---------------------------------------------------------------------
+
+/// Roofline coefficients fitted from microbenchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Roofline {
+    /// Achieved bytes/second of the ELL-bucket kernel family.
+    ell_bw: f64,
+    /// Achieved bytes/second of the CSR kernel family.
+    csr_bw: f64,
+}
+
+/// STile with microbenchmark-refined format search.
+pub struct STile {
+    /// Row-length class boundaries (upper bounds, powers of two).
+    pub class_bounds: Vec<usize>,
+    /// Microbenchmark sizes per (format, class).
+    pub microbench_sizes: Vec<usize>,
+    /// Densities swept by the microbenchmarks.
+    pub microbench_densities: Vec<f64>,
+    /// Host-side compile cost model.
+    pub compile: CompileCostModel,
+}
+
+impl Default for STile {
+    fn default() -> Self {
+        STile {
+            class_bounds: vec![4, 16, 64, 256, 4096],
+            microbench_sizes: vec![256, 1024, 4096],
+            microbench_densities: vec![1e-3, 1e-2, 5e-2],
+            compile: CompileCostModel {
+                compile_s_per_candidate: 0.8,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl STile {
+    /// Run the microbenchmark sweep on the device; returns the fitted
+    /// roofline and the overhead it incurred.
+    fn microbenchmark<T: AtomicScalar>(
+        &self,
+        j: usize,
+        device: &DeviceModel,
+    ) -> (Roofline, f64, f64, usize) {
+        let mut simulated_gpu_s = 0.0;
+        let mut modeled_host_s = 0.0;
+        let mut candidates = 0usize;
+        let mut ell_bw = Vec::new();
+        let mut csr_bw = Vec::new();
+        let mut rng = Pcg32::seed_from_u64(0x57113);
+        for &n in &self.microbench_sizes {
+            for &density in &self.microbench_densities {
+                let nnz = ((n * n) as f64 * density).round().max(8.0) as usize;
+                let coo: CooMatrix<T> = uniform_random(n, n, nnz, &mut rng);
+                let csr = CsrMatrix::from_coo(&coo);
+                // ELL-bucket candidate (CELL, natural widths).
+                if let Ok(cell) = build_cell(&csr, &CellConfig::default()) {
+                    let k = CellKernel::new(cell);
+                    let p = k.profile(j, device);
+                    ell_bw.push(p.achieved_bandwidth(device));
+                    simulated_gpu_s += self.compile.reps_per_candidate as f64 * p.time_ms / 1e3;
+                    modeled_host_s += self.compile.compile_s_per_candidate;
+                    candidates += 1;
+                }
+                // CSR candidate.
+                let rows: Vec<usize> = (0..csr.rows()).collect();
+                let k = CsrRowSubsetKernel::new(csr, rows);
+                let p = k.profile(j, device);
+                csr_bw.push(p.achieved_bandwidth(device));
+                simulated_gpu_s += self.compile.reps_per_candidate as f64 * p.time_ms / 1e3;
+                modeled_host_s += self.compile.compile_s_per_candidate;
+                candidates += 1;
+            }
+        }
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                1e9
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        (
+            Roofline {
+                ell_bw: avg(&ell_bw).max(1.0),
+                csr_bw: avg(&csr_bw).max(1.0),
+            },
+            simulated_gpu_s,
+            modeled_host_s,
+            candidates,
+        )
+    }
+
+    /// Assign each row to a length class; returns per-class row lists.
+    fn classify<T: AtomicScalar>(&self, csr: &CsrMatrix<T>) -> Vec<Vec<usize>> {
+        let mut classes: Vec<Vec<usize>> = vec![Vec::new(); self.class_bounds.len() + 1];
+        for r in 0..csr.rows() {
+            let len = csr.row_len(r);
+            if len == 0 {
+                continue;
+            }
+            let class = self
+                .class_bounds
+                .iter()
+                .position(|&b| len <= b)
+                .unwrap_or(self.class_bounds.len());
+            classes[class].push(r);
+        }
+        classes
+    }
+
+    /// Roofline estimate (seconds) of running `rows` of `csr` in each
+    /// format; returns `(ell_estimate, csr_estimate)`.
+    fn estimate<T: AtomicScalar>(
+        &self,
+        csr: &CsrMatrix<T>,
+        rows: &[usize],
+        j: usize,
+        roofline: &Roofline,
+    ) -> (f64, f64) {
+        let elem = std::mem::size_of::<T>() as f64;
+        let nnz: usize = rows.iter().map(|&r| csr.row_len(r)).sum();
+        // The ELL group is materialized as bucketed ELL (CELL buckets),
+        // so each row pads to its own power-of-two bucket width.
+        let padded: usize = rows
+            .iter()
+            .map(|&r| csr.row_len(r).next_power_of_two())
+            .sum();
+        // Both formats read one B row per non-zero: a shared term at the
+        // better of the two measured bandwidths. The format payloads
+        // differ: ELL streams the padded grids perfectly coalesced; CSR
+        // streams exact nnz with ~1.5x metadata/coalescing overhead plus
+        // per-row pointers.
+        let shared_bw = roofline.ell_bw.max(roofline.csr_bw);
+        let b_time = nnz as f64 * j as f64 * elem * 0.25 / shared_bw;
+        let ell_payload = padded as f64 * (4.0 + elem);
+        let csr_payload = nnz as f64 * (4.0 + elem) * 1.5 + rows.len() as f64 * 8.0;
+        // Occupancy: the ELL-bucket mapping keeps one warp per row, so a
+        // class with only a handful of (typically hub) rows cannot fill
+        // the device; the 1-D-tiled CSR kernel splits long rows across
+        // warps and has no such floor.
+        const MIN_PARALLEL_ROWS: f64 = 64.0;
+        let occupancy = (MIN_PARALLEL_ROWS / rows.len() as f64).max(1.0);
+        (
+            ell_payload / roofline.ell_bw * occupancy + b_time,
+            csr_payload / roofline.csr_bw + b_time,
+        )
+    }
+}
+
+impl<T: AtomicScalar> System<T> for STile {
+    fn name(&self) -> &'static str {
+        "stile"
+    }
+
+    fn prepare(&self, csr: &CsrMatrix<T>, j: usize, device: &DeviceModel) -> Option<Prepared<T>> {
+        let t0 = Instant::now();
+        let (roofline, simulated_gpu_s, modeled_host_s, mut candidates) =
+            self.microbenchmark::<T>(j, device);
+
+        let mut parts: Vec<Box<dyn SpmmKernel<T>>> = Vec::new();
+        let mut ell_rows: Vec<usize> = Vec::new();
+        let mut csr_rows: Vec<usize> = Vec::new();
+        for rows in self.classify(csr) {
+            if rows.is_empty() {
+                continue;
+            }
+            let (ell_est, csr_est) = self.estimate(csr, &rows, j, &roofline);
+            candidates += 1;
+            if ell_est <= csr_est {
+                ell_rows.extend(rows);
+            } else {
+                csr_rows.extend(rows);
+            }
+        }
+        if !ell_rows.is_empty() {
+            // Row-filtered matrix: non-selected rows become empty and the
+            // CELL builder skips them (row indices are kept per element).
+            // STile's ELL tiles are small fixed shapes; cap the bucket
+            // width and keep blocks at one-tile granularity so the grid
+            // stays fine-grained.
+            let filtered = filter_rows(csr, &ell_rows);
+            let config = CellConfig {
+                num_partitions: 1,
+                max_widths: Some(vec![256]),
+                block_nnz_multiple: 1,
+                uniform_block_nnz: true,
+            };
+            let cell = build_cell(&filtered, &config).ok()?;
+            parts.push(Box::new(CellKernel::new(cell)));
+        }
+        if !csr_rows.is_empty() {
+            parts.push(Box::new(CsrRowSubsetKernel::new(csr.clone(), csr_rows)));
+        }
+        let kernel = HybridKernel::new(parts, csr.shape());
+        if !kernel.fits_in_memory(j, device) {
+            return None;
+        }
+        Some(Prepared {
+            kernel: Box::new(kernel),
+            construction: ConstructionCost {
+                simulated_gpu_s,
+                modeled_host_s,
+                measured_cpu_s: t0.elapsed().as_secs_f64(),
+                candidates_evaluated: candidates,
+            },
+        })
+    }
+}
+
+/// Keep only `rows` of `csr` (others become empty rows).
+fn filter_rows<T: AtomicScalar>(csr: &CsrMatrix<T>, rows: &[usize]) -> CsrMatrix<T> {
+    let mut keep = vec![false; csr.rows()];
+    for &r in rows {
+        keep[r] = true;
+    }
+    let triplets: Vec<(usize, usize, T)> = csr.iter().filter(|&(r, _, _)| keep[r]).collect();
+    let coo = CooMatrix::from_triplets(csr.rows(), csr.cols(), triplets)
+        .expect("filtered rows are in bounds");
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::gen::{power_law, PowerLawConfig};
+    use lf_sparse::Scalar;
+
+    fn skewed() -> CsrMatrix<f64> {
+        let mut rng = Pcg32::seed_from_u64(9);
+        CsrMatrix::from_coo(&power_law::<f64>(
+            &PowerLawConfig {
+                rows: 600,
+                cols: 600,
+                target_nnz: 12_000,
+                exponent: 2.0,
+                max_degree: None,
+            },
+            &mut rng,
+        ))
+    }
+
+    #[test]
+    fn subset_kernel_only_writes_its_rows() {
+        let csr = skewed();
+        let mut rng = Pcg32::seed_from_u64(10);
+        let b = DenseMatrix::random(600, 16, &mut rng);
+        let rows: Vec<usize> = (0..300).collect();
+        let k = CsrRowSubsetKernel::new(csr.clone(), rows);
+        let c = k.run(&b).unwrap();
+        let want = csr.spmm_reference(&b).unwrap();
+        for r in 0..300 {
+            for j in 0..16 {
+                assert!(Scalar::approx_eq(c.get(r, j), want.get(r, j), 1e-9));
+            }
+        }
+        for r in 300..600 {
+            for j in 0..16 {
+                assert_eq!(c.get(r, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_covers_all_rows() {
+        let device = DeviceModel::v100();
+        let csr = skewed();
+        let stile = STile::default();
+        let prepared = System::<f64>::prepare(&stile, &csr, 32, &device).unwrap();
+        let mut rng = Pcg32::seed_from_u64(11);
+        let b = DenseMatrix::random(600, 32, &mut rng);
+        let got = prepared.kernel.run(&b).unwrap();
+        let want = csr.spmm_reference(&b).unwrap();
+        assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn skewed_matrix_yields_a_true_hybrid() {
+        // Power-law rows span length classes; STile should pick at least
+        // two groups (ELL for the short mass, CSR for hub rows).
+        let device = DeviceModel::v100();
+        let csr = skewed();
+        let stile = STile::default();
+        let prepared = System::<f64>::prepare(&stile, &csr, 128, &device).unwrap();
+        let launches = prepared.kernel.launches(128, &device);
+        assert!(
+            launches.len() >= 2,
+            "expected a multi-format composition, got {} launch(es)",
+            launches.len()
+        );
+    }
+
+    #[test]
+    fn microbench_overhead_is_substantial() {
+        let device = DeviceModel::v100();
+        let csr = skewed();
+        let stile = STile::default();
+        let prepared = System::<f64>::prepare(&stile, &csr, 64, &device).unwrap();
+        // 3 sizes × 3 densities × 2 formats = 18 microbench candidates
+        // minimum.
+        assert!(prepared.construction.candidates_evaluated >= 18);
+        assert!(prepared.construction.modeled_host_s > 5.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Construction/tuning cost accounting shared by the baseline systems.
+
+use serde::{Deserialize, Serialize};
+
+/// What preparing a system's format cost, split by origin.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConstructionCost {
+    /// Simulated GPU seconds spent re-running candidate kernels or
+    /// microbenchmarks during tuning.
+    pub simulated_gpu_s: f64,
+    /// Calibrated host-side seconds (kernel compilation etc.) the
+    /// simulator cannot time; see [`CompileCostModel`].
+    pub modeled_host_s: f64,
+    /// Real wall-clock seconds of search bookkeeping in this process.
+    pub measured_cpu_s: f64,
+    /// Number of tuning candidates the procedure evaluated.
+    pub candidates_evaluated: usize,
+}
+
+impl ConstructionCost {
+    /// Total construction overhead in seconds — the Figure 8/9 quantity.
+    pub fn total_s(&self) -> f64 {
+        self.simulated_gpu_s + self.modeled_host_s + self.measured_cpu_s
+    }
+}
+
+/// Host-side cost constants for the TVM-based systems.
+///
+/// SparseTIR's autotuner and STile's search both *compile* every candidate
+/// schedule with TVM before timing it; compilation dominates their
+/// published construction overheads (10²–10⁴ s in Figure 8). The
+/// simulator cannot execute TVM, so compilation is charged as a constant
+/// per candidate. The defaults are calibrated from the SparseTIR
+/// artifact's reported per-candidate build times (order of a second) and
+/// recorded in DESIGN.md; they scale every system equally and do not
+/// affect *kernel-time* comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileCostModel {
+    /// Seconds to compile one candidate kernel.
+    pub compile_s_per_candidate: f64,
+    /// Measurement repetitions per candidate (warm-up + timed runs).
+    pub reps_per_candidate: usize,
+}
+
+impl Default for CompileCostModel {
+    fn default() -> Self {
+        CompileCostModel {
+            compile_s_per_candidate: 1.5,
+            reps_per_candidate: 10,
+        }
+    }
+}
+
+impl CompileCostModel {
+    /// Overhead of evaluating one candidate whose simulated kernel time
+    /// is `kernel_ms`.
+    pub fn candidate_cost_s(&self, kernel_ms: f64) -> f64 {
+        self.compile_s_per_candidate + self.reps_per_candidate as f64 * kernel_ms / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let c = ConstructionCost {
+            simulated_gpu_s: 1.0,
+            modeled_host_s: 2.0,
+            measured_cpu_s: 0.5,
+            candidates_evaluated: 3,
+        };
+        assert!((c.total_s() - 3.5).abs() < 1e-12);
+        assert_eq!(ConstructionCost::default().total_s(), 0.0);
+    }
+
+    #[test]
+    fn candidate_cost_scales_with_kernel_time() {
+        let m = CompileCostModel::default();
+        let cheap = m.candidate_cost_s(0.1);
+        let pricey = m.candidate_cost_s(100.0);
+        assert!(pricey > cheap);
+        assert!(cheap >= m.compile_s_per_candidate);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion: CELL construction cost — the thing LiteForm keeps cheap.
+//! Sweeps partition counts and folding caps on a mid-size matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lf_cell::{build_cell, CellConfig};
+use lf_sparse::gen::uniform_with_long_rows;
+use lf_sparse::{CsrMatrix, Pcg32};
+
+fn bench_build(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(21);
+    let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&uniform_with_long_rows(
+        20_000, 20_000, 400_000, 20, 8_000, &mut rng,
+    ));
+
+    let mut group = c.benchmark_group("cell_build");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.sample_size(10);
+    for p in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("partitions", p), &p, |bch, &p| {
+            let cfg = CellConfig::with_partitions(p);
+            bch.iter(|| build_cell(&csr, &cfg).unwrap());
+        });
+    }
+    for cap in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("fold_cap", cap), &cap, |bch, &cap| {
+            let cfg = CellConfig::with_partitions(4).with_max_widths(vec![cap]);
+            bch.iter(|| build_cell(&csr, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: train/inference cost of the classifier zoo on a synthetic
+//! tabular problem shaped like the Table 5 task (7 features, 2 classes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lf_ml::model_zoo;
+use lf_sparse::Pcg32;
+
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let c = if label == 0 { -1.0 } else { 1.0 };
+        x.push((0..7).map(|k| c * (k as f64 + 1.0) / 7.0 + rng.normal()).collect());
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (xtr, ytr) = dataset(400, 1);
+    let (xte, _) = dataset(100, 2);
+
+    let mut train_group = c.benchmark_group("ml_train");
+    train_group.sample_size(10);
+    for model in model_zoo(7) {
+        let name = model.name();
+        train_group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter_batched(
+                || {
+                    model_zoo(7)
+                        .into_iter()
+                        .find(|m| m.name() == name)
+                        .expect("model exists")
+                },
+                |mut m| m.fit(&xtr, &ytr, 2),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    train_group.finish();
+
+    let mut infer_group = c.benchmark_group("ml_infer");
+    infer_group.sample_size(10);
+    for mut model in model_zoo(7) {
+        model.fit(&xtr, &ytr, 2);
+        infer_group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, m| {
+                b.iter(|| m.predict(&xte));
+            },
+        );
+    }
+    infer_group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Ablation study of the CELL design choices (called out in DESIGN.md).
+//!
+//! On each GNN graph (plus a mixed-density synthetic where per-partition
+//! widths matter), start from the full tuned CELL composition and remove
+//! one design element at a time:
+//!
+//! * `-partitions`   — force a single column partition;
+//! * `-per-part W`   — one shared width cap instead of per-partition caps;
+//! * `-folding`      — natural bucket widths (long rows pad, never fold);
+//! * `-eqnnz blocks` — hyb-style fixed rows-per-block mapping;
+//! * `-fusion`       — one launch per partition instead of one fused.
+//!
+//! Each column reports the slowdown factor versus the full composition.
+
+use lf_bench::{fmt, geomean, write_json, BenchEnv, Table};
+use lf_cell::{build_cell, CellConfig};
+use lf_cost::partition::optimal_partitions;
+use lf_cost::search::optimal_widths_for_matrix;
+use lf_kernels::cell::FusionMode;
+use lf_kernels::{CellKernel, SpmmKernel};
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+const J: usize = 128;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    full_ms: f64,
+    slowdowns: BTreeMap<String, f64>,
+}
+
+fn time_of(csr: &CsrMatrix<f32>, cfg: &CellConfig, fusion: FusionMode, d: &DeviceModel) -> f64 {
+    let cell = build_cell(csr, cfg).expect("valid config");
+    CellKernel::with_fusion(cell, fusion).profile(J, d).time_ms
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let variants = [
+        "-partitions",
+        "-per-part W",
+        "-folding",
+        "-eqnnz blocks",
+        "-fusion",
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&{
+        let mut h = vec!["graph", "full(ms)"];
+        h.extend(variants);
+        h
+    });
+
+    // GNN graphs plus a mixed-density synthetic — the workload where
+    // per-partition widths (vs one shared cap) actually differ.
+    let mut workloads: Vec<(String, CsrMatrix<f32>)> = lf_data::GNN_GRAPHS
+        .iter()
+        .map(|spec| (spec.name.to_string(), spec.build(env.scale)))
+        .collect();
+    {
+        let mut rng = lf_sparse::Pcg32::seed_from_u64(env.seed ^ 0xab1a);
+        let coo = lf_sparse::gen::mixed_regions::<f32>(16_384, 16_384, 900_000, 4, &mut rng);
+        workloads.push(("mixed-16k".to_string(), CsrMatrix::from_coo(&coo)));
+    }
+
+    for (name, csr) in &workloads {
+        eprintln!("[ablations] {name} ...");
+        let csr: &CsrMatrix<f32> = csr;
+        // Full composition: tuned partitions + per-partition widths.
+        let sweep = optimal_partitions(csr, J, &device);
+        let widths = optimal_widths_for_matrix(csr, sweep.best_p, J);
+        let full_cfg = CellConfig {
+            num_partitions: sweep.best_p,
+            max_widths: Some(widths.clone()),
+            block_nnz_multiple: 4,
+            uniform_block_nnz: true,
+        };
+        let full_ms = time_of(csr, &full_cfg, FusionMode::Full, &device);
+
+        let mut slow = BTreeMap::new();
+        // 1. No partitioning.
+        let cfg = CellConfig {
+            num_partitions: 1,
+            max_widths: Some(optimal_widths_for_matrix(csr, 1, J)),
+            ..full_cfg.clone()
+        };
+        slow.insert(
+            variants[0].to_string(),
+            time_of(csr, &cfg, FusionMode::Full, &device) / full_ms,
+        );
+        // 2. Shared width cap (max of the per-partition choices).
+        let shared = widths.iter().copied().max().unwrap_or(1);
+        let cfg = CellConfig {
+            max_widths: Some(vec![shared]),
+            ..full_cfg.clone()
+        };
+        slow.insert(
+            variants[1].to_string(),
+            time_of(csr, &cfg, FusionMode::Full, &device) / full_ms,
+        );
+        // 3. No folding: natural widths.
+        let cfg = CellConfig {
+            max_widths: None,
+            ..full_cfg.clone()
+        };
+        slow.insert(
+            variants[2].to_string(),
+            time_of(csr, &cfg, FusionMode::Full, &device) / full_ms,
+        );
+        // 4. hyb block mapping.
+        let cfg = CellConfig {
+            uniform_block_nnz: false,
+            ..full_cfg.clone()
+        };
+        slow.insert(
+            variants[3].to_string(),
+            time_of(csr, &cfg, FusionMode::Full, &device) / full_ms,
+        );
+        // 5. Per-partition launches.
+        slow.insert(
+            variants[4].to_string(),
+            time_of(csr, &full_cfg, FusionMode::PerPartition, &device) / full_ms,
+        );
+
+        let mut line = vec![name.clone(), fmt(full_ms)];
+        for v in variants {
+            line.push(format!("{}x", fmt(slow[v])));
+        }
+        table.row(&line);
+        rows.push(Row {
+            graph: name.clone(),
+            full_ms,
+            slowdowns: slow,
+        });
+    }
+
+    // Geomean row.
+    let mut line = vec!["GEOMEAN".to_string(), String::new()];
+    for v in variants {
+        let s: Vec<f64> = rows.iter().map(|r| r.slowdowns[v]).collect();
+        line.push(format!("{}x", fmt(geomean(&s).unwrap_or(f64::NAN))));
+    }
+    table.row(&line);
+
+    println!(
+        "\nAblation — slowdown vs the full CELL composition (J={J}; >1 means \
+         the removed element was helping)\n"
+    );
+    table.print();
+    write_json(&env.results_dir, "ablations", &rows);
+}

@@ -1,0 +1,46 @@
+//! Diagnostic: predicted vs oracle composition on the GNN graphs.
+//! Not a paper artifact.
+
+use lf_bench::{fmt, pipeline, BenchEnv, Table};
+use lf_cost::partition::optimal_partitions;
+use lf_data::GNN_GRAPHS;
+use lf_kernels::SpmmKernel;
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+use liteform_core::PlanKind;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let (lf, _) = pipeline::train_pipeline(&env, None);
+    let j: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let mut table = Table::new(&[
+        "graph", "decision", "pred p", "oracle p", "pred ms", "oracle ms", "csr ms",
+    ]);
+    for spec in &GNN_GRAPHS {
+        let csr: CsrMatrix<f32> = spec.build(env.scale);
+        let plan = lf.compose(&csr, j);
+        let (decision, pred_p) = match &plan.kind {
+            PlanKind::Cell { config, .. } => ("CELL", config.num_partitions),
+            PlanKind::FixedCsr => ("CSR", 0),
+        };
+        let sweep = optimal_partitions(&csr, j, &device);
+        let pred_ms = lf.simulated_time_ms(&csr, j);
+        let csr_ms = lf_kernels::CsrVectorKernel::new(csr.clone())
+            .profile(j, &device)
+            .time_ms;
+        table.row(&[
+            spec.name.to_string(),
+            decision.to_string(),
+            pred_p.to_string(),
+            sweep.best_p.to_string(),
+            fmt(pred_ms),
+            fmt(sweep.best_time_ms),
+            fmt(csr_ms),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,74 @@
+//! Diagnostic: per-system simulated cost components on one graph.
+//! Not a paper artifact — used to sanity-check the performance model.
+
+use lf_baselines::roster;
+use lf_cell::build_cell;
+use lf_kernels::{CellKernel, SpmmKernel};
+use lf_bench::{fmt, BenchEnv, Table};
+use lf_data::GraphSpec;
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cora".into());
+    let j: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let device = DeviceModel::v100();
+    let spec = GraphSpec::by_name(&name).expect("known graph");
+    let csr: CsrMatrix<f32> = spec.build(env.scale);
+    let lens = csr.row_lengths();
+    let max_len = lens.iter().max().copied().unwrap_or(0);
+    let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+    println!(
+        "{name}: {}x{} nnz {} maxdeg {max_len} meandeg {:.1} J={j}",
+        csr.rows(),
+        csr.cols(),
+        csr.nnz(),
+        mean
+    );
+    let mut table = Table::new(&[
+        "system", "ms", "dram", "l2", "atomic", "Mflop", "util", "imbal", "blocks", "launches",
+    ]);
+    for system in roster::<f32>() {
+        match system.prepare(&csr, j, &device) {
+            Some(p) => {
+                let prof = p.kernel.profile(j, &device);
+                table.row(&[
+                    system.name().to_string(),
+                    fmt(prof.time_ms),
+                    prof.dram_transactions.to_string(),
+                    prof.l2_transactions.to_string(),
+                    prof.atomic_transactions.to_string(),
+                    (prof.flops / 1_000_000).to_string(),
+                    fmt(prof.utilization),
+                    fmt(prof.imbalance),
+                    prof.num_blocks.to_string(),
+                    prof.num_launches.to_string(),
+                ]);
+            }
+            None => {
+                table.row(&[system.name().to_string(), "OOM".into()]);
+            }
+        }
+    }
+    // LiteForm with oracle tuning (what the predictors approximate).
+    let (t, config) = liteform_core::training::tuned_cell_time(&csr, j, &device);
+    let cell = build_cell(&csr, &config).unwrap();
+    let prof = CellKernel::new(cell).profile(j, &device);
+    table.row(&[
+        format!("cell(p={})", config.num_partitions),
+        fmt(t),
+        prof.dram_transactions.to_string(),
+        prof.l2_transactions.to_string(),
+        prof.atomic_transactions.to_string(),
+        (prof.flops / 1_000_000).to_string(),
+        fmt(prof.utilization),
+        fmt(prof.imbalance),
+        prof.num_blocks.to_string(),
+        prof.num_launches.to_string(),
+    ]);
+    table.print();
+}

@@ -1,0 +1,69 @@
+//! Extension: which of the paper's hand-picked features (Tables 2–3) do
+//! the trained predictors actually lean on? Permutation importance over
+//! the corpus-labelled datasets — supporting evidence for §5.2's
+//! observation that density statistics beat raw counts for the partition
+//! predictor.
+
+use lf_bench::{fmt, mlbench, write_json, BenchEnv, Table};
+use lf_data::Corpus;
+use lf_ml::{permutation_importance, Classifier, RandomForest};
+use lf_sim::DeviceModel;
+use lf_sparse::{FormatFeatures, PartitionFeatures};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Importances {
+    format_selection: Vec<(String, f64)>,
+    partition_count: Vec<(String, f64)>,
+}
+
+fn ranked(names: &[&str], imp: &[f64]) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = names
+        .iter()
+        .zip(imp)
+        .map(|(n, &i)| (n.to_string(), i))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    v
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+
+    eprintln!("[importance] labelling format-selection task ...");
+    let sel = mlbench::format_selection_dataset(&corpus, &device);
+    let mut rf = RandomForest::new(60, 12, env.seed);
+    rf.fit(&sel.x, &sel.y, sel.n_classes);
+    let sel_imp = permutation_importance(&rf, &sel.x, &sel.y, 5, env.seed ^ 2);
+
+    eprintln!("[importance] labelling partition task ...");
+    let (part, _) = mlbench::partition_dataset(&corpus, &device);
+    let mut rf2 = RandomForest::new(60, 12, env.seed ^ 3);
+    rf2.fit(&part.x, &part.y, part.n_classes);
+    let part_imp = permutation_importance(&rf2, &part.x, &part.y, 5, env.seed ^ 4);
+
+    let result = Importances {
+        format_selection: ranked(FormatFeatures::names(), &sel_imp),
+        partition_count: ranked(PartitionFeatures::names(), &part_imp),
+    };
+
+    println!("\nPermutation feature importance (accuracy drop when shuffled)\n");
+    let mut t = Table::new(&["format-selection feature", "importance"]);
+    for (n, i) in &result.format_selection {
+        t.row(&[n.clone(), fmt(*i)]);
+    }
+    t.print();
+    println!();
+    let mut t = Table::new(&["partition-count feature", "importance"]);
+    for (n, i) in &result.partition_count {
+        t.row(&[n.clone(), fmt(*i)]);
+    }
+    t.print();
+    println!(
+        "\n§5.2's claim to check: the density statistics (and J) should rank \
+         above raw counts for the partition predictor."
+    );
+    write_json(&env.results_dir, "feature_importance", &result);
+}

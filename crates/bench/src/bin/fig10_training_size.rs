@@ -1,0 +1,66 @@
+//! Figure 10: prediction accuracy of the two selected (Random Forest)
+//! models as the training set grows.
+//!
+//! Paper reference: >80% with a few hundred samples, approaching ~90% as
+//! the set grows.
+
+use lf_bench::{mlbench, write_json, BenchEnv, Table};
+use lf_data::Corpus;
+use lf_ml::{Classifier, RandomForest};
+use lf_sim::DeviceModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    train_size: usize,
+    format_selection_acc: f64,
+    partition_acc: f64,
+}
+
+fn accuracy_at(train: &lf_ml::Dataset, test: &lf_ml::Dataset, n: usize, seed: u64) -> f64 {
+    let sub = train.head(n);
+    if sub.is_empty() {
+        return 0.0;
+    }
+    let mut rf = RandomForest::new(60, 12, seed);
+    rf.fit(&sub.x, &sub.y, sub.n_classes);
+    lf_ml::accuracy(&test.y, &rf.predict(&test.x))
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+    eprintln!("[fig10] labelling {} matrices ...", corpus.len());
+    let sel = mlbench::format_selection_dataset(&corpus, &device);
+    let (part, _) = mlbench::partition_dataset(&corpus, &device);
+    let sel_split = sel.split(0.8, env.seed);
+    let part_split = part.split(0.8, env.seed);
+
+    let max_sel = sel_split.train.len();
+    let max_part = part_split.train.len();
+    let steps = 8usize;
+    let mut points = Vec::new();
+    let mut table = Table::new(&["train size (sel/part)", "format-selection acc", "partition acc"]);
+    for k in 1..=steps {
+        let n_sel = (max_sel * k / steps).max(4);
+        let n_part = (max_part * k / steps).max(4);
+        let a_sel = accuracy_at(&sel_split.train, &sel_split.test, n_sel, env.seed);
+        let a_part = accuracy_at(&part_split.train, &part_split.test, n_part, env.seed ^ 1);
+        table.row(&[
+            format!("{n_sel}/{n_part}"),
+            format!("{:.1}%", a_sel * 100.0),
+            format!("{:.1}%", a_part * 100.0),
+        ]);
+        points.push(Point {
+            train_size: n_part,
+            format_selection_acc: a_sel,
+            partition_acc: a_part,
+        });
+    }
+
+    println!("\nFigure 10 — accuracy vs training-set size (Random Forest)\n");
+    table.print();
+    println!("\npaper shape: >0.8 with a few hundred rows, rising toward ~0.9");
+    write_json(&env.results_dir, "fig10_training_size", &points);
+}

@@ -1,0 +1,103 @@
+//! Figure 11: does the Eq. 7 cost model track real performance? Sweep the
+//! maximum bucket width on the reddit analogue and report, per width, the
+//! cost value, the simulated execution time, and the simulator's device
+//! utilization (the stand-in for nsight's "GPU compute throughput").
+//!
+//! Paper reference: cost minimum, throughput maximum and time minimum all
+//! align (at width 2^8 on their testbed).
+
+use lf_bench::{write_json, BenchEnv, Table};
+use lf_cell::{build_cell, CellConfig};
+use lf_cost::search::total_cost_for_caps;
+use lf_kernels::{CellKernel, SpmmKernel};
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+use serde::Serialize;
+
+const J: usize = 128;
+
+#[derive(Serialize)]
+struct Point {
+    width: usize,
+    cost: f64,
+    time_ms: f64,
+    utilization: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let spec = lf_data::GraphSpec::by_name("reddit").expect("known graph");
+    eprintln!("[fig11] building reddit analogue ...");
+    let csr: CsrMatrix<f32> = spec.build(env.scale);
+    let natural = (0..csr.rows())
+        .map(|r| csr.row_len(r))
+        .max()
+        .unwrap_or(1)
+        .next_power_of_two();
+
+    let mut points = Vec::new();
+    let mut w = 4usize;
+    while w <= natural {
+        let cost = total_cost_for_caps(&csr, &[w], J);
+        let config = CellConfig {
+            num_partitions: 1,
+            max_widths: Some(vec![w]),
+            block_nnz_multiple: 4,
+            uniform_block_nnz: true,
+        };
+        let kernel = CellKernel::new(build_cell(&csr, &config).expect("valid config"));
+        let profile = kernel.profile(J, &device);
+        points.push(Point {
+            width: w,
+            cost,
+            time_ms: profile.time_ms,
+            utilization: profile.utilization,
+        });
+        w *= 2;
+    }
+
+    // Normalize like the figure (shared y-axis).
+    let max_cost = points.iter().map(|p| p.cost).fold(0.0, f64::max);
+    let max_time = points.iter().map(|p| p.time_ms).fold(0.0, f64::max);
+    let mut table = Table::new(&[
+        "max width",
+        "cost (norm)",
+        "time (norm)",
+        "utilization",
+    ]);
+    for p in &points {
+        table.row(&[
+            format!("2^{}", p.width.trailing_zeros()),
+            format!("{:.3}", p.cost / max_cost),
+            format!("{:.3}", p.time_ms / max_time),
+            format!("{:.3}", p.utilization),
+        ]);
+    }
+
+    println!(
+        "\nFigure 11 — cost model vs simulated performance, reddit analogue \
+         ({} nodes, {} edges), J={J}\n",
+        csr.rows(),
+        csr.nnz()
+    );
+    table.print();
+
+    let best_cost = points
+        .iter()
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+        .expect("points");
+    let best_time = points
+        .iter()
+        .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
+        .expect("points");
+    let octaves = (best_cost.width.trailing_zeros() as i32
+        - best_time.width.trailing_zeros() as i32)
+        .abs();
+    println!(
+        "\ncost argmin: width {}   time argmin: width {}   ({octaves} power(s) \
+         of two apart; the paper reports them coinciding at 2^8)",
+        best_cost.width, best_time.width
+    );
+    write_json(&env.results_dir, "fig11_cost_model", &points);
+}

@@ -1,0 +1,118 @@
+//! Figure 6: normalized speedup relative to cuSPARSE for SpMM on the
+//! seven GNN graphs, geometric mean over dense widths J ∈ {32..512},
+//! for Triton, Sputnik, dgSPARSE, TACO, SparseTIR, STile and LiteForm.
+//!
+//! Paper reference values (geomean over the graph set): LiteForm 2.06×,
+//! SparseTIR 1.63×, STile 1.36×, dgSPARSE 1.16×, Sputnik 1.14×,
+//! TACO 0.49×, Triton 0.11× (with OOM on the largest graphs).
+
+use lf_baselines::roster;
+use lf_bench::{fmt, geomean, pipeline, write_json, BenchEnv, Table};
+use lf_data::GNN_GRAPHS;
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+const DENSE_WIDTHS: [usize; 5] = [32, 64, 128, 256, 512];
+
+#[derive(Serialize)]
+struct Fig6Result {
+    /// speedups\[system\]\[graph\] = geomean over J of cusparse/system.
+    speedups: BTreeMap<String, BTreeMap<String, Option<f64>>>,
+    /// Overall geomean per system across graphs.
+    overall: BTreeMap<String, Option<f64>>,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let (liteform, _) = pipeline::train_pipeline(&env, Some(&pipeline::default_bundle_path(&env)));
+
+    let systems = roster::<f32>();
+    let mut speedups: BTreeMap<String, BTreeMap<String, Option<f64>>> = BTreeMap::new();
+
+    let mut table = Table::new(&{
+        let mut h = vec!["graph"];
+        h.extend(systems.iter().map(|s| s.name()));
+        h.push("liteform");
+        h
+    });
+
+    for spec in &GNN_GRAPHS {
+        eprintln!("[fig6] building {} ...", spec.name);
+        let csr: CsrMatrix<f32> = spec.build(env.scale);
+        // cuSPARSE reference per J.
+        let cusparse: Vec<f64> = DENSE_WIDTHS
+            .iter()
+            .map(|&j| {
+                systems[0]
+                    .kernel_time_ms(&csr, j, &device)
+                    .expect("cuSPARSE always fits at Small scale")
+            })
+            .collect();
+
+        let mut row = vec![spec.name.to_string()];
+        for system in &systems {
+            let ratios: Vec<f64> = DENSE_WIDTHS
+                .iter()
+                .enumerate()
+                .filter_map(|(k, &j)| {
+                    system
+                        .kernel_time_ms(&csr, j, &device)
+                        .map(|t| cusparse[k] / t)
+                })
+                .collect();
+            // OOM on any width ⇒ report OOM like the paper's bars.
+            let s = if ratios.len() == DENSE_WIDTHS.len() {
+                geomean(&ratios)
+            } else {
+                None
+            };
+            speedups
+                .entry(system.name().to_string())
+                .or_default()
+                .insert(spec.name.to_string(), s);
+            row.push(s.map_or("OOM".to_string(), fmt));
+        }
+        // LiteForm.
+        let ratios: Vec<f64> = DENSE_WIDTHS
+            .iter()
+            .enumerate()
+            .map(|(k, &j)| cusparse[k] / liteform.simulated_time_ms(&csr, j))
+            .collect();
+        let s = geomean(&ratios);
+        speedups
+            .entry("liteform".to_string())
+            .or_default()
+            .insert(spec.name.to_string(), s);
+        row.push(s.map_or("OOM".to_string(), fmt));
+        table.row(&row);
+    }
+
+    // Overall geomeans (matching the paper's headline numbers).
+    let mut overall = BTreeMap::new();
+    let mut last = vec!["GEOMEAN".to_string()];
+    let mut names: Vec<String> = systems.iter().map(|s| s.name().to_string()).collect();
+    names.push("liteform".to_string());
+    for name in &names {
+        let per_graph: Vec<f64> = speedups[name].values().filter_map(|v| *v).collect();
+        let g = geomean(&per_graph);
+        overall.insert(name.clone(), g);
+        last.push(g.map_or("OOM".to_string(), fmt));
+    }
+    table.row(&last);
+
+    println!("\nFigure 6 — speedup over cuSPARSE (geomean across J = 32..512)\n");
+    table.print();
+    println!(
+        "\npaper reference geomeans: liteform 2.06  sparsetir 1.63  stile 1.36  \
+         dgsparse 1.16  sputnik 1.14  taco 0.49  triton 0.11 (OOM on big graphs)"
+    );
+
+    write_json(
+        &env.results_dir,
+        "fig6_speedup",
+        &Fig6Result { speedups, overall },
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 7: normalized speedup of LiteForm relative to *optimal-tuned*
+//! SparseTIR over the SuiteSparse-like corpus.
+//!
+//! Paper reference: geomean 0.99× (parity with exhaustive tuning at a
+//! fraction of the cost), range 0.19×–5.21×.
+
+use lf_baselines::SparseTir;
+use lf_bench::{fmt, pipeline, write_json, BenchEnv, Summary, Table};
+use lf_data::Corpus;
+use lf_sim::DeviceModel;
+use serde::Serialize;
+
+const J: usize = 128;
+
+#[derive(Serialize)]
+struct Point {
+    id: String,
+    rows: usize,
+    nnz: f64,
+    liteform_ms: f64,
+    sparsetir_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let (liteform, _) = pipeline::train_pipeline(&env, Some(&pipeline::default_bundle_path(&env)));
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+    let tir = SparseTir::default();
+
+    let mut points = Vec::new();
+    for (i, m) in corpus.matrices.iter().enumerate() {
+        let Some((_, tir_ms, _)) = tir.autotune(&m.csr, J, &device) else {
+            continue;
+        };
+        let lf_ms = liteform.simulated_time_ms(&m.csr, J);
+        points.push(Point {
+            id: m.id.clone(),
+            rows: m.csr.rows(),
+            nnz: m.csr.nnz() as f64,
+            liteform_ms: lf_ms,
+            sparsetir_ms: tir_ms,
+            speedup: tir_ms / lf_ms,
+        });
+        if (i + 1) % 20 == 0 {
+            eprintln!("[fig7] {}/{} matrices", i + 1, corpus.len());
+        }
+    }
+
+    let speedups: Vec<f64> = points.iter().map(|p| p.speedup).collect();
+    let summary = Summary::of(&speedups).expect("non-empty corpus");
+
+    // Scatter digest: bucket by decade of rows like the figure's x-axis.
+    let mut table = Table::new(&["rows-decade", "n", "min", "geomean", "max"]);
+    for decade in 3..7u32 {
+        let lo = 10usize.pow(decade);
+        let hi = 10usize.pow(decade + 1);
+        let in_decade: Vec<f64> = points
+            .iter()
+            .filter(|p| p.rows >= lo && p.rows < hi)
+            .map(|p| p.speedup)
+            .collect();
+        if let Some(s) = Summary::of(&in_decade) {
+            table.row(&[
+                format!("1e{decade}..1e{}", decade + 1),
+                s.n.to_string(),
+                fmt(s.min),
+                fmt(s.geomean),
+                fmt(s.max),
+            ]);
+        }
+    }
+
+    println!(
+        "\nFigure 7 — LiteForm speedup over optimal-tuned SparseTIR, {} corpus matrices at J={J}\n",
+        points.len()
+    );
+    table.print();
+    println!(
+        "\noverall: geomean {} (paper 0.99), range {}..{} (paper 0.19..5.21)",
+        fmt(summary.geomean),
+        fmt(summary.min),
+        fmt(summary.max)
+    );
+    write_json(&env.results_dir, "fig7_suitesparse", &points);
+}

@@ -1,0 +1,85 @@
+//! Table 4: dataset statistics — the seven GNN graph analogues (published
+//! spec vs what the generator materializes at the current scale) plus the
+//! SuiteSparse-like corpus summary line.
+
+use lf_bench::{fmt, write_json, BenchEnv, Table};
+use lf_data::{Corpus, GNN_GRAPHS};
+use lf_sparse::CsrMatrix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    spec_nodes: usize,
+    spec_edges: usize,
+    spec_density: f64,
+    built_nodes: usize,
+    built_edges: usize,
+    built_density: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let mut table = Table::new(&[
+        "graph",
+        "#nodes(paper)",
+        "#edges(paper)",
+        "density(paper)",
+        "#nodes(built)",
+        "#edges(built)",
+        "density(built)",
+    ]);
+    let mut rows = Vec::new();
+    for spec in &GNN_GRAPHS {
+        let m: CsrMatrix<f32> = spec.build(env.scale);
+        let built_density = m.density();
+        table.row(&[
+            spec.name.to_string(),
+            spec.nodes.to_string(),
+            spec.edges.to_string(),
+            format!("{:.2e}", spec.density()),
+            m.rows().to_string(),
+            m.nnz().to_string(),
+            format!("{built_density:.2e}"),
+        ]);
+        rows.push(Row {
+            name: spec.name.to_string(),
+            spec_nodes: spec.nodes,
+            spec_edges: spec.edges,
+            spec_density: spec.density(),
+            built_nodes: m.rows(),
+            built_edges: m.nnz(),
+            built_density,
+        });
+    }
+
+    println!("\nTable 4 — sparse matrices information ({:?} scale)\n", env.scale);
+    table.print();
+
+    // Corpus summary (the paper's last Table 4 row: SuiteSparse
+    // 2.0K-3.8M nodes, 3.1K-300.9M edges, density 8.7E-7 - 0.1).
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+    let rows_range = (
+        corpus.matrices.iter().map(|m| m.csr.rows()).min().unwrap_or(0),
+        corpus.matrices.iter().map(|m| m.csr.rows()).max().unwrap_or(0),
+    );
+    let nnz_range = (
+        corpus.matrices.iter().map(|m| m.csr.nnz()).min().unwrap_or(0),
+        corpus.matrices.iter().map(|m| m.csr.nnz()).max().unwrap_or(0),
+    );
+    let den_range = corpus.matrices.iter().map(|m| m.csr.density()).fold(
+        (f64::INFINITY, 0.0f64),
+        |(lo, hi), d| (lo.min(d), hi.max(d)),
+    );
+    println!(
+        "\ncorpus ({} matrices): rows {}..{}, nnz {}..{}, density {}..{}",
+        corpus.len(),
+        rows_range.0,
+        rows_range.1,
+        nnz_range.0,
+        nnz_range.1,
+        fmt(den_range.0),
+        fmt(den_range.1),
+    );
+    write_json(&env.results_dir, "table4_datasets", &rows);
+}

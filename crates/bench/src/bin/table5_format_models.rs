@@ -1,0 +1,58 @@
+//! Table 5: overhead and accuracy of the ten classifiers for predicting
+//! whether the CELL format improves performance (the format-selection
+//! task, §5.1). 80/20 split over the corpus.
+//!
+//! Paper reference: Random Forest best at 88.92% accuracy (0.29 s train);
+//! Decision Tree 85.96%, AdaBoost 86.45%; Naive Bayes worst at 63.30%;
+//! Gaussian Process slowest to train by orders of magnitude.
+
+use lf_bench::{fmt, mlbench, write_json, BenchEnv, Table};
+use lf_data::Corpus;
+use lf_sim::DeviceModel;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+    eprintln!(
+        "[table5] labelling {} matrices (CELL vs fixed, simulated) ...",
+        corpus.len()
+    );
+    let dataset = mlbench::format_selection_dataset(&corpus, &device);
+    let positive = dataset.y.iter().filter(|&&y| y == 1).count();
+    eprintln!(
+        "[table5] {} samples, {positive} labelled TRUE ({:.0}%)",
+        dataset.len(),
+        100.0 * positive as f64 / dataset.len() as f64
+    );
+    let split = dataset.split(0.8, env.seed);
+    let rows = mlbench::sweep_models(&split.train, &split.test, None, env.seed);
+
+    let mut table = Table::new(&["name", "training(s)", "inference(s)", "accuracy", "macro_f1"]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.4}", r.training_s),
+            format!("{:.4}", r.inference_s),
+            format!("{:.2}%", r.accuracy * 100.0),
+            fmt(r.macro_f1),
+        ]);
+    }
+    println!(
+        "\nTable 5 — ML models for predicting CELL performance benefit \
+         ({} train / {} test)\n",
+        split.train.len(),
+        split.test.len()
+    );
+    table.print();
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+        .expect("ten rows");
+    println!(
+        "\nbest model: {} at {:.2}% (paper: Random Forest, 88.92%)",
+        best.name,
+        best.accuracy * 100.0
+    );
+    write_json(&env.results_dir, "table5_format_models", &rows);
+}

@@ -1,0 +1,63 @@
+//! Table 6: overhead and accuracy of the ten classifiers for predicting
+//! the optimal number of CELL partitions (§5.2), with the paper's cosine
+//! similarity of the per-matrix prediction vector across dense widths
+//! 32…512 (Eq. 2).
+//!
+//! Paper reference: Random Forest 87.30% / cos 0.77; Decision Tree
+//! 85.40% / 0.77; most others cluster at ~82% / 0.23–0.25 (majority-class
+//! behaviour); QDA collapses (0.21%).
+
+use lf_bench::{fmt, mlbench, write_json, BenchEnv, Table};
+use lf_data::Corpus;
+use lf_sim::DeviceModel;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let device = DeviceModel::v100();
+    let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
+    eprintln!(
+        "[table6] labelling {} matrices x 5 dense widths (partition sweeps) ...",
+        corpus.len()
+    );
+    let (dataset, groups) = mlbench::partition_dataset(&corpus, &device);
+    let (split, _, test_idx) = dataset.split_with_indices(0.8, env.seed);
+    let test_groups: Vec<String> = test_idx.iter().map(|&i| groups[i].clone()).collect();
+    let rows = mlbench::sweep_models(&split.train, &split.test, Some(&test_groups), env.seed);
+
+    let mut table = Table::new(&[
+        "name",
+        "training(s)",
+        "inference(s)",
+        "accuracy",
+        "macro_f1",
+        "cos_sim",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.4}", r.training_s),
+            format!("{:.4}", r.inference_s),
+            format!("{:.2}%", r.accuracy * 100.0),
+            fmt(r.macro_f1),
+            fmt(r.cos_sim.unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!(
+        "\nTable 6 — ML models for predicting the optimal partition count \
+         ({} train / {} test samples)\n",
+        split.train.len(),
+        split.test.len()
+    );
+    table.print();
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+        .expect("ten rows");
+    println!(
+        "\nbest model: {} at {:.2}% / cos {} (paper: Random Forest, 87.30% / 0.77)",
+        best.name,
+        best.accuracy * 100.0,
+        fmt(best.cos_sim.unwrap_or(f64::NAN))
+    );
+    write_json(&env.results_dir, "table6_partition_models", &rows);
+}

@@ -1,0 +1,28 @@
+//! Train the LiteForm pipeline on the training corpus and save the
+//! pretrained `ModelBundle` the other binaries load — the paper's
+//! one-off offline step (§5.1, amortized over future uses).
+
+use lf_bench::{pipeline, write_json, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let path = pipeline::default_bundle_path(&env);
+    // Force retraining by ignoring any existing cache.
+    let _ = std::fs::remove_file(&path);
+    let (_, stats) = pipeline::train_pipeline(&env, Some(&path));
+    let stats = stats.expect("cache was removed, training must run");
+    println!(
+        "trained on {} matrices: {} selection samples ({:.0}% TRUE), {} partition samples",
+        stats.matrices,
+        stats.selection_samples,
+        stats.selection_positive_rate * 100.0,
+        stats.partition_samples
+    );
+    println!(
+        "labeling {:.1} s, model fitting {:.3} s -> bundle at {}",
+        stats.labeling_s,
+        stats.fit_s,
+        path.display()
+    );
+    write_json(&env.results_dir, "train_models_stats", &stats);
+}

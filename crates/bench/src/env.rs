@@ -1,0 +1,83 @@
+//! Environment-variable configuration shared by the experiment binaries.
+
+use lf_data::{CorpusSpec, Scale};
+use std::path::PathBuf;
+
+/// Parsed environment knobs.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Graph scale (`LF_SCALE=small|paper`, default small).
+    pub scale: Scale,
+    /// Corpus size (`LF_CORPUS_N`, default 120).
+    pub corpus_n: usize,
+    /// Master seed (`LF_SEED`, default the corpus default).
+    pub seed: u64,
+    /// Where JSON results land (`LF_RESULTS_DIR`, default `results/`).
+    pub results_dir: PathBuf,
+}
+
+impl BenchEnv {
+    /// Read the environment.
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("LF_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        };
+        let corpus_n = std::env::var("LF_CORPUS_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120);
+        let seed = std::env::var("LF_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5eed_c0de);
+        let results_dir = std::env::var("LF_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        BenchEnv {
+            scale,
+            corpus_n,
+            seed,
+            results_dir,
+        }
+    }
+
+    /// Corpus spec for the wide experiments (Figures 7/9, Tables 5/6).
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        CorpusSpec {
+            n_matrices: self.corpus_n,
+            max_rows: 40_000,
+            max_nnz: 600_000,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// Corpus used to train the shipped models. Must span the feature
+    /// ranges the pipeline will see at inference time (up to the larger
+    /// GNN analogues), otherwise the partition predictor extrapolates.
+    pub fn training_corpus_spec(&self) -> CorpusSpec {
+        CorpusSpec {
+            n_matrices: self.corpus_n.max(144),
+            max_rows: 120_000,
+            max_nnz: 1_200_000,
+            seed: self.seed ^ 0x7ea1,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // Note: reads the real environment; defaults hold under `cargo
+        // test` (no LF_* vars set by the suite).
+        let e = BenchEnv::from_env();
+        assert!(e.corpus_n > 0);
+        assert!(e.corpus_spec().n_matrices == e.corpus_n);
+        assert!(e.training_corpus_spec().n_matrices >= 40);
+    }
+}

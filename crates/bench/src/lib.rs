@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # lf-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§7). Each binary prints the same rows/series the paper
+//! reports and appends machine-readable JSON under `results/`:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table4_datasets` | Table 4 (dataset statistics) |
+//! | `fig6_speedup` | Figure 6 (speedup vs cuSPARSE, 8 systems × 7 graphs) |
+//! | `fig7_suitesparse` | Figure 7 (LiteForm vs optimal-tuned SparseTIR, corpus) |
+//! | `fig8_overhead` | Figure 8 (construction overhead, GNN graphs) |
+//! | `fig9_overhead_corpus` | Figure 9 (construction overhead, corpus) |
+//! | `table5_format_models` | Table 5 (10 classifiers, format selection) |
+//! | `table6_partition_models` | Table 6 (10 classifiers, partition count) |
+//! | `fig10_training_size` | Figure 10 (accuracy vs training-set size) |
+//! | `fig11_cost_model` | Figure 11 (cost value vs throughput vs time) |
+//! | `bcsr_padding` | §2.1 BCSR footprint anecdote |
+//! | `train_models` | produces the pretrained [`liteform_core::ModelBundle`] |
+//!
+//! Environment knobs (all optional): `LF_SCALE=small|paper` (graph sizes),
+//! `LF_CORPUS_N` (corpus size), `LF_SEED`, `LF_RESULTS_DIR`.
+
+pub mod env;
+pub mod mlbench;
+pub mod pipeline;
+pub mod report;
+pub mod stats;
+
+pub use env::BenchEnv;
+pub use pipeline::{train_pipeline, TrainStats};
+pub use report::{fmt, write_json, Table};
+pub use stats::{geomean, Summary};

@@ -1,0 +1,145 @@
+//! Text tables and JSON result dumps.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A fixed-width text table renderer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (shorter rows are padded).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all = std::iter::once(&self.header).chain(&self.rows);
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Serialize `value` as pretty JSON into `dir/name.json` (directory
+/// created if needed). Errors are printed, not fatal — results files are
+/// a convenience, the stdout tables are the deliverable.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[results -> {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return "OOM".to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else if a >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1.0".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with('1') || lines[2].contains("1.0"));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(f64::INFINITY), "OOM");
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234"); // ".0" rounding
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.01), "0.0100");
+        assert_eq!(fmt(1e-6), "1.00e-6");
+    }
+
+    #[test]
+    fn write_json_smoke() {
+        let dir = std::env::temp_dir().join("lf_bench_report_test");
+        write_json(&dir, "x", &vec![1, 2, 3]);
+        let data = std::fs::read_to_string(dir.join("x.json")).unwrap();
+        assert!(data.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

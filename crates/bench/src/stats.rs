@@ -1,0 +1,70 @@
+//! Statistics helpers for the experiment harness.
+
+/// Geometric mean of strictly positive values; `None` when empty or any
+/// value is non-positive/non-finite.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        acc += v.ln();
+    }
+    Some((acc / values.len() as f64).exp())
+}
+
+/// Min / geomean / max summary of a positive series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Geometric mean.
+    pub geomean: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a series, skipping non-finite entries.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let clean: Vec<f64> = values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        Some(Summary {
+            min: clean.iter().copied().fold(f64::INFINITY, f64::min),
+            geomean: geomean(&clean)?,
+            max: clean.iter().copied().fold(0.0, f64::max),
+            n: clean.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn summary_filters_bad_values() {
+        let s = Summary::of(&[1.0, 4.0, f64::NAN, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+    }
+}

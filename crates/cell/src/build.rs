@@ -1,0 +1,312 @@
+//! CELL construction: partition → bucket → fold → block (§4 and §5.3).
+
+use crate::config::{bucket_width_for_len, CellConfig};
+use crate::matrix::{Bucket, CellMatrix, Partition};
+use lf_sparse::ell::ELL_PAD;
+use lf_sparse::{CsrMatrix, Index, Result, Scalar};
+use std::collections::BTreeMap;
+
+/// Build a [`CellMatrix`] from CSR under the given configuration.
+///
+/// The column space is divided into `num_partitions` equal spans. Within
+/// each span, every row's entries are gathered; rows are grouped into
+/// buckets of width `2^i` by length; rows longer than the partition's
+/// width cap are folded into multiple bucket rows of the *maximum* bucket
+/// (sharing their original row index, later combined with atomics); every
+/// `2^k / width` bucket rows form one GPU block, with
+/// `2^k = block_nnz_multiple × max bucket width of the partition`.
+pub fn build_cell<T: Scalar>(csr: &CsrMatrix<T>, config: &CellConfig) -> Result<CellMatrix<T>> {
+    config.validate()?;
+    let (rows, cols) = csr.shape();
+    let p = config.num_partitions;
+    let mut partitions = Vec::with_capacity(p);
+
+    for pi in 0..p {
+        // Equal column spans; the last one absorbs the remainder.
+        let span = cols / p;
+        let col_lo = pi * span;
+        let col_hi = if pi + 1 == p { cols } else { (pi + 1) * span };
+        partitions.push(build_partition(csr, col_lo, col_hi, config, pi));
+    }
+
+    Ok(CellMatrix {
+        rows,
+        cols,
+        nnz: csr.nnz(),
+        partitions,
+        config: config.clone(),
+    })
+}
+
+/// Build the partition covering columns `[col_lo, col_hi)`.
+fn build_partition<T: Scalar>(
+    csr: &CsrMatrix<T>,
+    col_lo: usize,
+    col_hi: usize,
+    config: &CellConfig,
+    pi: usize,
+) -> Partition<T> {
+    // Gather each row's slice within the column span.
+    // seg[r] = (start, end) into the row's CSR arrays.
+    let rows = csr.rows();
+    let mut segments: Vec<(usize, usize)> = Vec::with_capacity(rows);
+    let mut natural_max_len = 0usize;
+    for r in 0..rows {
+        let rcols = csr.row_cols(r);
+        let base = csr.row_ptr()[r];
+        // Absolute offsets into the CSR col_ind/values arrays.
+        let start = base + rcols.partition_point(|&c| (c as usize) < col_lo);
+        let end = base + rcols.partition_point(|&c| (c as usize) < col_hi);
+        segments.push((start, end));
+        natural_max_len = natural_max_len.max(end - start);
+    }
+
+    // Effective width cap.
+    let cap = match config.max_width_for(pi) {
+        Some(w) => w,
+        None => {
+            if natural_max_len == 0 {
+                1
+            } else {
+                bucket_width_for_len(natural_max_len)
+            }
+        }
+    };
+
+    // Assign (row, fragment) pairs to bucket widths.
+    // map: width -> list of (original row, csr index range of the fragment)
+    let mut by_width: BTreeMap<usize, Vec<(Index, usize, usize)>> = BTreeMap::new();
+    let mut any_folded_width = None;
+    for r in 0..rows {
+        let (start, end) = segments[r];
+        let len = end - start;
+        if len == 0 {
+            continue;
+        }
+        if len <= cap {
+            let w = bucket_width_for_len(len);
+            by_width
+                .entry(w)
+                .or_default()
+                .push((r as Index, start, end));
+        } else {
+            // Fold: split into cap-sized fragments, all in the max bucket.
+            let mut s = start;
+            while s < end {
+                let e = (s + cap).min(end);
+                by_width.entry(cap).or_default().push((r as Index, s, e));
+                s = e;
+            }
+            any_folded_width = Some(cap);
+        }
+    }
+
+    let max_width = by_width.keys().next_back().copied().unwrap_or(0);
+    // 2^k: block non-zero count.
+    let block_nnz = (max_width.max(1) * config.block_nnz_multiple).next_power_of_two();
+    let multi_partition = config.num_partitions > 1;
+
+    let mut buckets = Vec::with_capacity(by_width.len());
+    for (&width, rows_in_bucket) in &by_width {
+        let n = rows_in_bucket.len();
+        let mut row_ind = Vec::with_capacity(n);
+        let mut col_ind = vec![ELL_PAD; n * width];
+        let mut values = vec![T::ZERO; n * width];
+        let mut has_folded = false;
+        for (bi, &(r, s, e)) in rows_in_bucket.iter().enumerate() {
+            row_ind.push(r);
+            // A fragment that is not the whole in-partition row segment is
+            // a fold.
+            let (seg_s, seg_e) = segments[r as usize];
+            if s != seg_s || e != seg_e {
+                has_folded = true;
+            }
+            for (k, idx) in (s..e).enumerate() {
+                col_ind[bi * width + k] = csr.col_ind()[idx];
+                values[bi * width + k] = csr.values()[idx];
+            }
+        }
+        let is_max = width == max_width;
+        // CELL: equal-nnz blocks (2^k slots each). hyb mapping: a fixed
+        // 32 rows per block regardless of width.
+        let rows_per_block = if config.uniform_block_nnz {
+            (block_nnz / width).max(1)
+        } else {
+            32
+        };
+        buckets.push(Bucket {
+            width,
+            row_ind,
+            col_ind,
+            values,
+            rows_per_block,
+            // Algorithm 2 line 9 / §5.3: atomics when the matrix has more
+            // than one partition, or for the partition's maximum bucket
+            // (which is where folded rows live).
+            needs_atomic: multi_partition || (is_max && any_folded_width.is_some()),
+            has_folded,
+        });
+    }
+
+    Partition {
+        col_range: (col_lo, col_hi),
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::gen::{uniform_with_long_rows, PatternFamily};
+    use lf_sparse::{CooMatrix, Pcg32};
+
+    fn skewed() -> CsrMatrix<f64> {
+        // Row 2 long (9 nnz), others short.
+        let mut trips = vec![(0, 0, 1.0), (1, 3, 2.0), (3, 7, 3.0), (4, 2, 4.0)];
+        for j in 0..9 {
+            trips.push((2, j, 10.0 + j as f64));
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(5, 10, trips).unwrap())
+    }
+
+    #[test]
+    fn single_partition_round_trip() {
+        let csr = skewed();
+        let cell = build_cell(&csr, &CellConfig::default()).unwrap();
+        assert_eq!(cell.to_csr(), csr);
+        assert_eq!(cell.partitions().len(), 1);
+    }
+
+    #[test]
+    fn multi_partition_round_trip() {
+        let csr = skewed();
+        for p in [2, 3, 4, 10] {
+            let cell = build_cell(&csr, &CellConfig::with_partitions(p)).unwrap();
+            assert_eq!(cell.to_csr(), csr, "p={p}");
+            assert_eq!(cell.partitions().len(), p);
+        }
+    }
+
+    #[test]
+    fn bucket_widths_match_row_lengths() {
+        let csr = skewed();
+        let cell = build_cell(&csr, &CellConfig::default()).unwrap();
+        let p = &cell.partitions()[0];
+        // Lengths 1 and 9 -> buckets of width 1 and 16.
+        let widths: Vec<usize> = p.buckets.iter().map(|b| b.width).collect();
+        assert_eq!(widths, vec![1, 16]);
+    }
+
+    #[test]
+    fn folding_splits_long_rows() {
+        let csr = skewed();
+        let cfg = CellConfig::default().with_max_widths(vec![4]);
+        let cell = build_cell(&csr, &cfg).unwrap();
+        let p = &cell.partitions()[0];
+        // Max bucket is width 4 and contains row 2 three times (9 = 4+4+1).
+        let max_bucket = p.buckets.last().unwrap();
+        assert_eq!(max_bucket.width, 4);
+        let copies = max_bucket.row_ind.iter().filter(|&&r| r == 2).count();
+        assert_eq!(copies, 3);
+        assert!(max_bucket.has_folded);
+        assert!(max_bucket.needs_atomic);
+        // Still lossless.
+        assert_eq!(cell.to_csr(), csr);
+    }
+
+    #[test]
+    fn atomics_flags_follow_paper_rule() {
+        let csr = skewed();
+        // Single partition, no folding: no bucket needs atomics.
+        let cell = build_cell(&csr, &CellConfig::default()).unwrap();
+        assert!(cell.partitions()[0].buckets.iter().all(|b| !b.needs_atomic));
+        // Multi-partition: every bucket needs atomics.
+        let cell = build_cell(&csr, &CellConfig::with_partitions(2)).unwrap();
+        assert!(cell
+            .partitions()
+            .iter()
+            .flat_map(|p| &p.buckets)
+            .all(|b| b.needs_atomic));
+    }
+
+    #[test]
+    fn empty_rows_are_skipped() {
+        let coo = CooMatrix::from_triplets(100, 10, vec![(50, 5, 1.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let cell = build_cell(&csr, &CellConfig::default()).unwrap();
+        let total_rows: usize = cell
+            .partitions()
+            .iter()
+            .flat_map(|p| p.buckets.iter().map(|b| b.num_rows()))
+            .sum();
+        assert_eq!(total_rows, 1);
+        assert_eq!(cell.to_csr(), csr);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f64>::empty(4, 4);
+        let cell = build_cell(&csr, &CellConfig::with_partitions(2)).unwrap();
+        assert_eq!(cell.nnz(), 0);
+        assert_eq!(cell.num_buckets(), 0);
+        assert_eq!(cell.to_csr(), csr);
+    }
+
+    #[test]
+    fn partition_spans_cover_columns() {
+        let csr = skewed();
+        let cell = build_cell(&csr, &CellConfig::with_partitions(3)).unwrap();
+        let spans: Vec<(usize, usize)> =
+            cell.partitions().iter().map(|p| p.col_range).collect();
+        assert_eq!(spans, vec![(0, 3), (3, 6), (6, 10)]);
+    }
+
+    #[test]
+    fn rows_per_block_formula() {
+        let csr = skewed();
+        let cfg = CellConfig {
+            num_partitions: 1,
+            max_widths: None,
+            block_nnz_multiple: 2,
+            uniform_block_nnz: true,
+        };
+        let cell = build_cell(&csr, &cfg).unwrap();
+        let p = &cell.partitions()[0];
+        // Max width 16, multiple 2 => 2^k = 32. Width-1 bucket: 32 rows per
+        // block; width-16 bucket: 2 rows per block.
+        for b in &p.buckets {
+            assert_eq!(b.rows_per_block, 32 / b.width);
+        }
+    }
+
+    #[test]
+    fn long_row_fold_with_partitions_round_trip() {
+        let mut rng = Pcg32::seed_from_u64(42);
+        let coo = uniform_with_long_rows::<f64>(300, 500, 3000, 5, 400, &mut rng);
+        let csr = CsrMatrix::from_coo(&coo);
+        for p in [1, 2, 4, 8] {
+            for cap in [None, Some(vec![16]), Some(vec![64])] {
+                let cfg = CellConfig {
+                    num_partitions: p,
+                    max_widths: cap.clone(),
+                    block_nnz_multiple: 4,
+                    uniform_block_nnz: true,
+                };
+                let cell = build_cell(&csr, &cfg).unwrap();
+                assert_eq!(cell.to_csr(), csr, "p={p} cap={cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_families_round_trip() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for fam in PatternFamily::ALL {
+            let coo = fam.generate::<f64>(128, 96, 900, &mut rng);
+            let csr = CsrMatrix::from_coo(&coo);
+            let cfg = CellConfig::with_partitions(3).with_max_widths(vec![8]);
+            let cell = build_cell(&csr, &cfg).unwrap();
+            assert_eq!(cell.to_csr(), csr, "family {}", fam.name());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Configuration of a CELL composition.
+
+use lf_sparse::SparseError;
+use serde::{Deserialize, Serialize};
+
+/// Parameters chosen by LiteForm's composer (or by hand) that determine
+/// how a matrix is laid out in CELL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Number of equal column partitions (≥ 1).
+    pub num_partitions: usize,
+    /// Per-partition cap on the bucket width, each a power of two.
+    ///
+    /// * `None` — every partition uses its natural maximum (the smallest
+    ///   power of two ≥ its longest row); no folding occurs.
+    /// * `Some(v)` with `v.len() == num_partitions` — partition `p` folds
+    ///   rows longer than `v[p]` into multiple bucket rows.
+    /// * `Some(v)` with `v.len() == 1` — one shared cap for all partitions
+    ///   (SparseTIR-hyb style).
+    pub max_widths: Option<Vec<usize>>,
+    /// Block size multiplier: a block holds
+    /// `block_nnz_multiple × max bucket width of the partition` non-zero
+    /// slots (the paper's `2^k`, "one or multiple times of the maximum
+    /// bucket width"). Must be a power of two ≥ 1.
+    pub block_nnz_multiple: usize,
+    /// CELL's third level (default `true`): group every `2^k / width`
+    /// bucket rows into a block so all blocks carry the same `2^k`
+    /// non-zero slots. `false` reproduces SparseTIR-hyb's two-level
+    /// mapping — a fixed number of rows per block in every bucket — whose
+    /// wide-bucket blocks become load-balance hot spots (§4's contrast).
+    pub uniform_block_nnz: bool,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            num_partitions: 1,
+            max_widths: None,
+            block_nnz_multiple: 4,
+            uniform_block_nnz: true,
+        }
+    }
+}
+
+impl CellConfig {
+    /// Configuration with `p` partitions and natural bucket widths.
+    pub fn with_partitions(p: usize) -> Self {
+        CellConfig {
+            num_partitions: p,
+            ..Default::default()
+        }
+    }
+
+    /// Set per-partition maximum widths.
+    pub fn with_max_widths(mut self, widths: Vec<usize>) -> Self {
+        self.max_widths = Some(widths);
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.num_partitions == 0 {
+            return Err(SparseError::InvalidConfig(
+                "num_partitions must be ≥ 1".into(),
+            ));
+        }
+        if !self.block_nnz_multiple.is_power_of_two() {
+            return Err(SparseError::InvalidConfig(format!(
+                "block_nnz_multiple {} must be a power of two",
+                self.block_nnz_multiple
+            )));
+        }
+        if let Some(widths) = &self.max_widths {
+            if widths.len() != 1 && widths.len() != self.num_partitions {
+                return Err(SparseError::InvalidConfig(format!(
+                    "max_widths length {} must be 1 or num_partitions {}",
+                    widths.len(),
+                    self.num_partitions
+                )));
+            }
+            for &w in widths {
+                if w == 0 || !w.is_power_of_two() {
+                    return Err(SparseError::InvalidConfig(format!(
+                        "bucket width {w} must be a positive power of two"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The width cap for partition `p`, if any.
+    pub fn max_width_for(&self, p: usize) -> Option<usize> {
+        self.max_widths.as_ref().map(|v| {
+            if v.len() == 1 {
+                v[0]
+            } else {
+                v[p]
+            }
+        })
+    }
+}
+
+/// Round `l ≥ 1` up to the bucket width holding rows of that length:
+/// the smallest power of two ≥ `l` (bucket `i` holds `2^(i-1) < l ≤ 2^i`).
+pub fn bucket_width_for_len(l: usize) -> usize {
+    debug_assert!(l >= 1);
+    l.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CellConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_partitions_invalid() {
+        let mut c = CellConfig::default();
+        c.num_partitions = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let c = CellConfig::with_partitions(2).with_max_widths(vec![8, 12]);
+        assert!(c.validate().is_err());
+        let mut c = CellConfig::default();
+        c.block_nnz_multiple = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn width_vector_length_checked() {
+        let c = CellConfig::with_partitions(3).with_max_widths(vec![8, 8]);
+        assert!(c.validate().is_err());
+        let c = CellConfig::with_partitions(3).with_max_widths(vec![8]);
+        assert!(c.validate().is_ok());
+        let c = CellConfig::with_partitions(3).with_max_widths(vec![8, 4, 16]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_width_broadcasts() {
+        let c = CellConfig::with_partitions(3).with_max_widths(vec![8]);
+        assert_eq!(c.max_width_for(0), Some(8));
+        assert_eq!(c.max_width_for(2), Some(8));
+        let c = CellConfig::with_partitions(2).with_max_widths(vec![4, 16]);
+        assert_eq!(c.max_width_for(1), Some(16));
+        assert_eq!(CellConfig::default().max_width_for(0), None);
+    }
+
+    #[test]
+    fn bucket_width_bounds() {
+        assert_eq!(bucket_width_for_len(1), 1);
+        assert_eq!(bucket_width_for_len(2), 2);
+        assert_eq!(bucket_width_for_len(3), 4);
+        assert_eq!(bucket_width_for_len(4), 4);
+        assert_eq!(bucket_width_for_len(5), 8);
+        assert_eq!(bucket_width_for_len(1023), 1024);
+        // Paper rule: 2^(i-1) < l ≤ 2^i.
+        for l in 1..200usize {
+            let w = bucket_width_for_len(l);
+            assert!(w.is_power_of_two());
+            assert!(l <= w && (w == 1 || l > w / 2));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The LiteForm composer: the runtime pipeline of Figure 2.
+
+use crate::predictor::PartitionPredictor;
+use crate::selector::FormatSelector;
+use lf_cell::{build_cell, CellConfig, CellMatrix};
+use lf_cost::search::optimal_widths_for_matrix;
+use lf_kernels::{CellKernel, CsrVectorKernel, SpmmKernel};
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::{DeviceModel, KernelProfile};
+use lf_sparse::{CsrMatrix, DenseMatrix, FormatFeatures, PartitionFeatures, Result};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Where LiteForm's (real, wall-clock) construction time went — the
+/// quantity Figures 8–9 compare against the autotuners' kernel re-runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Feature extraction (both tables) in seconds.
+    pub feature_extraction_s: f64,
+    /// Format-selection inference in seconds.
+    pub selection_inference_s: f64,
+    /// Partition-count inference in seconds.
+    pub partition_inference_s: f64,
+    /// Algorithm-3 bucket-width search in seconds.
+    pub width_search_s: f64,
+    /// CELL materialization in seconds.
+    pub build_s: f64,
+}
+
+impl OverheadBreakdown {
+    /// Total construction overhead in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.feature_extraction_s
+            + self.selection_inference_s
+            + self.partition_inference_s
+            + self.width_search_s
+            + self.build_s
+    }
+}
+
+/// What the composer decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind<T> {
+    /// Compose CELL with this configuration.
+    Cell {
+        /// The chosen configuration.
+        config: CellConfig,
+        /// The materialized matrix.
+        cell: CellMatrix<T>,
+    },
+    /// Stay on the fixed CSR path.
+    FixedCsr,
+}
+
+/// A composition decision plus its cost accounting.
+#[derive(Debug, Clone)]
+pub struct CompositionPlan<T> {
+    /// The decision.
+    pub kind: PlanKind<T>,
+    /// Wall-clock overhead breakdown.
+    pub overhead: OverheadBreakdown,
+}
+
+impl<T> CompositionPlan<T> {
+    /// `true` when the plan composes CELL.
+    pub fn uses_cell(&self) -> bool {
+        matches!(self.kind, PlanKind::Cell { .. })
+    }
+}
+
+/// The assembled LiteForm pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiteForm {
+    /// Format-selection model (§5.1).
+    pub selector: FormatSelector,
+    /// Partition predictor (§5.2).
+    pub predictor: PartitionPredictor,
+    /// Device the compositions target.
+    pub device: DeviceModel,
+}
+
+impl LiteForm {
+    /// Assemble from trained components.
+    pub fn new(selector: FormatSelector, predictor: PartitionPredictor, device: DeviceModel) -> Self {
+        assert!(selector.is_trained(), "selector must be trained");
+        assert!(predictor.is_trained(), "predictor must be trained");
+        LiteForm {
+            selector,
+            predictor,
+            device,
+        }
+    }
+
+    /// Run the Figure 2 pipeline for a matrix and dense width `j`.
+    pub fn compose<T: AtomicScalar>(&self, csr: &CsrMatrix<T>, j: usize) -> CompositionPlan<T> {
+        let mut overhead = OverheadBreakdown::default();
+
+        // 1. Features (shared single pass over row lengths, done twice
+        //    here for clarity; both are O(rows)).
+        let t0 = Instant::now();
+        let format_features = FormatFeatures::from_csr(csr);
+        let partition_features = PartitionFeatures::from_csr(csr, j);
+        overhead.feature_extraction_s = t0.elapsed().as_secs_f64();
+
+        // 2. Should we compose CELL at all?
+        let t0 = Instant::now();
+        let use_cell = self.selector.predict(&format_features);
+        overhead.selection_inference_s = t0.elapsed().as_secs_f64();
+        if !use_cell {
+            return CompositionPlan {
+                kind: PlanKind::FixedCsr,
+                overhead,
+            };
+        }
+
+        // 3. Partition count.
+        let t0 = Instant::now();
+        let p = self
+            .predictor
+            .predict(&partition_features)
+            .min(csr.cols().max(1));
+        overhead.partition_inference_s = t0.elapsed().as_secs_f64();
+
+        // 4. Bucket widths per partition (Algorithm 3).
+        let t0 = Instant::now();
+        let widths = optimal_widths_for_matrix(csr, p, j);
+        overhead.width_search_s = t0.elapsed().as_secs_f64();
+
+        // 5. Materialize.
+        let config = CellConfig {
+            num_partitions: p,
+            max_widths: Some(widths),
+            block_nnz_multiple: 4,
+            uniform_block_nnz: true,
+        };
+        let t0 = Instant::now();
+        let cell = build_cell(csr, &config).expect("validated config");
+        overhead.build_s = t0.elapsed().as_secs_f64();
+
+        CompositionPlan {
+            kind: PlanKind::Cell { config, cell },
+            overhead,
+        }
+    }
+
+    /// Compose and execute `C = A · B`, returning the result, the
+    /// simulated kernel profile, and the plan's overhead accounting.
+    pub fn spmm<T: AtomicScalar>(
+        &self,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+    ) -> Result<(DenseMatrix<T>, KernelProfile, OverheadBreakdown)> {
+        let plan = self.compose(csr, b.cols());
+        match plan.kind {
+            PlanKind::Cell { cell, .. } => {
+                let kernel = CellKernel::new(cell);
+                let c = kernel.run(b)?;
+                let profile = kernel.profile(b.cols(), &self.device);
+                Ok((c, profile, plan.overhead))
+            }
+            PlanKind::FixedCsr => {
+                let kernel = CsrVectorKernel::new(csr.clone());
+                let c = kernel.run(b)?;
+                let profile = kernel.profile(b.cols(), &self.device);
+                Ok((c, profile, plan.overhead))
+            }
+        }
+    }
+
+    /// Simulated kernel time of whatever the pipeline picks (no numeric
+    /// execution) — the quantity the evaluation harnesses sweep.
+    pub fn simulated_time_ms<T: AtomicScalar>(&self, csr: &CsrMatrix<T>, j: usize) -> f64 {
+        let plan = self.compose(csr, j);
+        match plan.kind {
+            PlanKind::Cell { cell, .. } => CellKernel::new(cell).profile(j, &self.device).time_ms,
+            PlanKind::FixedCsr => CsrVectorKernel::new(csr.clone())
+                .profile(j, &self.device)
+                .time_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{label_format_selection, label_partitions, TrainingConfig};
+    use lf_data::{Corpus, CorpusSpec};
+    use lf_sparse::Pcg32;
+
+    /// Train a small but real pipeline on a tiny corpus.
+    fn tiny_pipeline() -> LiteForm {
+        let device = DeviceModel::v100();
+        let spec = CorpusSpec {
+            n_matrices: 18,
+            min_rows: 200,
+            max_rows: 1500,
+            max_nnz: 40_000,
+            ..Default::default()
+        };
+        let corpus: Corpus<f32> = Corpus::generate(spec);
+        let cfg = TrainingConfig {
+            dense_widths: vec![32, 128],
+            ..Default::default()
+        };
+        let sel_samples: Vec<_> = corpus
+            .matrices
+            .iter()
+            .map(|m| label_format_selection(&m.csr, &cfg, &device))
+            .collect();
+        let part_samples: Vec<_> = corpus
+            .matrices
+            .iter()
+            .flat_map(|m| label_partitions(&m.csr, &cfg, &device))
+            .collect();
+        let mut selector = FormatSelector::new(1);
+        selector.train(&sel_samples);
+        let mut predictor = PartitionPredictor::new(2);
+        predictor.train(&part_samples);
+        LiteForm::new(selector, predictor, device)
+    }
+
+    #[test]
+    fn end_to_end_compose_and_run() {
+        let lf = tiny_pipeline();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::mixed_regions(
+            300, 300, 8000, 4, &mut rng,
+        ));
+        let b = DenseMatrix::random(300, 32, &mut rng);
+        let (c, profile, overhead) = lf.spmm(&csr, &b).unwrap();
+        // Numerically correct regardless of which path was taken.
+        let want = csr.spmm_reference(&b).unwrap();
+        assert!(c.approx_eq(&want, 1e-3));
+        assert!(profile.time_ms > 0.0);
+        assert!(overhead.total_s() >= 0.0);
+        assert!(overhead.total_s() < 5.0, "pipeline must stay lightweight");
+    }
+
+    #[test]
+    fn plan_reports_decision() {
+        let lf = tiny_pipeline();
+        let mut rng = Pcg32::seed_from_u64(6);
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(
+            400, 400, 6000, &mut rng,
+        ));
+        let plan = lf.compose(&csr, 64);
+        match &plan.kind {
+            PlanKind::Cell { config, cell } => {
+                assert_eq!(cell.to_csr(), csr);
+                assert!(config.num_partitions >= 1);
+            }
+            PlanKind::FixedCsr => {}
+        }
+        // The five stages are all accounted (some may be ~0 but not
+        // negative).
+        let o = plan.overhead;
+        for v in [
+            o.feature_extraction_s,
+            o.selection_inference_s,
+            o.partition_inference_s,
+            o.width_search_s,
+            o.build_s,
+        ] {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn simulated_time_is_positive() {
+        let lf = tiny_pipeline();
+        let mut rng = Pcg32::seed_from_u64(7);
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(
+            200, 200, 3000, &mut rng,
+        ));
+        assert!(lf.simulated_time_ms(&csr, 128) > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Training-data generation for LiteForm's two predictors (§5.1–5.2).
+//!
+//! Both labelers run real (simulated) kernels — the expensive offline step
+//! the trained models replace at runtime. The format-selection labeler
+//! compares the best CELL composition against the fixed representatives
+//! (CSR as elementwise, BCSR 8×8 as blockwise); a matrix is labelled
+//! `TRUE` when CELL wins by more than the paper's 1.1× threshold.
+
+use lf_cell::{build_cell, CellConfig};
+use lf_cost::partition::optimal_partitions;
+use lf_cost::search::optimal_widths_for_matrix;
+use lf_kernels::{BcsrKernel, CellKernel, CsrVectorKernel, SpmmKernel};
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::DeviceModel;
+use lf_sparse::{BcsrMatrix, CsrMatrix, FormatFeatures, PartitionFeatures};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the training-data generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Dense widths swept when labelling partitions (§5.2 uses
+    /// 32…512).
+    pub dense_widths: Vec<usize>,
+    /// Dense width used for the format-selection label (Table 2 features
+    /// carry no `J`, so one representative width labels the matrix).
+    pub selection_width: usize,
+    /// CELL-vs-fixed speedup threshold for a `TRUE` label (paper: 1.1).
+    pub speedup_threshold: f64,
+    /// BCSR block edge for the blockwise representative.
+    pub bcsr_block: usize,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            dense_widths: vec![32, 64, 128, 256, 512],
+            selection_width: 128,
+            speedup_threshold: 1.1,
+            bcsr_block: 8,
+        }
+    }
+}
+
+/// One labelled sample for the format selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormatSelectionSample {
+    /// Table 2 features.
+    pub features: FormatFeatures,
+    /// `true` when CELL beat both fixed formats by the threshold.
+    pub use_cell: bool,
+    /// Simulated times backing the label (`cell`, `csr`, `bcsr` in ms;
+    /// `bcsr` is `INFINITY` when the padded format would not fit).
+    pub times_ms: (f64, f64, f64),
+}
+
+/// One labelled sample for the partition predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSample {
+    /// Table 3 features (includes the dense width).
+    pub features: PartitionFeatures,
+    /// Ground-truth optimal partition count.
+    pub best_p: usize,
+}
+
+/// Label one matrix for format selection: tune CELL (partitions + widths)
+/// and compare against CSR-vector and BCSR on the simulator.
+pub fn label_format_selection<T: AtomicScalar>(
+    csr: &CsrMatrix<T>,
+    cfg: &TrainingConfig,
+    device: &DeviceModel,
+) -> FormatSelectionSample {
+    let j = cfg.selection_width;
+    let features = FormatFeatures::from_csr(csr);
+
+    // Tuned CELL time.
+    let sweep = optimal_partitions(csr, j, device);
+    let cell_ms = sweep.best_time_ms;
+
+    // Fixed representatives.
+    let csr_ms = CsrVectorKernel::new(csr.clone()).profile(j, device).time_ms;
+    let bcsr_ms = match BcsrMatrix::from_csr(csr, cfg.bcsr_block, cfg.bcsr_block) {
+        Ok(b) => {
+            let k = BcsrKernel::new(b);
+            if k.fits_in_memory(j, device) {
+                k.profile(j, device).time_ms
+            } else {
+                f64::INFINITY
+            }
+        }
+        Err(_) => f64::INFINITY,
+    };
+
+    let best_fixed = csr_ms.min(bcsr_ms);
+    FormatSelectionSample {
+        features,
+        use_cell: best_fixed / cell_ms > cfg.speedup_threshold,
+        times_ms: (cell_ms, csr_ms, bcsr_ms),
+    }
+}
+
+/// Label one matrix for the partition predictor across the configured
+/// dense widths: one sample per width, ground truth from the simulator
+/// sweep.
+pub fn label_partitions<T: AtomicScalar>(
+    csr: &CsrMatrix<T>,
+    cfg: &TrainingConfig,
+    device: &DeviceModel,
+) -> Vec<PartitionSample> {
+    cfg.dense_widths
+        .iter()
+        .map(|&j| {
+            let sweep = optimal_partitions(csr, j, device);
+            PartitionSample {
+                features: PartitionFeatures::from_csr(csr, j),
+                best_p: sweep.best_p,
+            }
+        })
+        .collect()
+}
+
+/// Simulated time of the *tuned* CELL composition at width `j` (helper
+/// shared by the labelers and the evaluation harness).
+pub fn tuned_cell_time<T: AtomicScalar>(
+    csr: &CsrMatrix<T>,
+    j: usize,
+    device: &DeviceModel,
+) -> (f64, CellConfig) {
+    let sweep = optimal_partitions(csr, j, device);
+    let widths = optimal_widths_for_matrix(csr, sweep.best_p, j);
+    let config = CellConfig {
+        num_partitions: sweep.best_p,
+        max_widths: Some(widths),
+        block_nnz_multiple: 4,
+        uniform_block_nnz: true,
+    };
+    let time = match build_cell(csr, &config) {
+        Ok(cell) => CellKernel::new(cell).profile(j, device).time_ms,
+        Err(_) => f64::INFINITY,
+    };
+    (time, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::gen::{banded, mixed_regions};
+    use lf_sparse::Pcg32;
+
+    fn device() -> DeviceModel {
+        DeviceModel::v100()
+    }
+
+    #[test]
+    fn selection_labels_have_backing_times() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&mixed_regions(512, 512, 15_000, 4, &mut rng));
+        let s = label_format_selection(&csr, &TrainingConfig::default(), &device());
+        let (cell, csr_t, bcsr_t) = s.times_ms;
+        assert!(cell.is_finite() && csr_t.is_finite());
+        let expected = csr_t.min(bcsr_t) / cell > 1.1;
+        assert_eq!(s.use_cell, expected);
+        assert_eq!(s.features.rows, 512.0);
+    }
+
+    #[test]
+    fn partition_labels_one_per_width() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&mixed_regions(256, 256, 6_000, 4, &mut rng));
+        let cfg = TrainingConfig {
+            dense_widths: vec![32, 128],
+            ..Default::default()
+        };
+        let samples = label_partitions(&csr, &cfg, &device());
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].features.j_product, 32.0);
+        assert_eq!(samples[1].features.j_product, 128.0);
+        assert!(samples.iter().all(|s| s.best_p >= 1));
+    }
+
+    #[test]
+    fn regular_banded_matrix_prefers_fixed() {
+        // A narrow banded matrix is the regular case where CELL's benefit
+        // is marginal — the label should typically be FALSE.
+        let mut rng = Pcg32::seed_from_u64(3);
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&banded(2048, 2048, 4, &mut rng));
+        let s = label_format_selection(&csr, &TrainingConfig::default(), &device());
+        let (cell, csr_t, _) = s.times_ms;
+        // CELL should not be dramatically better on this regular input.
+        assert!(
+            csr_t / cell < 2.0,
+            "banded matrix should not be a big CELL win: cell {cell} csr {csr_t}"
+        );
+    }
+
+    #[test]
+    fn tuned_cell_time_is_consistent() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&mixed_regions(256, 256, 8_000, 4, &mut rng));
+        let (t, config) = tuned_cell_time(&csr, 128, &device());
+        assert!(t.is_finite());
+        assert!(config.num_partitions >= 1);
+        let widths = config.max_widths.as_ref().unwrap();
+        assert_eq!(widths.len(), config.num_partitions);
+    }
+}

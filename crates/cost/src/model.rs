@@ -1,0 +1,185 @@
+//! The bucket cost model, Eq. 5–7 of the paper.
+
+use lf_sparse::{CsrMatrix, Index, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// The shape statistics of one bucket that the cost model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketSketch {
+    /// Bucket width `W = 2^i`.
+    pub width: usize,
+    /// `I⁽¹⁾`: bucket rows, counting folded fragments separately.
+    pub i1: usize,
+    /// `I⁽²⁾`: distinct output rows.
+    pub i2: usize,
+    /// `|set(Ind[i,w])|`: distinct column indices in the bucket.
+    pub unique_cols: usize,
+    /// True non-zeros (for padding statistics; not in Eq. 7).
+    pub nnz: usize,
+}
+
+/// Eq. 7: `cost(x) = 2·I⁽¹⁾·W + |set(Ind)|·J + I⁽¹⁾·J`.
+///
+/// * first term — reading the bucket's column-index and value grids
+///   (padding included: the grid is `I⁽¹⁾ × W`);
+/// * second term — reading the rows of the dense operand `B`, counted
+///   once per distinct column (intra-bucket reuse);
+/// * third term — writing `C`, `Atomic`-weighted: Eq. 6's
+///   `Atomic·I⁽²⁾·J` with `Atomic = I⁽¹⁾/I⁽²⁾` (folded fragments each
+///   issue their own atomic update) reduces to `I⁽¹⁾·J`.
+pub fn bucket_cost(sketch: &BucketSketch, j: usize) -> f64 {
+    let j = j as f64;
+    2.0 * sketch.i1 as f64 * sketch.width as f64
+        + sketch.unique_cols as f64 * j
+        + sketch.i1 as f64 * j
+}
+
+/// Total Eq. 7 cost of a set of buckets (the paper's `GetAllCost`).
+pub fn partition_cost(sketches: &[BucketSketch], j: usize) -> f64 {
+    sketches.iter().map(|s| bucket_cost(s, j)).sum()
+}
+
+/// A column partition's rows, extracted once from CSR so the width search
+/// can re-bucket repeatedly without touching the full matrix again.
+#[derive(Debug, Clone)]
+pub struct PartitionSketch {
+    /// Number of columns in the whole matrix (stamp-array size).
+    pub cols: usize,
+    /// Per non-empty row: `(row id, column indices within the partition)`.
+    pub rows: Vec<(Index, Vec<Index>)>,
+}
+
+impl PartitionSketch {
+    /// Extract the rows of `csr` restricted to columns `[col_lo, col_hi)`.
+    pub fn from_csr<T: Scalar>(csr: &CsrMatrix<T>, col_lo: usize, col_hi: usize) -> Self {
+        let mut rows = Vec::new();
+        for r in 0..csr.rows() {
+            let rcols = csr.row_cols(r);
+            let start = rcols.partition_point(|&c| (c as usize) < col_lo);
+            let end = rcols.partition_point(|&c| (c as usize) < col_hi);
+            if start < end {
+                rows.push((r as Index, rcols[start..end].to_vec()));
+            }
+        }
+        PartitionSketch {
+            cols: csr.cols(),
+            rows,
+        }
+    }
+
+    /// Even column spans for `p` partitions of a matrix with `cols`
+    /// columns — must match `lf_cell::build_cell`'s partitioning.
+    pub fn spans(cols: usize, p: usize) -> Vec<(usize, usize)> {
+        let p = p.max(1);
+        let span = cols / p;
+        (0..p)
+            .map(|pi| {
+                let lo = pi * span;
+                let hi = if pi + 1 == p { cols } else { (pi + 1) * span };
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    /// Longest row length in the partition (0 when empty).
+    pub fn max_row_len(&self) -> usize {
+        self.rows.iter().map(|(_, c)| c.len()).max().unwrap_or(0)
+    }
+
+    /// Total non-zeros in the partition.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::CooMatrix;
+
+    #[test]
+    fn cost_formula_by_hand() {
+        let s = BucketSketch {
+            width: 4,
+            i1: 10,
+            i2: 10,
+            unique_cols: 25,
+            nnz: 30,
+        };
+        // 2*10*4 + 25*J + 10*J at J=32: 80 + 800 + 320 = 1200.
+        assert_eq!(bucket_cost(&s, 32), 1200.0);
+    }
+
+    #[test]
+    fn wider_bucket_trades_terms() {
+        // Doubling the width halves I1 (same nnz re-packed) but doubles
+        // the first term's per-row cost; the B and C terms shrink.
+        let narrow = BucketSketch {
+            width: 4,
+            i1: 20,
+            i2: 10,
+            unique_cols: 40,
+            nnz: 60,
+        };
+        let wide = BucketSketch {
+            width: 8,
+            i1: 10,
+            i2: 10,
+            unique_cols: 40,
+            nnz: 60,
+        };
+        // First terms equal (2*20*4 == 2*10*8); third term differs.
+        let j = 128;
+        assert!(bucket_cost(&wide, j) < bucket_cost(&narrow, j));
+    }
+
+    #[test]
+    fn partition_cost_sums() {
+        let s = BucketSketch {
+            width: 2,
+            i1: 5,
+            i2: 5,
+            unique_cols: 7,
+            nnz: 8,
+        };
+        assert_eq!(
+            partition_cost(&[s, s], 16),
+            2.0 * bucket_cost(&s, 16)
+        );
+        assert_eq!(partition_cost(&[], 16), 0.0);
+    }
+
+    #[test]
+    fn sketch_extraction() {
+        let coo = CooMatrix::from_triplets(
+            4,
+            8,
+            vec![
+                (0, 1, 1.0),
+                (0, 6, 1.0),
+                (1, 2, 1.0),
+                (3, 0, 1.0),
+                (3, 3, 1.0),
+                (3, 7, 1.0),
+            ],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let left = PartitionSketch::from_csr(&csr, 0, 4);
+        assert_eq!(left.rows.len(), 3); // rows 0, 1, 3 have entries < col 4
+        assert_eq!(left.nnz(), 4);
+        assert_eq!(left.max_row_len(), 2);
+        let right = PartitionSketch::from_csr(&csr, 4, 8);
+        assert_eq!(right.nnz(), 2);
+    }
+
+    #[test]
+    fn spans_match_cell_builder() {
+        assert_eq!(
+            PartitionSketch::spans(10, 3),
+            vec![(0, 3), (3, 6), (6, 10)]
+        );
+        assert_eq!(PartitionSketch::spans(8, 1), vec![(0, 8)]);
+        assert_eq!(PartitionSketch::spans(8, 0), vec![(0, 8)]);
+    }
+}

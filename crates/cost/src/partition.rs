@@ -1,0 +1,109 @@
+//! Ground-truth partition tuning: sweep candidate partition counts on the
+//! simulator, with Algorithm-3 widths per partition, and keep the argmin.
+//! This is how LiteForm's training harness labels matrices for the
+//! partition predictor (§5.2) — the expensive step the trained model
+//! replaces at runtime.
+
+use crate::search::optimal_widths_for_matrix;
+use lf_cell::{build_cell, CellConfig};
+use lf_kernels::{CellKernel, SpmmKernel};
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::DeviceModel;
+use lf_sparse::CsrMatrix;
+
+/// Candidate partition counts swept by the tuner (and predicted by the
+/// classifier): powers of two up to 32.
+pub const PARTITION_CANDIDATES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Result of a ground-truth partition sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSweep {
+    /// Winning partition count.
+    pub best_p: usize,
+    /// Simulated kernel time at the winner (ms).
+    pub best_time_ms: f64,
+    /// `(candidate, simulated ms)` for every candidate evaluated.
+    pub evaluated: Vec<(usize, f64)>,
+}
+
+/// Sweep `PARTITION_CANDIDATES`, composing each candidate with
+/// Algorithm-3 bucket widths, and return the fastest on the simulator.
+///
+/// Candidates exceeding the column count are skipped.
+pub fn optimal_partitions<T: AtomicScalar>(
+    csr: &CsrMatrix<T>,
+    j: usize,
+    device: &DeviceModel,
+) -> PartitionSweep {
+    let mut evaluated = Vec::new();
+    let mut best = (1usize, f64::INFINITY);
+    for &p in &PARTITION_CANDIDATES {
+        if p > csr.cols().max(1) {
+            continue;
+        }
+        let widths = optimal_widths_for_matrix(csr, p, j);
+        let config = CellConfig {
+            num_partitions: p,
+            max_widths: Some(widths),
+            block_nnz_multiple: 4,
+            uniform_block_nnz: true,
+        };
+        let Ok(cell) = build_cell(csr, &config) else {
+            continue;
+        };
+        let time = CellKernel::new(cell).profile(j, device).time_ms;
+        evaluated.push((p, time));
+        if time < best.1 {
+            best = (p, time);
+        }
+    }
+    PartitionSweep {
+        best_p: best.0,
+        best_time_ms: best.1,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::gen::{mixed_regions, uniform_random};
+    use lf_sparse::Pcg32;
+
+    #[test]
+    fn sweep_covers_candidates() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&uniform_random(256, 256, 4000, &mut rng));
+        let sweep = optimal_partitions(&csr, 64, &DeviceModel::v100());
+        assert_eq!(sweep.evaluated.len(), PARTITION_CANDIDATES.len());
+        assert!(PARTITION_CANDIDATES.contains(&sweep.best_p));
+        assert!(sweep.best_time_ms.is_finite());
+        // best is the minimum of evaluated.
+        let min = sweep
+            .evaluated
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(sweep.best_time_ms, min);
+    }
+
+    #[test]
+    fn narrow_matrix_skips_excess_candidates() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&uniform_random(64, 8, 100, &mut rng));
+        let sweep = optimal_partitions(&csr, 32, &DeviceModel::v100());
+        assert!(sweep.evaluated.iter().all(|&(p, _)| p <= 8));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&mixed_regions(512, 512, 20_000, 4, &mut rng));
+        let d = DeviceModel::v100();
+        let a = optimal_partitions(&csr, 128, &d);
+        let b = optimal_partitions(&csr, 128, &d);
+        assert_eq!(a, b);
+    }
+}

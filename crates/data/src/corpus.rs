@@ -1,0 +1,216 @@
+//! SuiteSparse-like corpus generator.
+//!
+//! The paper's wide experiments use 1,351 SuiteSparse matrices with at
+//! least 2,000 rows, spanning densities 8.7e-7 – 0.1 (Table 4's last
+//! row). This module generates a seeded, stratified stand-in: matrices
+//! are drawn across six pattern families × log-uniform sizes ×
+//! log-uniform densities clamped to the published ranges.
+
+use lf_sparse::gen::{power_law, PatternFamily, PowerLawConfig};
+use lf_sparse::{CsrMatrix, Pcg32, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a corpus draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// How many matrices.
+    pub n_matrices: usize,
+    /// Minimum rows (the paper filters SuiteSparse at ≥ 2,000).
+    pub min_rows: usize,
+    /// Maximum rows (paper max is 3.8M; default far smaller for runtime).
+    pub max_rows: usize,
+    /// Density bounds (paper: 8.7e-7 – 0.1).
+    pub min_density: f64,
+    /// Upper density bound.
+    pub max_density: f64,
+    /// Cap on nnz per matrix so one giant draw can't dominate runtime.
+    pub max_nnz: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            n_matrices: 160,
+            min_rows: 2_000,
+            max_rows: 60_000,
+            min_density: 8.7e-7,
+            max_density: 0.1,
+            max_nnz: 1_500_000,
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+/// One generated corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusMatrix<T> {
+    /// Stable identifier (`family-index`).
+    pub id: String,
+    /// Pattern family it was drawn from.
+    pub family: PatternFamily,
+    /// The matrix.
+    pub csr: CsrMatrix<T>,
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus<T> {
+    /// The matrices in draw order.
+    pub matrices: Vec<CorpusMatrix<T>>,
+    /// The spec they were drawn from.
+    pub spec: CorpusSpec,
+}
+
+impl<T: Scalar> Corpus<T> {
+    /// Generate the corpus (deterministic in `spec.seed`).
+    pub fn generate(spec: CorpusSpec) -> Self {
+        let mut rng = Pcg32::seed_from_u64(spec.seed);
+        let mut matrices = Vec::with_capacity(spec.n_matrices);
+        let families = PatternFamily::ALL;
+        for i in 0..spec.n_matrices {
+            let family = families[i % families.len()];
+            // Log-uniform rows in [min_rows, max_rows].
+            let lr = rng.f64_in((spec.min_rows as f64).ln(), (spec.max_rows as f64).ln());
+            let rows = lr.exp().round() as usize;
+            // Square-ish with occasional rectangular shapes.
+            let cols = if rng.bernoulli(0.75) {
+                rows
+            } else {
+                (rows as f64 * rng.f64_in(0.3, 3.0)).round().max(64.0) as usize
+            };
+            // Log-uniform density, clamped so nnz lands in a sane window.
+            let ld = rng.f64_in(spec.min_density.ln(), spec.max_density.ln());
+            let density = ld.exp();
+            let total = rows as f64 * cols as f64;
+            let nnz = ((density * total).round() as usize)
+                .clamp(rows.min(512), spec.max_nnz);
+            let csr = CsrMatrix::from_coo(&family.generate(rows, cols, nnz, &mut rng));
+            matrices.push(CorpusMatrix {
+                id: format!("{}-{i:04}", family.name()),
+                family,
+                csr,
+            });
+        }
+        Corpus { matrices, spec }
+    }
+
+    /// Number of matrices.
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Append `n` citation-graph-profile matrices (small power-law
+    /// graphs with realistic hub caps and mean degrees 2–10) — the
+    /// "diverse application domains" the paper's training set draws from
+    /// (§5.1). Ids continue the corpus numbering.
+    pub fn extend_citation_like(&mut self, n: usize, seed: u64) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let base = self.matrices.len();
+        for i in 0..n {
+            let rows = (rng.f64_in((2_000f64).ln(), (40_000f64).ln())).exp() as usize;
+            let mean_deg = rng.f64_in(2.0, 10.0);
+            let target_nnz = (rows as f64 * mean_deg) as usize;
+            let coo = power_law(
+                &PowerLawConfig {
+                    rows,
+                    cols: rows,
+                    target_nnz,
+                    exponent: rng.f64_in(1.4, 2.0),
+                    max_degree: Some(((rows as f64).sqrt() * rng.f64_in(1.0, 4.0)) as usize),
+                },
+                &mut rng,
+            );
+            self.matrices.push(CorpusMatrix {
+                id: format!("citation-{:04}", base + i),
+                family: PatternFamily::PowerLaw,
+                csr: CsrMatrix::from_coo(&coo),
+            });
+        }
+    }
+
+    /// `true` when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(n: usize) -> CorpusSpec {
+        CorpusSpec {
+            n_matrices: n,
+            min_rows: 200,
+            max_rows: 2_000,
+            max_nnz: 50_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let c: Corpus<f32> = Corpus::generate(small_spec(12));
+        assert_eq!(c.len(), 12);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn covers_all_families() {
+        let c: Corpus<f32> = Corpus::generate(small_spec(12));
+        let fams: std::collections::HashSet<&str> =
+            c.matrices.iter().map(|m| m.family.name()).collect();
+        assert_eq!(fams.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Corpus<f64> = Corpus::generate(small_spec(6));
+        let b: Corpus<f64> = Corpus::generate(small_spec(6));
+        for (ma, mb) in a.matrices.iter().zip(&b.matrices) {
+            assert_eq!(ma.csr, mb.csr);
+            assert_eq!(ma.id, mb.id);
+        }
+    }
+
+    #[test]
+    fn sizes_and_density_in_range() {
+        let spec = small_spec(24);
+        let c: Corpus<f32> = Corpus::generate(spec);
+        for m in &c.matrices {
+            assert!(m.csr.rows() >= spec.min_rows);
+            assert!(m.csr.rows() <= spec.max_rows);
+            assert!(m.csr.nnz() <= spec.max_nnz);
+            assert!(m.csr.nnz() > 0, "{} empty", m.id);
+        }
+        // Densities should span at least two orders of magnitude.
+        let dens: Vec<f64> = c.matrices.iter().map(|m| m.csr.density()).collect();
+        let max = dens.iter().copied().fold(0.0f64, f64::max);
+        let min = dens.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 100.0, "density span too narrow: {min}..{max}");
+    }
+
+    #[test]
+    fn citation_extension_appends_graph_profiles() {
+        let mut c: Corpus<f32> = Corpus::generate(small_spec(6));
+        c.extend_citation_like(5, 9);
+        assert_eq!(c.len(), 11);
+        let last = &c.matrices[10];
+        assert!(last.id.starts_with("citation-"));
+        assert!(last.csr.rows() >= 2_000);
+        // Degree skew present but hubs capped far below the row count.
+        let lens = last.csr.row_lengths();
+        let max = *lens.iter().max().unwrap();
+        assert!(max < last.csr.rows() / 4);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c: Corpus<f32> = Corpus::generate(small_spec(18));
+        let ids: std::collections::HashSet<&String> =
+            c.matrices.iter().map(|m| &m.id).collect();
+        assert_eq!(ids.len(), 18);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic analogues of the paper's GNN benchmark graphs (Table 4).
+//!
+//! | graph | nodes | edges | density |
+//! |---|---|---|---|
+//! | cora | 2,708 | 10,556 | 1.44e-3 |
+//! | citeseer | 3,327 | 9,228 | 8.34e-4 |
+//! | pubmed | 19,717 | 88,651 | 2.28e-4 |
+//! | ppi | 44,906 | 1,271,274 | 6.30e-4 |
+//! | arxiv | 169,343 | 1,166,243 | 4.07e-5 |
+//! | proteins | 132,534 | 39,561,252 | 2.25e-3 |
+//! | reddit | 232,965 | 114,615,892 | 2.11e-3 |
+//!
+//! The generators reproduce node count, edge count and degree-skew
+//! *family* (power-law for citation graphs, R-MAT community structure for
+//! interaction/social graphs). At [`Scale::Small`] the two giant graphs
+//! are shrunk with **density preserved** (`nodes × s`, `edges × s²`), so
+//! per-row structure — what the kernels and the format composer react to —
+//! stays representative.
+
+use lf_sparse::gen::{power_law, rmat, PowerLawConfig, RmatConfig};
+use lf_sparse::{CsrMatrix, Pcg32, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// Generator family for a graph analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphFamily {
+    /// Citation-style power law.
+    PowerLaw,
+    /// Community-structured R-MAT.
+    Rmat,
+}
+
+/// One Table 4 dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Dataset name as in the paper.
+    pub name: &'static str,
+    /// Published node count.
+    pub nodes: usize,
+    /// Published edge count.
+    pub edges: usize,
+    /// Generator family.
+    pub family: GraphFamily,
+    /// Degree-skew exponent for the power-law family.
+    pub exponent: f64,
+    /// Realistic maximum degree of the real dataset (hub cap for the
+    /// generator; 0 = uncapped).
+    pub max_degree: usize,
+}
+
+/// The seven GNN graphs of Table 4.
+pub const GNN_GRAPHS: [GraphSpec; 7] = [
+    GraphSpec {
+        name: "cora",
+        nodes: 2_708,
+        edges: 10_556,
+        family: GraphFamily::PowerLaw,
+        exponent: 1.6,
+        max_degree: 168,
+    },
+    GraphSpec {
+        name: "citeseer",
+        nodes: 3_327,
+        edges: 9_228,
+        family: GraphFamily::PowerLaw,
+        exponent: 1.5,
+        max_degree: 99,
+    },
+    GraphSpec {
+        name: "pubmed",
+        nodes: 19_717,
+        edges: 88_651,
+        family: GraphFamily::PowerLaw,
+        exponent: 1.7,
+        max_degree: 171,
+    },
+    GraphSpec {
+        name: "ppi",
+        nodes: 44_906,
+        edges: 1_271_274,
+        family: GraphFamily::Rmat,
+        exponent: 0.0,
+        max_degree: 0,
+    },
+    GraphSpec {
+        name: "arxiv",
+        nodes: 169_343,
+        edges: 1_166_243,
+        family: GraphFamily::PowerLaw,
+        exponent: 1.8,
+        max_degree: 13161,
+    },
+    GraphSpec {
+        name: "proteins",
+        nodes: 132_534,
+        edges: 39_561_252,
+        family: GraphFamily::Rmat,
+        exponent: 0.0,
+        max_degree: 0,
+    },
+    GraphSpec {
+        name: "reddit",
+        nodes: 232_965,
+        edges: 114_615_892,
+        family: GraphFamily::Rmat,
+        exponent: 0.0,
+        max_degree: 0,
+    },
+];
+
+/// How large to materialize the analogues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Cap every graph at ~1.5M edges, shrinking `nodes` with density
+    /// preserved. Keeps the full Figure 6 sweep in CI time.
+    Small,
+    /// The published sizes (minutes of generation for `reddit`).
+    Paper,
+}
+
+impl GraphSpec {
+    /// Published density `edges / nodes²`.
+    pub fn density(&self) -> f64 {
+        self.edges as f64 / (self.nodes as f64 * self.nodes as f64)
+    }
+
+    /// Effective `(nodes, edges)` at a scale: density-preserving shrink.
+    pub fn scaled_size(&self, scale: Scale) -> (usize, usize) {
+        const EDGE_CAP: usize = 1_500_000;
+        match scale {
+            Scale::Paper => (self.nodes, self.edges),
+            Scale::Small => {
+                if self.edges <= EDGE_CAP {
+                    (self.nodes, self.edges)
+                } else {
+                    let s = (EDGE_CAP as f64 / self.edges as f64).sqrt();
+                    let nodes = ((self.nodes as f64) * s).round() as usize;
+                    let edges = (self.density() * nodes as f64 * nodes as f64).round() as usize;
+                    (nodes, edges)
+                }
+            }
+        }
+    }
+
+    /// Materialize the adjacency matrix (square, values in `[-1,1)\{0}`).
+    pub fn build<T: Scalar>(&self, scale: Scale) -> CsrMatrix<T> {
+        let (nodes, edges) = self.scaled_size(scale);
+        // Seed tied to the dataset name so every run sees the same graph.
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            });
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let coo = match self.family {
+            GraphFamily::PowerLaw => power_law(
+                &PowerLawConfig {
+                    rows: nodes,
+                    cols: nodes,
+                    target_nnz: edges,
+                    exponent: self.exponent,
+                    // Scale the real dataset's hub cap with the node
+                    // shrink so degree structure stays representative.
+                    max_degree: if self.max_degree == 0 {
+                        None
+                    } else {
+                        let s = nodes as f64 / self.nodes as f64;
+                        Some(((self.max_degree as f64 * s).ceil() as usize).max(8))
+                    },
+                },
+                &mut rng,
+            ),
+            GraphFamily::Rmat => rmat(
+                &RmatConfig {
+                    rows: nodes,
+                    cols: nodes,
+                    target_nnz: edges,
+                    a: 0.57,
+                    b: 0.19,
+                    c: 0.19,
+                },
+                &mut rng,
+            ),
+        };
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Look a spec up by name.
+    pub fn by_name(name: &str) -> Option<&'static GraphSpec> {
+        GNN_GRAPHS.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table4() {
+        assert_eq!(GNN_GRAPHS.len(), 7);
+        let cora = GraphSpec::by_name("cora").unwrap();
+        assert_eq!(cora.nodes, 2708);
+        assert_eq!(cora.edges, 10_556);
+        assert!((cora.density() - 1.44e-3).abs() < 5e-5);
+        let reddit = GraphSpec::by_name("reddit").unwrap();
+        assert!((reddit.density() - 2.11e-3).abs() < 5e-5);
+        assert!(GraphSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn small_scale_preserves_density() {
+        let reddit = GraphSpec::by_name("reddit").unwrap();
+        let (n, e) = reddit.scaled_size(Scale::Small);
+        assert!(e <= 1_600_000);
+        let scaled_density = e as f64 / (n as f64 * n as f64);
+        let rel = (scaled_density - reddit.density()).abs() / reddit.density();
+        assert!(rel < 0.05, "density drifted {rel}");
+        // Small graphs are untouched.
+        let cora = GraphSpec::by_name("cora").unwrap();
+        assert_eq!(cora.scaled_size(Scale::Small), (2708, 10_556));
+    }
+
+    #[test]
+    fn build_matches_spec_within_tolerance() {
+        for name in ["cora", "citeseer", "pubmed"] {
+            let spec = GraphSpec::by_name(name).unwrap();
+            let m: CsrMatrix<f32> = spec.build(Scale::Small);
+            assert_eq!(m.rows(), spec.nodes);
+            let rel = (m.nnz() as f64 - spec.edges as f64).abs() / spec.edges as f64;
+            assert!(rel < 0.2, "{name}: nnz {} vs {} ({rel})", m.nnz(), spec.edges);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = GraphSpec::by_name("cora").unwrap();
+        let a: CsrMatrix<f64> = spec.build(Scale::Small);
+        let b: CsrMatrix<f64> = spec.build(Scale::Small);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn citation_graphs_have_hub_rows() {
+        let spec = GraphSpec::by_name("pubmed").unwrap();
+        let m: CsrMatrix<f32> = spec.build(Scale::Small);
+        let lens = m.row_lengths();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let max = *lens.iter().max().unwrap() as f64;
+        assert!(max > 8.0 * mean, "expected hubs: max {max} mean {mean}");
+    }
+}

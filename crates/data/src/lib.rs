@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # lf-data
+//!
+//! Workload datasets for the reproduction:
+//!
+//! * [`graphs`] — deterministic synthetic analogues of the seven GNN
+//!   graphs in the paper's Table 4 (`cora` … `reddit`), matching the
+//!   published node counts, edge counts and densities, with an optional
+//!   down-scale for the two giant graphs;
+//! * [`corpus`] — a seeded SuiteSparse-like corpus spanning the published
+//!   size and density ranges across six sparsity-pattern families, used
+//!   for Figures 7/9/10 and Tables 5/6.
+//!
+//! Real datasets can be substituted at any time: every harness accepts
+//! Matrix Market files through `lf_sparse::io`.
+
+pub mod corpus;
+pub mod graphs;
+
+pub use corpus::{Corpus, CorpusMatrix, CorpusSpec};
+pub use graphs::{GraphSpec, Scale, GNN_GRAPHS};

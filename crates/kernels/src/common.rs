@@ -1,0 +1,99 @@
+//! Shared traffic-model helpers used by every kernel's analytic path.
+
+use lf_sim::coalesce::segment_transactions;
+use lf_sim::DeviceModel;
+
+/// Transactions for one warp-coalesced access to a `j`-column row of the
+/// dense operand (`B` or `C`), elements of `elem_bytes`.
+pub fn b_row_tx(j: usize, elem_bytes: usize, device: &DeviceModel) -> u64 {
+    segment_transactions(j, elem_bytes, device.transaction_bytes)
+}
+
+/// Split a block's dense-operand (`B`) read traffic into DRAM and L2
+/// transactions.
+///
+/// * `unique_accesses` — transactions for the block's *first* touch of
+///   each distinct B row (intra-block reuse already removed);
+/// * `repeat_accesses` — transactions for repeated touches within the
+///   block (guaranteed cache hits: they were just fetched);
+/// * `working_set_bytes` — the B working set this kernel's blocks share
+///   (for a column-partitioned format, only the partition's span), which
+///   sets the probability that a "first touch" is actually resident in L2
+///   because another block fetched it.
+pub fn split_b_traffic(
+    unique_accesses: u64,
+    repeat_accesses: u64,
+    working_set_bytes: usize,
+    device: &DeviceModel,
+) -> (u64, u64) {
+    let hit = device.l2_hit_fraction(working_set_bytes);
+    let dram = (unique_accesses as f64 * (1.0 - hit)).round() as u64;
+    let l2 = unique_accesses - dram + repeat_accesses;
+    (dram, l2)
+}
+
+/// Count distinct values in a short slice (sorts a scratch copy).
+pub fn count_unique(ids: &[u32]) -> usize {
+    let mut v = ids.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// Flops for multiplying `nnz` non-zeros against `j` dense columns
+/// (one FMA = 2 flops per element per column).
+pub fn spmm_flops(nnz: usize, j: usize) -> u64 {
+    2 * nnz as u64 * j as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_row_tx_scales_with_j() {
+        let d = DeviceModel::v100();
+        assert_eq!(b_row_tx(8, 4, &d), 1);
+        assert_eq!(b_row_tx(32, 4, &d), 4);
+        assert_eq!(b_row_tx(512, 4, &d), 64);
+        assert_eq!(b_row_tx(32, 8, &d), 8);
+    }
+
+    #[test]
+    fn split_all_dram_when_working_set_huge() {
+        let d = DeviceModel::v100();
+        let (dram, l2) = split_b_traffic(1000, 500, usize::MAX, &d);
+        assert!(dram >= 995, "dram {dram}");
+        assert_eq!(dram + l2, 1500);
+    }
+
+    #[test]
+    fn split_all_l2_when_working_set_fits() {
+        let d = DeviceModel::v100();
+        let (dram, l2) = split_b_traffic(1000, 500, 1024, &d);
+        assert_eq!(dram, 0);
+        assert_eq!(l2, 1500);
+    }
+
+    #[test]
+    fn split_partial() {
+        let d = DeviceModel::v100();
+        // Working set 2× L2 → 50% hit.
+        let (dram, l2) = split_b_traffic(1000, 0, d.l2_bytes * 2, &d);
+        assert_eq!(dram, 500);
+        assert_eq!(l2, 500);
+    }
+
+    #[test]
+    fn unique_counting() {
+        assert_eq!(count_unique(&[3, 1, 3, 2, 1]), 3);
+        assert_eq!(count_unique(&[]), 0);
+        assert_eq!(count_unique(&[7]), 1);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(spmm_flops(10, 32), 640);
+        assert_eq!(spmm_flops(0, 512), 0);
+    }
+}

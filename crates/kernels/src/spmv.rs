@@ -1,0 +1,105 @@
+//! SpMV (`y = A·x`) on top of the SpMM kernels — the paper's conclusion
+//! sketches extending LiteForm "to various sparse computational kernels";
+//! SpMV is the J=1 corner of SpMM, so every format, kernel mapping and
+//! the whole composition pipeline apply unchanged. These wrappers give
+//! SpMV a first-class vector API and encode the J=1 performance caveat:
+//! with a single dense column there are no j-tiles to parallelize over,
+//! so grids are smaller and the composition trade-offs shift (the
+//! partition predictor sees `j_product = 1`).
+
+use crate::SpmmKernel;
+use lf_sim::atomicf::AtomicScalar;
+use lf_sim::{DeviceModel, KernelProfile};
+use lf_sparse::{DenseMatrix, Result, SparseError};
+
+/// Multiply a kernel's sparse operand by a dense vector: `y = A · x`.
+pub fn spmv<T: AtomicScalar>(kernel: &dyn SpmmKernel<T>, x: &[T]) -> Result<Vec<T>> {
+    let (_, cols) = kernel.shape();
+    if x.len() != cols {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv",
+            lhs: kernel.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let b = DenseMatrix::from_vec(cols, 1, x.to_vec())?;
+    let c = kernel.run(&b)?;
+    Ok(c.as_slice().to_vec())
+}
+
+/// Simulated performance of the kernel run as SpMV (J = 1).
+pub fn spmv_profile<T: AtomicScalar>(
+    kernel: &dyn SpmmKernel<T>,
+    device: &DeviceModel,
+) -> KernelProfile {
+    kernel.profile(1, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKernel, CsrVectorKernel};
+    use lf_cell::{build_cell, CellConfig};
+    use lf_sparse::gen::uniform_random;
+    use lf_sparse::{CsrMatrix, Pcg32};
+
+    fn workload() -> CsrMatrix<f64> {
+        let mut rng = Pcg32::seed_from_u64(0x5b);
+        CsrMatrix::from_coo(&uniform_random(300, 250, 4000, &mut rng))
+    }
+
+    fn reference(csr: &CsrMatrix<f64>, x: &[f64]) -> Vec<f64> {
+        (0..csr.rows())
+            .map(|i| {
+                csr.row_cols(i)
+                    .iter()
+                    .zip(csr.row_values(i))
+                    .map(|(&k, &a)| a * x[k as usize])
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_spmv_matches_reference() {
+        let csr = workload();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let x: Vec<f64> = (0..csr.cols()).map(|_| rng.f64_in(-1.0, 1.0)).collect();
+        let want = reference(&csr, &x);
+        let y = spmv(&CsrVectorKernel::new(csr.clone()), &x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn composed_cell_spmv_matches_reference() {
+        let csr = workload();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let x: Vec<f64> = (0..csr.cols()).map(|_| rng.f64_in(-1.0, 1.0)).collect();
+        let want = reference(&csr, &x);
+        let cfg = CellConfig::with_partitions(3).with_max_widths(vec![8]);
+        let kernel = CellKernel::new(build_cell(&csr, &cfg).unwrap());
+        let y = spmv(&kernel, &x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let csr = workload();
+        let kernel = CsrVectorKernel::new(csr);
+        assert!(spmv(&kernel, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_profile_is_cheaper_than_wide_spmm() {
+        let d = DeviceModel::v100();
+        let kernel = CsrVectorKernel::new(workload());
+        let v = spmv_profile(&kernel, &d);
+        let wide = kernel.profile(256, &d);
+        assert!(v.time_ms < wide.time_ms);
+        assert!(v.flops < wide.flops);
+    }
+}

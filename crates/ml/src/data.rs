@@ -1,0 +1,224 @@
+//! Datasets, train/test splitting and feature standardization.
+
+use lf_sparse::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// A labelled tabular dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows (all the same length).
+    pub x: Vec<Vec<f64>>,
+    /// Labels in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of distinct classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Build from rows and labels; infers `n_classes` as `max(y) + 1`.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "rows and labels must align");
+        let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+        Dataset { x, y, n_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features per sample (0 for empty sets).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Stratified shuffled split: `train_fraction` of each class goes to
+    /// the training set, the rest to test. Deterministic in `seed`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> TrainTestSplit {
+        self.split_with_indices(train_fraction, seed).0
+    }
+
+    /// Like [`Dataset::split`], but also returns the original indices of
+    /// the train and test samples (needed when side information — e.g.
+    /// which matrix a sample came from — must follow the split).
+    pub fn split_with_indices(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> (TrainTestSplit, Vec<usize>, Vec<usize>) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes.max(1)];
+        for (i, &label) in self.y.iter().enumerate() {
+            by_class[label].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class_rows in &mut by_class {
+            rng.shuffle(class_rows);
+            let cut = ((class_rows.len() as f64) * train_fraction).round() as usize;
+            train_idx.extend_from_slice(&class_rows[..cut.min(class_rows.len())]);
+            test_idx.extend_from_slice(&class_rows[cut.min(class_rows.len())..]);
+        }
+        rng.shuffle(&mut train_idx);
+        rng.shuffle(&mut test_idx);
+        let take = |idx: &[usize]| Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        (
+            TrainTestSplit {
+                train: take(&train_idx),
+                test: take(&test_idx),
+            },
+            train_idx,
+            test_idx,
+        )
+    }
+
+    /// First `n` samples (for learning-curve sweeps; assumes the dataset
+    /// is already shuffled, as `split` outputs are).
+    pub fn head(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            x: self.x[..n].to_vec(),
+            y: self.y[..n].to_vec(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+/// A train/test split.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training subset.
+    pub train: Dataset,
+    /// Held-out subset.
+    pub test: Dataset,
+}
+
+/// Per-feature standardization (zero mean, unit variance), fitted on the
+/// training set and applied to both sets — required by the distance- and
+/// margin-based models (KNN, SVMs, MLP, GP).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit on rows.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        let d = x.first().map_or(0, Vec::len);
+        let n = x.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for row in x {
+            for k in 0..d {
+                let dlt = row[k] - mean[k];
+                std[k] += dlt * dlt;
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centred but unscaled
+            }
+        }
+        Scaler { mean, std }
+    }
+
+    /// Transform one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(k, &v)| (v - self.mean[k]) / self.std[k])
+            .collect()
+    }
+
+    /// Transform a batch.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn infers_classes() {
+        let d = toy();
+        assert_eq!(d.n_classes, 4);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.n_features(), 2);
+    }
+
+    #[test]
+    fn split_is_stratified_and_complete() {
+        let d = toy();
+        let s = d.split(0.8, 42);
+        assert_eq!(s.train.len() + s.test.len(), 100);
+        assert_eq!(s.train.len(), 80);
+        // Each class contributes proportionally.
+        for class in 0..4 {
+            let tr = s.train.y.iter().filter(|&&y| y == class).count();
+            assert_eq!(tr, 20, "class {class} not stratified");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let a = d.split(0.7, 9);
+        let b = d.split(0.7, 9);
+        assert_eq!(a.train.y, b.train.y);
+        let c = d.split(0.7, 10);
+        assert_ne!(a.train.y, c.train.y);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let d = toy();
+        assert_eq!(d.head(10).len(), 10);
+        assert_eq!(d.head(1000).len(), 100);
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 3.0 + 5.0, 7.0]).collect();
+        let s = Scaler::fit(&x);
+        let t = s.transform(&x);
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 50.0;
+        let var0: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 50.0;
+        assert!(mean0.abs() < 1e-9);
+        assert!((var0 - 1.0).abs() < 1e-9);
+        // Constant feature stays finite.
+        assert!(t.iter().all(|r| r[1].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+}

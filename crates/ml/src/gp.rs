@@ -1,0 +1,132 @@
+//! Gaussian Process classifier: RBF-kernel ridge regression on one-hot
+//! targets with an exact O(n³) Cholesky solve — deliberately the same
+//! asymptotics that make `GaussianProcessClassifier` the slowest row of
+//! the paper's Tables 5–6 by several orders of magnitude.
+
+use crate::data::Scaler;
+use crate::linalg::{cholesky, cholesky_solve};
+use crate::Classifier;
+
+/// Exact GP classifier (kernel ridge on one-hot labels).
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    gamma: f64,
+    noise: f64,
+    x_train: Vec<Vec<f64>>,
+    /// `alpha[c]` solves `(K + noise·I) alpha = onehot_c`.
+    alpha: Vec<Vec<f64>>,
+    scaler: Option<Scaler>,
+}
+
+impl GaussianProcess {
+    /// RBF kernel width `gamma`, jitter `noise`.
+    pub fn new(gamma: f64, noise: f64) -> Self {
+        GaussianProcess {
+            gamma,
+            noise: noise.max(1e-9),
+            x_train: Vec::new(),
+            alpha: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+}
+
+impl Classifier for GaussianProcess {
+    fn name(&self) -> &'static str {
+        "Gaussian Process"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let scaler = Scaler::fit(x);
+        let xs = scaler.transform(x);
+        self.scaler = Some(scaler);
+        let n = xs.len();
+        // Gram matrix with jitter.
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel(&xs[i], &xs[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += self.noise;
+        }
+        let l = cholesky(&k).expect("kernel matrix with jitter is SPD");
+        self.alpha = (0..n_classes)
+            .map(|c| {
+                let onehot: Vec<f64> = y
+                    .iter()
+                    .map(|&yi| if yi == c { 1.0 } else { 0.0 })
+                    .collect();
+                cholesky_solve(&l, &onehot)
+            })
+            .collect();
+        self.x_train = xs;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.x_train.is_empty(), "fit before predict");
+        let q = self
+            .scaler
+            .as_ref()
+            .expect("fitted scaler")
+            .transform_row(x);
+        let kx: Vec<f64> = self.x_train.iter().map(|xi| self.kernel(xi, &q)).collect();
+        (0..self.alpha.len())
+            .max_by(|&a, &b| {
+                let sa: f64 = kx.iter().zip(&self.alpha[a]).map(|(k, al)| k * al).sum();
+                let sb: f64 = kx.iter().zip(&self.alpha[b]).map(|(k, al)| k * al).sum();
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lf_sparse::Pcg32;
+
+    #[test]
+    fn nonlinear_boundary() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let label = i % 2;
+            let r = if label == 0 { 1.0 } else { 2.5 };
+            let t = rng.f64_in(0.0, 2.0 * std::f64::consts::PI);
+            x.push(vec![r * t.cos() + rng.normal() * 0.1, r * t.sin() + rng.normal() * 0.1]);
+            y.push(label);
+        }
+        let mut gp = GaussianProcess::new(1.0, 1e-3);
+        gp.fit(&x, &y, 2);
+        assert!(accuracy(&y, &gp.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut gp = GaussianProcess::new(2.0, 1e-6);
+        gp.fit(&x, &y, 2);
+        assert_eq!(gp.predict(&x), y);
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        // Identical rows make the Gram matrix singular without jitter.
+        let x = vec![vec![1.0], vec![1.0], vec![5.0], vec![5.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut gp = GaussianProcess::new(1.0, 1e-3);
+        gp.fit(&x, &y, 2);
+        assert_eq!(gp.predict_one(&[1.1]), 0);
+        assert_eq!(gp.predict_one(&[4.9]), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Permutation feature importance: how much does accuracy drop when one
+//! feature's column is shuffled? Model-agnostic, works for any
+//! [`Classifier`]; used to examine which of the paper's Table 2/3
+//! features actually drive the two predictors.
+
+use crate::metrics::accuracy;
+use crate::Classifier;
+use lf_sparse::Pcg32;
+
+/// Permutation importance of every feature: `importance[k]` is the mean
+/// accuracy drop over `repeats` shuffles of feature `k` on `(x, y)`.
+/// Higher = the model leans on that feature more. Can be slightly
+/// negative for irrelevant features (shuffle noise).
+pub fn permutation_importance(
+    model: &dyn Classifier,
+    x: &[Vec<f64>],
+    y: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(!x.is_empty(), "need evaluation data");
+    let d = x[0].len();
+    let base = accuracy(y, &model.predict(x));
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut importance = vec![0.0; d];
+    for (k, imp) in importance.iter_mut().enumerate() {
+        let mut drop_sum = 0.0;
+        for _ in 0..repeats.max(1) {
+            // Shuffle column k.
+            let mut perm: Vec<usize> = (0..x.len()).collect();
+            rng.shuffle(&mut perm);
+            let shuffled: Vec<Vec<f64>> = x
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut r = row.clone();
+                    r[k] = x[perm[i]][k];
+                    r
+                })
+                .collect();
+            drop_sum += base - accuracy(y, &model.predict(&shuffled));
+        }
+        *imp = drop_sum / repeats.max(1) as f64;
+    }
+    importance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForest;
+
+    #[test]
+    fn informative_feature_scores_highest() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let label = i % 2;
+            let signal = if label == 0 { -2.0 } else { 2.0 };
+            // Feature 0 carries the label; features 1-2 are noise.
+            x.push(vec![signal + rng.normal() * 0.3, rng.normal(), rng.normal()]);
+            y.push(label);
+        }
+        let mut rf = RandomForest::new(30, 8, 2);
+        rf.fit(&x, &y, 2);
+        let imp = permutation_importance(&rf, &x, &y, 3, 5);
+        assert!(
+            imp[0] > imp[1] + 0.1 && imp[0] > imp[2] + 0.1,
+            "feature 0 should dominate: {imp:?}"
+        );
+        assert!(imp[0] > 0.2, "shuffling the signal must hurt: {imp:?}");
+    }
+
+    #[test]
+    fn constant_model_has_zero_importance() {
+        // A model fit on one class never changes its answer.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![0usize; 50];
+        let mut rf = RandomForest::new(5, 3, 1);
+        rf.fit(&x, &y, 1);
+        let imp = permutation_importance(&rf, &x, &y, 2, 3);
+        assert!(imp.iter().all(|&v| v.abs() < 1e-12));
+    }
+}

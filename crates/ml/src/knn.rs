@@ -1,0 +1,136 @@
+//! K-nearest-neighbours classifier (euclidean distance, majority vote).
+//! Training is trivially fast and inference is O(n·d) — exactly the
+//! overhead profile the paper's Table 5 shows for KNeighbors.
+
+use crate::data::Scaler;
+use crate::Classifier;
+
+/// KNN with internal standardization.
+#[derive(Debug, Clone)]
+pub struct KNeighbors {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+    scaler: Option<Scaler>,
+}
+
+impl KNeighbors {
+    /// KNN with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        KNeighbors {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+            scaler: None,
+        }
+    }
+}
+
+impl Classifier for KNeighbors {
+    fn name(&self) -> &'static str {
+        "KNeighbors"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let scaler = Scaler::fit(x);
+        self.x = scaler.transform(x);
+        self.scaler = Some(scaler);
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "fit before predict");
+        let q = self
+            .scaler
+            .as_ref()
+            .expect("fitted scaler")
+            .transform_row(x);
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| {
+                let d: f64 = xi.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, yi)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for &(_, label) in &dists[..k] {
+            votes[label] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map_or(0, |(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_wins() {
+        let x = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let y = vec![0, 1];
+        let mut knn = KNeighbors::new(1);
+        knn.fit(&x, &y, 2);
+        assert_eq!(knn.predict_one(&[1.0, 1.0]), 0);
+        assert_eq!(knn.predict_one(&[9.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let x = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![5.0],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let mut knn = KNeighbors::new(3);
+        knn.fit(&x, &y, 2);
+        // Neighbours of 0.05: {0.0, 0.1, 0.2} -> classes {0,0,1} -> 0.
+        assert_eq!(knn.predict_one(&[0.05]), 0);
+    }
+
+    #[test]
+    fn k_clamped_to_dataset() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![1, 1];
+        let mut knn = KNeighbors::new(50);
+        knn.fit(&x, &y, 2);
+        assert_eq!(knn.predict_one(&[1.5]), 1);
+    }
+
+    #[test]
+    fn scaling_matters_for_lopsided_features() {
+        // Feature 1 has huge range; without scaling it would drown
+        // feature 0, which carries the label.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let label = usize::from(i % 2 == 0);
+            let f0 = if label == 1 { 1.0 } else { -1.0 };
+            x.push(vec![f0, (i as f64) * 1000.0]);
+            y.push(label);
+        }
+        let mut knn = KNeighbors::new(3);
+        knn.fit(&x, &y, 2);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| knn.predict_one(xi) == yi)
+            .count();
+        assert!(correct >= 36, "scaled KNN should master this: {correct}/40");
+    }
+}

@@ -1,0 +1,187 @@
+//! Tiny dense linear algebra used by the GP and QDA classifiers:
+//! Cholesky factorization/solve and Gauss–Jordan inversion with partial
+//! pivoting, plus log-determinants. Matrices are `Vec<Vec<f64>>`, small
+//! (features × features, or samples × samples for GP training sets).
+
+/// Cholesky factor `L` of a symmetric positive-definite matrix
+/// (`A = L·Lᵀ`). Returns `None` when the matrix is not SPD.
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `A x = b` given the Cholesky factor `L` of `A`.
+pub fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = l.len();
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i][k] * y[k];
+        }
+        y[i] = s / l[i][i];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= l[k][i] * x[k];
+        }
+        x[i] = s / l[i][i];
+    }
+    x
+}
+
+/// Matrix inverse via Gauss–Jordan with partial pivoting. Returns `None`
+/// for (numerically) singular input.
+pub fn invert(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut aug: Vec<Vec<f64>> = a
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&a_, &b_| {
+            aug[a_][col]
+                .abs()
+                .partial_cmp(&aug[b_][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if aug[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot);
+        let p = aug[col][col];
+        for v in &mut aug[col] {
+            *v /= p;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = aug[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in 0..2 * n {
+                let sub = factor * aug[col][k];
+                aug[row][k] -= sub;
+            }
+        }
+    }
+    Some(aug.into_iter().map(|r| r[n..].to_vec()).collect())
+}
+
+/// `log |A|` from a Cholesky factor.
+pub fn log_det_from_cholesky(l: &[Vec<f64>]) -> f64 {
+    2.0 * l.iter().enumerate().map(|(i, r)| r[i].ln()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = a.len();
+        let m = b[0].len();
+        let mut c = vec![vec![0.0; m]; n];
+        for i in 0..n {
+            for k in 0..b.len() {
+                for j in 0..m {
+                    c[i][j] += a[i][k] * b[k][j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let l = cholesky(&a).unwrap();
+        let lt: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..3).map(|j| l[j][i]).collect())
+            .collect();
+        let back = matmul(&l, &lt);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back[i][j] - a[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_works() {
+        let a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let l = cholesky(&a).unwrap();
+        let x = cholesky_solve(&l, &[1.0, 2.0]);
+        // Check A x = b.
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-10);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ];
+        let inv = invert(&a).unwrap();
+        let prod = matmul(&a, &inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i][j] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(invert(&a).is_none());
+    }
+
+    #[test]
+    fn log_det() {
+        let a = vec![vec![4.0, 0.0], vec![0.0, 9.0]];
+        let l = cholesky(&a).unwrap();
+        assert!((log_det_from_cholesky(&l) - (36.0f64).ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,180 @@
+//! Linear SVM: one-vs-rest hinge loss trained with averaged SGD
+//! (Pegasos-style), over standardized features.
+
+use crate::data::Scaler;
+use crate::Classifier;
+use lf_sparse::Pcg32;
+
+/// One-vs-rest linear SVM.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    epochs: usize,
+    lambda: f64,
+    seed: u64,
+    /// One (weights, bias) pair per class.
+    models: Vec<(Vec<f64>, f64)>,
+    scaler: Option<Scaler>,
+}
+
+impl LinearSvm {
+    /// SVM trained for `epochs` passes with regularization `lambda`.
+    pub fn new(epochs: usize, lambda: f64, seed: u64) -> Self {
+        LinearSvm {
+            epochs: epochs.max(1),
+            lambda,
+            seed,
+            models: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    /// Decision value of class `c` for a (scaled) row.
+    fn score(&self, c: usize, x: &[f64]) -> f64 {
+        let (w, b) = &self.models[c];
+        w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b
+    }
+
+    /// Train one binary hinge classifier: `y = +1` for `target`, else -1.
+    fn fit_binary(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        target: usize,
+        rng: &mut Pcg32,
+    ) -> (Vec<f64>, f64) {
+        let n = x.len();
+        let d = x[0].len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut w_avg = vec![0.0; d];
+        let mut b_avg = 0.0;
+        let mut t = 0usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f64);
+                let label = if y[i] == target { 1.0 } else { -1.0 };
+                let margin = label * (w.iter().zip(&x[i]).map(|(a, b)| a * b).sum::<f64>() + b);
+                // Regularization shrink.
+                let shrink = 1.0 - eta * self.lambda;
+                for wi in &mut w {
+                    *wi *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wi, &xi) in w.iter_mut().zip(&x[i]) {
+                        *wi += eta * label * xi;
+                    }
+                    b += eta * label;
+                }
+                for (a, &wi) in w_avg.iter_mut().zip(&w) {
+                    *a += wi;
+                }
+                b_avg += b;
+            }
+        }
+        let t = t.max(1) as f64;
+        (w_avg.iter().map(|v| v / t).collect(), b_avg / t)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "Linear SVM"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let scaler = Scaler::fit(x);
+        let xs = scaler.transform(x);
+        self.scaler = Some(scaler);
+        let mut rng = Pcg32::seed_from_u64(self.seed);
+        self.models = (0..n_classes)
+            .map(|c| self.fit_binary(&xs, y, c, &mut rng))
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.models.is_empty(), "fit before predict");
+        let q = self
+            .scaler
+            .as_ref()
+            .expect("fitted scaler")
+            .transform_row(x);
+        (0..self.models.len())
+            .max_by(|&a, &b| {
+                self.score(a, &q)
+                    .partial_cmp(&self.score(b, &q))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_linear_data() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let label = i % 2;
+            let c = if label == 0 { -1.5 } else { 1.5 };
+            x.push(vec![c + rng.normal() * 0.5, rng.normal()]);
+            y.push(label);
+        }
+        let mut svm = LinearSvm::new(100, 0.01, 2);
+        svm.fit(&x, &y, 2);
+        assert!(accuracy(&y, &svm.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn fails_on_xor_as_expected() {
+        // A linear model cannot solve XOR — this guards against the
+        // implementation accidentally being nonlinear.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut svm = LinearSvm::new(300, 0.01, 3);
+        svm.fit(&x, &y, 2);
+        let acc = accuracy(&y, &svm.predict(&x));
+        assert!(acc <= 0.75, "linear SVM should not solve XOR: {acc}");
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let label = i % 3;
+            let (cx, cy) = [(0.0, 3.0), (-3.0, -2.0), (3.0, -2.0)][label];
+            x.push(vec![cx + rng.normal() * 0.5, cy + rng.normal() * 0.5]);
+            y.push(label);
+        }
+        let mut svm = LinearSvm::new(150, 0.01, 5);
+        svm.fit(&x, &y, 3);
+        assert!(accuracy(&y, &svm.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn deterministic() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<usize> = (0..50).map(|i| usize::from(i >= 25)).collect();
+        let mut a = LinearSvm::new(50, 0.05, 7);
+        let mut b = LinearSvm::new(50, 0.05, 7);
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        for xi in &x {
+            assert_eq!(a.predict_one(xi), b.predict_one(xi));
+        }
+    }
+}

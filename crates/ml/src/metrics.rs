@@ -1,0 +1,172 @@
+//! Classification metrics and the paper's similarity measures.
+//!
+//! Tables 5–6 report identical accuracy / precision / recall / F1 values,
+//! the signature of micro-averaging (for single-label multiclass, micro
+//! precision = micro recall = accuracy). [`ClassificationReport`] exposes
+//! both micro and macro variants; the table harness prints micro to match
+//! the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of exact matches.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .filter(|&(a, b)| a == b)
+        .count() as f64
+        / truth.len() as f64
+}
+
+/// `cm[t][p]` = samples of true class `t` predicted as `p`.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    let mut cm = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        cm[t][p] += 1;
+    }
+    cm
+}
+
+fn per_class_prf(cm: &[Vec<usize>]) -> Vec<(f64, f64, f64)> {
+    let n = cm.len();
+    (0..n)
+        .map(|c| {
+            let tp = cm[c][c] as f64;
+            let fp: f64 = (0..n).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
+            let fn_: f64 = (0..n).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+            let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let rec = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let f1 = if prec + rec > 0.0 {
+                2.0 * prec * rec / (prec + rec)
+            } else {
+                0.0
+            };
+            (prec, rec, f1)
+        })
+        .collect()
+}
+
+/// Macro-averaged precision.
+pub fn macro_precision(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    let prf = per_class_prf(&confusion_matrix(truth, pred, n_classes));
+    prf.iter().map(|p| p.0).sum::<f64>() / n_classes.max(1) as f64
+}
+
+/// Macro-averaged recall.
+pub fn macro_recall(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    let prf = per_class_prf(&confusion_matrix(truth, pred, n_classes));
+    prf.iter().map(|p| p.1).sum::<f64>() / n_classes.max(1) as f64
+}
+
+/// Macro-averaged F1.
+pub fn macro_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    let prf = per_class_prf(&confusion_matrix(truth, pred, n_classes));
+    prf.iter().map(|p| p.2).sum::<f64>() / n_classes.max(1) as f64
+}
+
+/// Eq. 1 of the paper: similarity of a predicted partition count `p̂` to
+/// the true `p` as `1 - |p̂ - p| / max(p̂, p)`.
+pub fn relative_difference_similarity(predicted: f64, actual: f64) -> f64 {
+    let m = predicted.abs().max(actual.abs());
+    if m == 0.0 {
+        return 1.0;
+    }
+    1.0 - (predicted - actual).abs() / m
+}
+
+/// Eq. 2 of the paper: cosine similarity of a predicted partition vector
+/// against the ground-truth vector (across dense sizes 32…512).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return if na == nb { 1.0 } else { 0.0 };
+    }
+    dot / (na * nb)
+}
+
+/// The row of numbers a Table 5/6 entry needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Micro accuracy (= micro precision = micro recall = micro F1 for
+    /// single-label multiclass, as the paper reports).
+    pub accuracy: f64,
+    /// Macro-averaged precision.
+    pub macro_precision: f64,
+    /// Macro-averaged recall.
+    pub macro_recall: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+}
+
+impl ClassificationReport {
+    /// Compute from truth/prediction vectors.
+    pub fn compute(truth: &[usize], pred: &[usize], n_classes: usize) -> Self {
+        ClassificationReport {
+            accuracy: accuracy(truth, pred),
+            macro_precision: macro_precision(truth, pred, n_classes),
+            macro_recall: macro_recall(truth, pred, n_classes),
+            macro_f1: macro_f1(truth, pred, n_classes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        assert_eq!(cm, vec![vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_ones() {
+        let truth = vec![0, 1, 2, 0, 1, 2];
+        let r = ClassificationReport::compute(&truth, &truth, 3);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_precision, 1.0);
+        assert_eq!(r.macro_recall, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn macro_handles_missing_class() {
+        // Class 2 never predicted: its precision contributes 0.
+        let truth = vec![0, 1, 2];
+        let pred = vec![0, 1, 0];
+        assert!(macro_precision(&truth, &pred, 3) < 1.0);
+        assert!(macro_f1(&truth, &pred, 3) < 1.0);
+    }
+
+    #[test]
+    fn relative_difference_matches_paper_examples() {
+        assert_eq!(relative_difference_similarity(4.0, 4.0), 1.0);
+        assert!((relative_difference_similarity(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert!((relative_difference_similarity(4.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_difference_similarity(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn cosine_similarity_properties() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine_similarity(&[2.0, 4.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0], &[0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0], &[1.0]), 0.0);
+    }
+}

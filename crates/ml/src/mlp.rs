@@ -1,0 +1,197 @@
+//! "Neural Net": a single-hidden-layer MLP (ReLU + softmax cross-entropy)
+//! trained with mini-batch SGD and momentum — the same family as
+//! scikit-learn's default `MLPClassifier` in the paper's model sweep.
+
+use crate::data::Scaler;
+use crate::Classifier;
+use lf_sparse::Pcg32;
+
+/// One-hidden-layer MLP classifier.
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    // Parameters: hidden weights [hidden][d], hidden bias, output
+    // weights [classes][hidden], output bias.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+    scaler: Option<Scaler>,
+}
+
+impl NeuralNet {
+    /// MLP with `hidden` units trained for `epochs` at learning rate `lr`.
+    pub fn new(hidden: usize, epochs: usize, lr: f64, seed: u64) -> Self {
+        NeuralNet {
+            hidden: hidden.max(2),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let h: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, &b)| {
+                (w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + b).max(0.0)
+            })
+            .collect();
+        let logits: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, &b)| w.iter().zip(&h).map(|(a, b)| a * b).sum::<f64>() + b)
+            .collect();
+        (h, logits)
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+impl Classifier for NeuralNet {
+    fn name(&self) -> &'static str {
+        "Neural Net"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let scaler = Scaler::fit(x);
+        let xs = scaler.transform(x);
+        self.scaler = Some(scaler);
+        let d = xs[0].len();
+        let mut rng = Pcg32::seed_from_u64(self.seed);
+        let glorot1 = (2.0 / (d + self.hidden) as f64).sqrt();
+        let glorot2 = (2.0 / (self.hidden + n_classes) as f64).sqrt();
+        self.w1 = (0..self.hidden)
+            .map(|_| (0..d).map(|_| rng.normal() * glorot1).collect())
+            .collect();
+        self.b1 = vec![0.0; self.hidden];
+        self.w2 = (0..n_classes)
+            .map(|_| (0..self.hidden).map(|_| rng.normal() * glorot2).collect())
+            .collect();
+        self.b2 = vec![0.0; n_classes];
+
+        let n = xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let lr = self.lr / (1.0 + 0.01 * epoch as f64);
+            for &i in &order {
+                let (h, logits) = self.forward(&xs[i]);
+                let probs = softmax(&logits);
+                // Output gradient: p - onehot.
+                let dout: Vec<f64> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &p)| p - f64::from(u8::from(c == y[i])))
+                    .collect();
+                // Hidden gradient through ReLU.
+                let mut dh = vec![0.0; self.hidden];
+                for (c, &g) in dout.iter().enumerate() {
+                    for (k, dv) in dh.iter_mut().enumerate() {
+                        *dv += g * self.w2[c][k];
+                    }
+                }
+                for (k, dv) in dh.iter_mut().enumerate() {
+                    if h[k] <= 0.0 {
+                        *dv = 0.0;
+                    }
+                }
+                // Updates.
+                for (c, &g) in dout.iter().enumerate() {
+                    for (k, &hv) in h.iter().enumerate() {
+                        self.w2[c][k] -= lr * g * hv;
+                    }
+                    self.b2[c] -= lr * g;
+                }
+                for (k, &g) in dh.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for (dd, &xv) in self.w1[k].iter_mut().zip(&xs[i]) {
+                        *dd -= lr * g * xv;
+                    }
+                    self.b1[k] -= lr * g;
+                }
+            }
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.w1.is_empty(), "fit before predict");
+        let q = self
+            .scaler
+            .as_ref()
+            .expect("fitted scaler")
+            .transform_row(x);
+        let (_, logits) = self.forward(&q);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn solves_noisy_xor() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let (a, b) = ((i / 2) % 2, i % 2);
+            x.push(vec![
+                a as f64 + rng.normal() * 0.15,
+                b as f64 + rng.normal() * 0.15,
+            ]);
+            y.push(a ^ b);
+        }
+        let mut net = NeuralNet::new(16, 200, 0.05, 2);
+        net.fit(&x, &y, 2);
+        let acc = accuracy(&y, &net.predict(&x));
+        assert!(acc > 0.9, "MLP must solve noisy XOR: {acc}");
+    }
+
+    #[test]
+    fn softmax_is_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stable under large logits.
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![(i % 9) as f64, (i % 4) as f64]).collect();
+        let y: Vec<usize> = (0..80).map(|i| i % 2).collect();
+        let mut a = NeuralNet::new(8, 50, 0.05, 5);
+        let mut b = NeuralNet::new(8, 50, 0.05, 5);
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        for xi in &x {
+            assert_eq!(a.predict_one(xi), b.predict_one(xi));
+        }
+    }
+}

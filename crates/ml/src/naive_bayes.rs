@@ -1,0 +1,141 @@
+//! Gaussian Naive Bayes: per-class independent Gaussians per feature.
+//! Fast to train and weak on correlated features — the bottom rows of the
+//! paper's Tables 5–6.
+
+use crate::Classifier;
+
+/// Gaussian NB classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNaiveBayes {
+    /// Per class: (log prior, per-feature mean, per-feature variance).
+    classes: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+impl GaussianNaiveBayes {
+    /// New untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert!(!x.is_empty());
+        let d = x[0].len();
+        let n = x.len() as f64;
+        self.classes = (0..n_classes)
+            .map(|c| {
+                let rows: Vec<&Vec<f64>> = x
+                    .iter()
+                    .zip(y)
+                    .filter(|(_, &yi)| yi == c)
+                    .map(|(xi, _)| xi)
+                    .collect();
+                if rows.is_empty() {
+                    return (f64::NEG_INFINITY, vec![0.0; d], vec![1.0; d]);
+                }
+                let m = rows.len() as f64;
+                let mut mean = vec![0.0; d];
+                for r in &rows {
+                    for (mm, &v) in mean.iter_mut().zip(r.iter()) {
+                        *mm += v;
+                    }
+                }
+                for mm in &mut mean {
+                    *mm /= m;
+                }
+                let mut var = vec![0.0; d];
+                for r in &rows {
+                    for k in 0..d {
+                        let dv = r[k] - mean[k];
+                        var[k] += dv * dv;
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / m).max(1e-9);
+                }
+                ((m / n).ln(), mean, var)
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.classes.is_empty(), "fit before predict");
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(c, (prior, mean, var))| {
+                let ll: f64 = x
+                    .iter()
+                    .zip(mean.iter().zip(var))
+                    .map(|(&xv, (&m, &v))| {
+                        -0.5 * ((xv - m) * (xv - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln())
+                    })
+                    .sum();
+                (c, prior + ll)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lf_sparse::Pcg32;
+
+    #[test]
+    fn axis_aligned_gaussians() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let label = i % 2;
+            let c = if label == 0 { -2.0 } else { 2.0 };
+            x.push(vec![c + rng.normal(), rng.normal()]);
+            y.push(label);
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y, 2);
+        assert!(accuracy(&y, &nb.predict(&x)) > 0.93);
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Identical feature distributions, 90/10 class balance: the prior
+        // must dominate.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![0.0 + (i % 10) as f64 * 1e-6]);
+            y.push(usize::from(i >= 90));
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict_one(&[0.0]), 0);
+    }
+
+    #[test]
+    fn empty_class_never_predicted() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y, 3); // classes 1 and 2 unseen
+        assert_eq!(nb.predict_one(&[0.5]), 0);
+    }
+
+    #[test]
+    fn zero_variance_feature_is_stable() {
+        let x = vec![vec![5.0, 0.0], vec![5.0, 1.0], vec![5.0, 10.0], vec![5.0, 11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict_one(&[5.0, 0.5]), 0);
+        assert_eq!(nb.predict_one(&[5.0, 10.5]), 1);
+    }
+}

@@ -1,0 +1,348 @@
+//! CART decision tree with Gini impurity — the base learner for the
+//! Random Forest and (as stumps) AdaBoost.
+
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A binary decision-tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left subtree (`<=`).
+        left: Box<Node>,
+        /// Right subtree (`>`).
+        right: Box<Node>,
+    },
+    /// Leaf with a predicted class.
+    Leaf {
+        /// Majority class of the samples reaching this leaf.
+        class: usize,
+    },
+}
+
+/// CART classifier with gini impurity, depth-limited.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples_split: usize,
+    root: Option<Node>,
+    /// When `Some(k)`, consider only `k` random features per split
+    /// (used by the forest); the RNG state is owned by the caller.
+    feature_subsample: Option<usize>,
+    rng_state: u64,
+}
+
+impl DecisionTree {
+    /// A tree limited to `max_depth` levels.
+    pub fn new(max_depth: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            root: None,
+            feature_subsample: None,
+            rng_state: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Forest constructor: random feature subsampling per split.
+    pub fn with_feature_subsample(max_depth: usize, k: usize, seed: u64) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            root: None,
+            feature_subsample: Some(k.max(1)),
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Fit with per-sample weights (AdaBoost). Weights must sum > 0.
+    pub fn fit_weighted(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        w: &[f64],
+        n_classes: usize,
+    ) {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = lf_sparse::Pcg32::seed_from_u64(self.rng_state);
+        self.root = Some(self.build(x, y, w, &idx, n_classes, 0, &mut rng));
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        w: &[f64],
+        idx: &[usize],
+        n_classes: usize,
+        depth: usize,
+        rng: &mut lf_sparse::Pcg32,
+    ) -> Node {
+        let majority = weighted_majority(y, w, idx, n_classes);
+        if depth >= self.max_depth
+            || idx.len() < self.min_samples_split
+            || is_pure(y, idx)
+        {
+            return Node::Leaf { class: majority };
+        }
+        let n_features = x[0].len();
+        let candidate_features: Vec<usize> = match self.feature_subsample {
+            Some(k) if k < n_features => rng.sample_distinct(n_features, k),
+            _ => (0..n_features).collect(),
+        };
+        // XOR-like targets have zero first-split gain; for an impure node
+        // with no gain anywhere, fall back to a median split so deeper
+        // levels get a chance (mirrors sklearn's behaviour of always
+        // splitting while impure and splittable).
+        let split = best_split(x, y, w, idx, &candidate_features, n_classes)
+            .or_else(|| fallback_split(x, idx, &candidate_features));
+        let Some((feature, threshold)) = split else {
+            return Node::Leaf { class: majority };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf { class: majority };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, w, &left_idx, n_classes, depth + 1, rng)),
+            right: Box::new(self.build(x, y, w, &right_idx, n_classes, depth + 1, rng)),
+        }
+    }
+
+    /// Depth of the fitted tree (0 for a bare leaf / unfitted).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, d)
+    }
+}
+
+fn is_pure(y: &[usize], idx: &[usize]) -> bool {
+    idx.windows(2).all(|w| y[w[0]] == y[w[1]])
+}
+
+fn weighted_majority(y: &[usize], w: &[f64], idx: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0.0; n_classes.max(1)];
+    for &i in idx {
+        counts[y[i]] += w[i];
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(c, _)| c)
+}
+
+/// Exact weighted gini split search: sort by feature, scan prefix counts.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[usize],
+    w: &[f64],
+    idx: &[usize],
+    features: &[usize],
+    n_classes: usize,
+) -> Option<(usize, f64)> {
+    let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+    if total_w <= 0.0 {
+        return None;
+    }
+    let mut total_counts = vec![0.0; n_classes];
+    for &i in idx {
+        total_counts[y[i]] += w[i];
+    }
+    let parent_gini = gini(&total_counts, total_w);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut order: Vec<usize> = idx.to_vec();
+    for &f in features {
+        order.sort_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_counts = vec![0.0; n_classes];
+        let mut left_w = 0.0;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            left_counts[y[i]] += w[i];
+            left_w += w[i];
+            let xv = x[i][f];
+            let xn = x[order[k + 1]][f];
+            if xv == xn {
+                continue; // can't split between equal values
+            }
+            let right_w = total_w - left_w;
+            let right_counts: Vec<f64> = total_counts
+                .iter()
+                .zip(&left_counts)
+                .map(|(t, l)| t - l)
+                .collect();
+            let split_gini = (left_w / total_w) * gini(&left_counts, left_w)
+                + (right_w / total_w) * gini(&right_counts, right_w);
+            let gain = parent_gini - split_gini;
+            if best.map_or(true, |(g, _, _)| gain > g) && gain > 1e-12 {
+                best = Some((gain, f, (xv + xn) / 2.0));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// Median split on the first candidate feature with at least two distinct
+/// values; `None` if every candidate feature is constant on `idx`.
+fn fallback_split(x: &[Vec<f64>], idx: &[usize], features: &[usize]) -> Option<(usize, f64)> {
+    for &f in features {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        if vals.len() >= 2 {
+            let mid = vals.len() / 2;
+            return Some((f, (vals[mid - 1] + vals[mid]) / 2.0));
+        }
+    }
+    None
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let w = vec![1.0; x.len()];
+        self.fit_weighted(x, y, &w, n_classes);
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("fit before predict");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_threshold_rule() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let mut t = DecisionTree::new(3);
+        t.fit(&x, &y, 2);
+        assert_eq!(t.predict_one(&[5.0]), 0);
+        assert_eq!(t.predict_one(&[35.0]), 1);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut shallow = DecisionTree::new(1);
+        shallow.fit(&x, &y, 2);
+        let acc1 = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| shallow.predict_one(xi) == yi)
+            .count();
+        let mut deep = DecisionTree::new(3);
+        deep.fit(&x, &y, 2);
+        let acc2 = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| deep.predict_one(xi) == yi)
+            .count();
+        assert_eq!(acc2, 4, "depth-3 tree must solve XOR");
+        assert!(acc1 < 4, "a stump cannot solve XOR");
+    }
+
+    #[test]
+    fn respects_sample_weights() {
+        // Two conflicting samples at the same x; weight decides the leaf.
+        let x = vec![vec![0.0], vec![0.0]];
+        let y = vec![0, 1];
+        let mut t = DecisionTree::new(2);
+        t.fit_weighted(&x, &y, &[0.9, 0.1], 2);
+        assert_eq!(t.predict_one(&[0.0]), 0);
+        t.fit_weighted(&x, &y, &[0.1, 0.9], 2);
+        assert_eq!(t.predict_one(&[0.0]), 1);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut t = DecisionTree::new(5);
+        t.fit(&x, &y, 2);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_one(&[99.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_dont_crash() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let y = vec![0, 1, 0, 1];
+        let mut t = DecisionTree::new(4);
+        t.fit(&x, &y, 2);
+        // No valid split exists; majority leaf.
+        let p = t.predict_one(&[5.0]);
+        assert!(p < 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (20 - i) as f64]).collect();
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i % 3 == 0)).collect();
+        let mut t = DecisionTree::new(4);
+        t.fit(&x, &y, 2);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        for xi in &x {
+            assert_eq!(t.predict_one(xi), back.predict_one(xi));
+        }
+    }
+}

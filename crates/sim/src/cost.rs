@@ -1,0 +1,292 @@
+//! Per-block cost records and the SM scheduler.
+
+use crate::device::DeviceModel;
+
+/// Traffic and work of one thread block, derived by a kernel from its real
+/// index streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockCost {
+    /// Memory transactions that miss L2 and go to DRAM.
+    pub dram_transactions: u64,
+    /// Memory transactions served by L2.
+    pub l2_transactions: u64,
+    /// Floating-point operations (FMA counted as 2).
+    pub flops: u64,
+    /// Atomic read-modify-write transactions (pay `atomic_penalty`).
+    pub atomic_transactions: u64,
+    /// Fraction of SIMT lanes doing useful work in this block, in `(0, 1]`.
+    /// Padding slots and ragged rows lower it (warp divergence / wasted
+    /// lanes). Values ≤ 0 are treated as 1.
+    pub lane_efficiency: f64,
+}
+
+impl BlockCost {
+    /// Sum of all memory transactions including atomics.
+    pub fn total_transactions(&self) -> u64 {
+        self.dram_transactions + self.l2_transactions + self.atomic_transactions
+    }
+
+    /// Merge another block's counts into this one (used when a kernel
+    /// fuses logical blocks into one launch unit).
+    pub fn merge(&mut self, other: &BlockCost) {
+        let self_w = self.work_weight();
+        let other_w = other.work_weight();
+        let denom = self_w + other_w;
+        self.lane_efficiency = if denom > 0.0 {
+            (self.eff() * self_w + other.eff() * other_w) / denom
+        } else {
+            1.0
+        };
+        self.dram_transactions += other.dram_transactions;
+        self.l2_transactions += other.l2_transactions;
+        self.flops += other.flops;
+        self.atomic_transactions += other.atomic_transactions;
+    }
+
+    fn work_weight(&self) -> f64 {
+        (self.flops + self.total_transactions()) as f64
+    }
+
+    fn eff(&self) -> f64 {
+        if self.lane_efficiency > 0.0 {
+            self.lane_efficiency.min(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Cycles this block needs running *alone* on one SM drawing its peak
+    /// bandwidth share — the critical-path cost of a hot block. Lane
+    /// inefficiency inflates it (divergent warps retire fewer useful
+    /// lanes per cycle).
+    pub fn cycles(&self, device: &DeviceModel) -> f64 {
+        let tb = device.transaction_bytes as f64;
+        let dram_bpc = device.sm_peak_bytes_per_cycle();
+        let l2_bpc = dram_bpc * device.l2_speedup;
+        let mem_cycles = (self.dram_transactions as f64 * tb) / dram_bpc
+            + (self.l2_transactions as f64 * tb) / l2_bpc
+            + (self.atomic_transactions as f64 * tb * device.atomic_penalty) / dram_bpc;
+        let compute_cycles = self.flops as f64 / device.flops_per_sm_per_cycle;
+        mem_cycles.max(compute_cycles) / self.eff()
+    }
+}
+
+/// Result of scheduling a grid onto the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Kernel makespan in cycles (longest slot).
+    pub makespan_cycles: f64,
+    /// Sum of block cycles (ideal work).
+    pub total_cycles: f64,
+    /// `total / (makespan * slots)`: 1.0 = perfectly balanced and full.
+    pub utilization: f64,
+    /// `max block / mean block` cycles: grid-level imbalance indicator.
+    pub imbalance: f64,
+    /// Number of slots used for the schedule.
+    pub slots: usize,
+}
+
+/// Greedy in-order block-to-slot assignment, the policy hardware block
+/// schedulers approximate: each block goes to the earliest-free slot.
+///
+/// Uses a binary heap keyed on slot completion time — O(n log s).
+pub fn schedule(block_cycles: &[f64], slots: usize) -> ScheduleResult {
+    let slots = slots.max(1);
+    if block_cycles.is_empty() {
+        return ScheduleResult {
+            makespan_cycles: 0.0,
+            total_cycles: 0.0,
+            utilization: 1.0,
+            imbalance: 1.0,
+            slots,
+        };
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // f64 isn't Ord; key the heap on bit-ordered non-negative floats.
+    #[derive(PartialEq, PartialOrd)]
+    struct F(f64);
+    impl Eq for F {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for F {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<F>> = (0..slots).map(|_| Reverse(F(0.0))).collect();
+    for &c in block_cycles {
+        let Reverse(F(t)) = heap.pop().expect("heap has `slots` entries");
+        heap.push(Reverse(F(t + c.max(0.0))));
+    }
+    let makespan = heap
+        .into_iter()
+        .map(|Reverse(F(t))| t)
+        .fold(0.0f64, f64::max);
+    let total: f64 = block_cycles.iter().map(|&c| c.max(0.0)).sum();
+    let mean = total / block_cycles.len() as f64;
+    let max_block = block_cycles.iter().copied().fold(0.0f64, f64::max);
+    ScheduleResult {
+        makespan_cycles: makespan,
+        total_cycles: total,
+        utilization: if makespan > 0.0 {
+            (total / (makespan * slots as f64)).min(1.0)
+        } else {
+            1.0
+        },
+        imbalance: if mean > 0.0 { max_block / mean } else { 1.0 },
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceModel {
+        DeviceModel::tiny()
+    }
+
+    #[test]
+    fn memory_bound_block() {
+        let b = BlockCost {
+            dram_transactions: 1000,
+            l2_transactions: 0,
+            flops: 1,
+            atomic_transactions: 0,
+            lane_efficiency: 1.0,
+        };
+        let d = dev();
+        let expected = 1000.0 * 32.0 / d.sm_peak_bytes_per_cycle();
+        assert!((b.cycles(&d) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_bound_block() {
+        let b = BlockCost {
+            dram_transactions: 1,
+            l2_transactions: 0,
+            flops: 1_000_000,
+            atomic_transactions: 0,
+            lane_efficiency: 1.0,
+        };
+        let d = dev();
+        let expected = 1_000_000.0 / d.flops_per_sm_per_cycle;
+        assert!((b.cycles(&d) - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn l2_hits_are_cheaper() {
+        let d = dev();
+        let dram = BlockCost {
+            dram_transactions: 1000,
+            ..Default::default()
+        };
+        let l2 = BlockCost {
+            l2_transactions: 1000,
+            ..Default::default()
+        };
+        assert!(l2.cycles(&d) < dram.cycles(&d));
+        assert!((dram.cycles(&d) / l2.cycles(&d) - d.l2_speedup).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomics_pay_penalty() {
+        let d = dev();
+        let store = BlockCost {
+            dram_transactions: 1000,
+            ..Default::default()
+        };
+        let atomic = BlockCost {
+            atomic_transactions: 1000,
+            ..Default::default()
+        };
+        assert!(
+            (atomic.cycles(&d) / store.cycles(&d) - d.atomic_penalty).abs() < 1e-9,
+            "atomic multiplier"
+        );
+    }
+
+    #[test]
+    fn divergence_inflates_cycles() {
+        let d = dev();
+        let full = BlockCost {
+            dram_transactions: 100,
+            lane_efficiency: 1.0,
+            ..Default::default()
+        };
+        let half = BlockCost {
+            dram_transactions: 100,
+            lane_efficiency: 0.5,
+            ..Default::default()
+        };
+        assert!((half.cycles(&d) / full.cycles(&d) - 2.0).abs() < 1e-9);
+        // Zero efficiency treated as 1 (no NaN).
+        let zero = BlockCost {
+            dram_transactions: 100,
+            lane_efficiency: 0.0,
+            ..Default::default()
+        };
+        assert!((zero.cycles(&d) - full.cycles(&d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_and_weights_efficiency() {
+        let mut a = BlockCost {
+            dram_transactions: 100,
+            flops: 0,
+            lane_efficiency: 1.0,
+            ..Default::default()
+        };
+        let b = BlockCost {
+            dram_transactions: 100,
+            flops: 0,
+            lane_efficiency: 0.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dram_transactions, 200);
+        assert!((a.lane_efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_balanced_load() {
+        let blocks = vec![10.0; 8];
+        let r = schedule(&blocks, 4);
+        assert!((r.makespan_cycles - 20.0).abs() < 1e-12);
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+        assert!((r.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_single_hot_block_dominates() {
+        let mut blocks = vec![1.0; 16];
+        blocks.push(100.0);
+        let r = schedule(&blocks, 4);
+        // Greedy: the 100-cycle block lands on some slot; makespan ≥ 100.
+        assert!(r.makespan_cycles >= 100.0);
+        assert!(r.utilization < 0.5);
+        assert!(r.imbalance > 10.0);
+    }
+
+    #[test]
+    fn schedule_empty_and_degenerate() {
+        let r = schedule(&[], 4);
+        assert_eq!(r.makespan_cycles, 0.0);
+        let r = schedule(&[5.0], 0);
+        assert_eq!(r.slots, 1);
+        assert_eq!(r.makespan_cycles, 5.0);
+    }
+
+    #[test]
+    fn schedule_more_slots_never_slower() {
+        let blocks: Vec<f64> = (0..50).map(|i| (i % 7) as f64 + 1.0).collect();
+        let mut prev = f64::INFINITY;
+        for slots in [1, 2, 4, 8, 16] {
+            let r = schedule(&blocks, slots);
+            assert!(r.makespan_cycles <= prev + 1e-9);
+            prev = r.makespan_cycles;
+        }
+    }
+}

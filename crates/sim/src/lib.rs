@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # lf-sim
+//!
+//! A deterministic GPU *execution-model* simulator standing in for the
+//! paper's NVIDIA V100 testbed.
+//!
+//! The paper's central performance argument (§5.3) is that SpMM time on a
+//! GPU is dominated by (1) the volume and coalescing of global-memory
+//! traffic, (2) atomic-update overhead, and (3) load balance across thread
+//! blocks. This crate models exactly those three effects:
+//!
+//! * a kernel is described as a grid of [`BlockCost`] records derived from
+//!   the kernel's **actual index streams** (each SpMM kernel in
+//!   `lf-kernels` walks its real data structures and counts coalesced
+//!   transactions with [`coalesce`]);
+//! * [`DeviceModel`] converts a block's traffic and flops into cycles via a
+//!   per-block roofline (`max(memory, compute)` with a divergence factor);
+//! * [`schedule`] assigns blocks to SM slots in launch order — exactly the
+//!   greedy policy real GPUs approximate — so load imbalance lengthens the
+//!   critical path mechanically;
+//! * atomics pay a serialization multiplier, matching the paper's
+//!   `Atomic = P(2)/P(1)` weight.
+//!
+//! Nothing in the model is tuned per baseline system: every kernel is
+//! costed by the same device, so relative results emerge from the format
+//! and mapping each system chooses.
+//!
+//! The crate also provides parallel CPU execution helpers
+//! ([`parallel::parallel_for`], [`atomicf::AtomicF64Slice`],
+//! [`atomicf::AtomicF32Slice`]) used by the kernels' *numeric* path, which
+//! computes bit-for-bit checkable results independent of the cost model.
+
+pub mod atomicf;
+pub mod coalesce;
+pub mod cost;
+pub mod device;
+pub mod parallel;
+pub mod profile;
+
+pub use atomicf::AtomicScalar;
+pub use coalesce::{segment_transactions, warp_transactions};
+pub use cost::{schedule, BlockCost};
+pub use device::DeviceModel;
+pub use profile::{KernelProfile, LaunchSpec};

@@ -1,0 +1,127 @@
+//! Minimal data-parallel helpers on crossbeam scoped threads.
+//!
+//! The kernels' numeric path uses these instead of pulling in a full
+//! work-stealing runtime: an atomic-counter dynamic scheduler is enough
+//! for the flat, independent loops SpMM produces, and it keeps the
+//! dependency set to the crates allowed for this reproduction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: one per available core, at least 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `body(i)` for every `i in 0..n` using `workers` threads with
+/// dynamic (atomic-counter) chunked self-scheduling. `body` must be safe
+/// to call concurrently for distinct `i`.
+pub fn parallel_for<F>(n: usize, workers: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if n == 0 {
+        return;
+    }
+    if workers == 1 {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    // Chunk size balances scheduling overhead against balance: aim for
+    // ~16 chunks per worker.
+    let chunk = (n / (workers * 16)).max(1);
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    body(i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map over `0..n` collecting results in index order.
+pub fn parallel_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let slots: Vec<std::sync::Mutex<&mut T>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        // Each index is touched by exactly one task, so the mutexes are
+        // uncontended; they exist only to satisfy the borrow checker for
+        // disjoint writes through a shared reference.
+        parallel_for(n, workers, |i| {
+            let mut guard = slots[i].lock().expect("uncontended slot");
+            **guard = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_iterations() {
+        parallel_for(0, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_worker_sequential() {
+        let sum = AtomicU64::new(0);
+        parallel_for(100, 1, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(1000, 8, |i| i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn workers_clamped_to_n() {
+        // More workers than items must not deadlock or double-run.
+        let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(3, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Kernel launch description and the simulated-performance report.
+
+use crate::cost::{schedule, BlockCost};
+use crate::device::DeviceModel;
+use serde::{Deserialize, Serialize};
+
+/// A kernel launch: block costs plus the launch geometry.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Human-readable kernel name (for reports).
+    pub name: String,
+    /// Threads per block (drives occupancy / slot count).
+    pub threads_per_block: usize,
+    /// Hardware blocks each listed [`BlockCost`] stands for. SpMM kernels
+    /// tile the dense-column dimension across the grid as well (J/32
+    /// j-tiles per row block); traffic is recorded aggregated per row
+    /// block, so this multiplier informs occupancy and splits the
+    /// critical path without duplicating block records.
+    pub grid_multiplier: usize,
+    /// Per-block cost records, in launch order.
+    pub blocks: Vec<BlockCost>,
+}
+
+impl LaunchSpec {
+    /// Create a launch with the given geometry.
+    pub fn new(name: impl Into<String>, threads_per_block: usize) -> Self {
+        LaunchSpec {
+            name: name.into(),
+            threads_per_block: threads_per_block.max(1),
+            grid_multiplier: 1,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Set the j-tile grid multiplier (see [`LaunchSpec::grid_multiplier`]).
+    pub fn with_grid_multiplier(mut self, m: usize) -> Self {
+        self.grid_multiplier = m.max(1);
+        self
+    }
+
+    /// Append one block.
+    pub fn push(&mut self, cost: BlockCost) {
+        self.blocks.push(cost);
+    }
+
+    /// Simulate on a device.
+    pub fn run(&self, device: &DeviceModel) -> KernelProfile {
+        KernelProfile::from_launches(std::slice::from_ref(self), device)
+    }
+}
+
+/// Simulated performance of one or more (horizontally fused) launches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Total simulated time in milliseconds, including launch overhead.
+    pub time_ms: f64,
+    /// DRAM transactions summed over all blocks.
+    pub dram_transactions: u64,
+    /// L2-hit transactions summed over all blocks.
+    pub l2_transactions: u64,
+    /// Atomic transactions summed over all blocks.
+    pub atomic_transactions: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Schedule utilization in `[0, 1]`: busy-slot fraction, the model's
+    /// analogue of nsight's "GPU compute throughput" axis in Fig. 11.
+    pub utilization: f64,
+    /// Max-block / mean-block cycle ratio.
+    pub imbalance: f64,
+    /// Number of thread blocks launched.
+    pub num_blocks: usize,
+    /// Number of separate kernel launches (after any fusion).
+    pub num_launches: usize,
+}
+
+impl KernelProfile {
+    /// Simulate a sequence of launches executed back to back.
+    ///
+    /// Each launch's time is the maximum of four bounds:
+    ///
+    /// 1. **DRAM roofline** — total DRAM (+ penalty-weighted atomic)
+    ///    bytes over the device's aggregate bandwidth;
+    /// 2. **L2 roofline** — total L2-hit bytes over L2 bandwidth;
+    /// 3. **Issue/compute roofline** — total flops, inflated by each
+    ///    block's lane inefficiency, over the device's aggregate FMA
+    ///    throughput;
+    /// 4. **Critical path / occupancy** — the greedy block schedule over
+    ///    the device's resident-block slots, with each block costed at a
+    ///    single SM's *peak* rates ([`BlockCost::cycles`]); this term
+    ///    captures hot-block serialization and under-filled launches
+    ///    without letting concurrent blocks oversubscribe DRAM (bounds 1–2
+    ///    cap the aggregate).
+    ///
+    /// SparseTIR's horizontal-fusion pass (§6) exists precisely to collapse
+    /// per-bucket launches into one; callers model fusion by concatenating
+    /// blocks into a single `LaunchSpec` instead of passing many.
+    pub fn from_launches(launches: &[LaunchSpec], device: &DeviceModel) -> Self {
+        let mut time_ms = 0.0;
+        let mut dram = 0u64;
+        let mut l2 = 0u64;
+        let mut atomics = 0u64;
+        let mut flops = 0u64;
+        let mut num_blocks = 0usize;
+        let mut util_weighted = 0.0;
+        let mut imb_weighted = 0.0;
+        let mut busy_ms = 0.0;
+        let tb = device.transaction_bytes as f64;
+        for launch in launches {
+            let mut l_dram = 0u64;
+            let mut l_l2 = 0u64;
+            let mut l_atomic = 0u64;
+            let mut issue_flops = 0.0f64;
+            let cycles: Vec<f64> = launch
+                .blocks
+                .iter()
+                .map(|b| {
+                    l_dram += b.dram_transactions;
+                    l_l2 += b.l2_transactions;
+                    l_atomic += b.atomic_transactions;
+                    let eff = if b.lane_efficiency > 0.0 {
+                        b.lane_efficiency.min(1.0)
+                    } else {
+                        1.0
+                    };
+                    issue_flops += b.flops as f64 / eff;
+                    b.cycles(device)
+                })
+                .collect();
+            let slots = device.total_slots(launch.threads_per_block);
+            let mult = launch.grid_multiplier.max(1);
+            let sched = schedule(&cycles, slots);
+            // With a grid multiplier, each listed block is really `mult`
+            // hardware blocks of 1/mult the work: the greedy schedule's
+            // makespan is replaced by its two lower bounds (work/slots and
+            // the split hottest block).
+            let sched_makespan = if mult > 1 {
+                let hottest = cycles.iter().copied().fold(0.0f64, f64::max);
+                (sched.total_cycles / slots as f64).max(hottest / mult as f64)
+            } else {
+                sched.makespan_cycles
+            };
+            // Memory-level parallelism: HBM only saturates when enough
+            // blocks are resident to keep requests in flight (Little's
+            // law). A launch with fewer blocks than slots achieves a
+            // proportionally lower effective bandwidth (shortfall capped —
+            // even one warp streams at a useful fraction of peak).
+            const MLP_SHORTFALL_CAP: f64 = 8.0;
+            let hw_blocks = launch.blocks.len() * mult;
+            let mlp_shortfall = if hw_blocks == 0 {
+                1.0
+            } else {
+                (slots as f64 / hw_blocks as f64).clamp(1.0, MLP_SHORTFALL_CAP)
+            };
+            let dram_cycles = (l_dram as f64 * tb
+                + l_atomic as f64 * tb * device.atomic_penalty)
+                / device.dram_bytes_per_cycle()
+                * mlp_shortfall;
+            let l2_cycles = l_l2 as f64 * tb
+                / (device.dram_bytes_per_cycle() * device.l2_speedup)
+                * mlp_shortfall;
+            let issue_cycles = issue_flops
+                / (device.flops_per_sm_per_cycle * device.num_sms as f64);
+            let makespan = (dram_cycles + l2_cycles)
+                .max(issue_cycles)
+                .max(sched_makespan);
+            let ms = device.cycles_to_ms(makespan) + device.launch_overhead_us / 1e3;
+            time_ms += ms;
+            busy_ms += ms;
+            // Utilization: fraction of the makespan the device is
+            // throughput-bound (the Fig. 11 "compute throughput" axis).
+            // Useful-throughput cycles exclude the MLP shortfall: a
+            // launch starved of resident blocks reads as low throughput,
+            // exactly like nsight's "GPU compute throughput" counter.
+            let useful = ((dram_cycles + l2_cycles) / mlp_shortfall).max(issue_cycles);
+            let util = if makespan > 0.0 {
+                (useful / makespan).min(1.0)
+            } else {
+                1.0
+            };
+            util_weighted += util * ms;
+            imb_weighted += sched.imbalance * ms;
+            dram += l_dram;
+            l2 += l_l2;
+            atomics += l_atomic;
+            for b in &launch.blocks {
+                flops += b.flops;
+            }
+            num_blocks += launch.blocks.len();
+        }
+        KernelProfile {
+            time_ms,
+            dram_transactions: dram,
+            l2_transactions: l2,
+            atomic_transactions: atomics,
+            flops,
+            utilization: if busy_ms > 0.0 {
+                util_weighted / busy_ms
+            } else {
+                1.0
+            },
+            imbalance: if busy_ms > 0.0 {
+                imb_weighted / busy_ms
+            } else {
+                1.0
+            },
+            num_blocks,
+            num_launches: launches.len(),
+        }
+    }
+
+    /// Effective DRAM bandwidth achieved, bytes/second.
+    pub fn achieved_bandwidth(&self, device: &DeviceModel) -> f64 {
+        if self.time_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.dram_transactions + self.l2_transactions + self.atomic_transactions) as f64
+            * device.transaction_bytes as f64
+            / (self.time_ms / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(dram: u64) -> BlockCost {
+        BlockCost {
+            dram_transactions: dram,
+            lane_efficiency: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let d = DeviceModel::tiny();
+        let l = LaunchSpec::new("noop", 128);
+        let p = l.run(&d);
+        assert!((p.time_ms - d.launch_overhead_us / 1e3).abs() < 1e-12);
+        assert_eq!(p.num_blocks, 0);
+    }
+
+    #[test]
+    fn more_traffic_takes_longer() {
+        let d = DeviceModel::tiny();
+        let mut small = LaunchSpec::new("s", 128);
+        let mut big = LaunchSpec::new("b", 128);
+        for _ in 0..160 {
+            small.push(block(100));
+            big.push(block(1000));
+        }
+        assert!(big.run(&d).time_ms > small.run(&d).time_ms * 5.0);
+    }
+
+    #[test]
+    fn fusion_saves_launch_overhead() {
+        let d = DeviceModel::tiny();
+        let mut separate = Vec::new();
+        let mut fused = LaunchSpec::new("fused", 128);
+        for i in 0..10 {
+            let mut l = LaunchSpec::new(format!("k{i}"), 128);
+            for _ in 0..4 {
+                l.push(block(50));
+                fused.push(block(50));
+            }
+            separate.push(l);
+        }
+        let p_sep = KernelProfile::from_launches(&separate, &d);
+        let p_fused = fused.run(&d);
+        assert!(p_fused.time_ms < p_sep.time_ms);
+        assert_eq!(p_sep.num_launches, 10);
+        assert_eq!(p_fused.num_launches, 1);
+        // Same traffic either way.
+        assert_eq!(p_sep.dram_transactions, p_fused.dram_transactions);
+    }
+
+    #[test]
+    fn imbalance_reported() {
+        let d = DeviceModel::tiny();
+        let mut l = LaunchSpec::new("skew", 128);
+        for _ in 0..15 {
+            l.push(block(10));
+        }
+        l.push(block(10_000));
+        let p = l.run(&d);
+        assert!(p.imbalance > 5.0);
+        assert!(p.utilization < 0.9);
+    }
+
+    #[test]
+    fn achieved_bandwidth_bounded_by_device() {
+        let d = DeviceModel::tiny();
+        let mut l = LaunchSpec::new("bw", 256);
+        for _ in 0..1024 {
+            l.push(block(1000));
+        }
+        let p = l.run(&d);
+        let bw = p.achieved_bandwidth(&d);
+        assert!(bw > 0.0);
+        assert!(bw <= d.dram_bandwidth * 1.01, "bw {bw} exceeds device");
+    }
+}
+
+#[cfg(test)]
+mod grid_multiplier_tests {
+    use super::*;
+
+    fn launch_with(blocks: usize, dram_per_block: u64, mult: usize) -> LaunchSpec {
+        let mut l = LaunchSpec::new("t", 256).with_grid_multiplier(mult);
+        for _ in 0..blocks {
+            l.push(BlockCost {
+                dram_transactions: dram_per_block,
+                lane_efficiency: 1.0,
+                ..Default::default()
+            });
+        }
+        l
+    }
+
+    #[test]
+    fn few_blocks_pay_mlp_shortfall() {
+        let d = DeviceModel::v100();
+        // 4 giant blocks starve the memory system ...
+        let starved = launch_with(4, 1_000_000, 1).run(&d);
+        // ... while the same traffic across 4096 blocks saturates it.
+        let saturated = launch_with(4096, 4_000_000 / 4096, 1).run(&d);
+        assert!(
+            starved.time_ms > 3.0 * saturated.time_ms,
+            "{} vs {}",
+            starved.time_ms,
+            saturated.time_ms
+        );
+    }
+
+    #[test]
+    fn grid_multiplier_restores_parallelism() {
+        let d = DeviceModel::v100();
+        let narrow = launch_with(4, 1_000_000, 1).run(&d);
+        // The same 4 row-blocks tiled 256x along j behave like 1024 blocks.
+        let tiled = launch_with(4, 1_000_000, 256).run(&d);
+        assert!(
+            tiled.time_ms < narrow.time_ms,
+            "j-tiling must relieve the shortfall: {} vs {}",
+            tiled.time_ms,
+            narrow.time_ms
+        );
+    }
+
+    #[test]
+    fn multiplier_splits_critical_path() {
+        let d = DeviceModel::v100();
+        // One hot block among many light ones.
+        let mut l = LaunchSpec::new("hot", 256);
+        for _ in 0..2000 {
+            l.push(BlockCost {
+                dram_transactions: 10,
+                lane_efficiency: 1.0,
+                ..Default::default()
+            });
+        }
+        l.push(BlockCost {
+            dram_transactions: 2_000_000,
+            lane_efficiency: 1.0,
+            ..Default::default()
+        });
+        let serial = l.clone().run(&d);
+        let split = {
+            let mut l2 = l.clone();
+            l2.grid_multiplier = 16;
+            l2.run(&d)
+        };
+        assert!(
+            split.time_ms < serial.time_ms,
+            "splitting the hot block shortens the critical path: {} vs {}",
+            split.time_ms,
+            serial.time_ms
+        );
+    }
+
+    #[test]
+    fn shortfall_capped() {
+        let d = DeviceModel::v100();
+        // A single block must not be charged more than the cap (8x).
+        let one = launch_with(1, 100_000, 1).run(&d);
+        let many = launch_with(640, 100_000 / 640, 1).run(&d);
+        assert!(one.time_ms / many.time_ms < 16.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Block Compressed Sparse Row (BCSR / BSR): the matrix is cut into
+//! `br × bc` tiles; any tile containing a non-zero is stored as a dense,
+//! zero-padded block. This is the paper's representative *blockwise* fixed
+//! format (used by Triton's block-sparse kernels) and the source of the
+//! §2.1 anecdote: an 8×8 BCSR of a scattered matrix can blow the footprint
+//! up by >60× with a 99% padding ratio.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in BCSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    nnz: usize,
+    /// Block-row pointer: `num_block_rows + 1` offsets into `block_col_ind`.
+    block_row_ptr: Vec<usize>,
+    /// Block-column index of each stored block.
+    block_col_ind: Vec<Index>,
+    /// Dense payload: one `block_rows × block_cols` row-major tile per block.
+    block_values: Vec<T>,
+}
+
+impl<T: Scalar> BcsrMatrix<T> {
+    /// Convert from CSR with the given block shape.
+    pub fn from_csr(csr: &CsrMatrix<T>, block_rows: usize, block_cols: usize) -> Result<Self> {
+        if block_rows == 0 || block_cols == 0 {
+            return Err(SparseError::InvalidConfig("block dims must be > 0".into()));
+        }
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let nbr = rows.div_ceil(block_rows);
+        let block_slots = block_rows * block_cols;
+
+        let mut block_row_ptr = vec![0usize; nbr + 1];
+        let mut block_col_ind: Vec<Index> = Vec::new();
+        let mut block_values: Vec<T> = Vec::new();
+
+        // For each block row, walk its CSR rows merging column indices into
+        // block columns in sorted order.
+        for br in 0..nbr {
+            let r_lo = br * block_rows;
+            let r_hi = (r_lo + block_rows).min(rows);
+            // Collect the sorted set of non-empty block columns.
+            let mut bcs: Vec<Index> = Vec::new();
+            for i in r_lo..r_hi {
+                for &c in csr.row_cols(i) {
+                    bcs.push(c / block_cols as Index);
+                }
+            }
+            bcs.sort_unstable();
+            bcs.dedup();
+
+            let first_block = block_col_ind.len();
+            block_col_ind.extend_from_slice(&bcs);
+            block_values.resize(block_values.len() + bcs.len() * block_slots, T::ZERO);
+
+            // Scatter values into the dense tiles.
+            for i in r_lo..r_hi {
+                let local_r = i - r_lo;
+                for (&c, &v) in csr.row_cols(i).iter().zip(csr.row_values(i)) {
+                    let bc = c / block_cols as Index;
+                    let local_c = (c % block_cols as Index) as usize;
+                    let k = bcs.binary_search(&bc).expect("block column present");
+                    let base = (first_block + k) * block_slots;
+                    block_values[base + local_r * block_cols + local_c] = v;
+                }
+            }
+            block_row_ptr[br + 1] = block_col_ind.len();
+        }
+
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            nnz: csr.nnz(),
+            block_row_ptr,
+            block_col_ind,
+            block_values,
+        })
+    }
+
+    /// Convert back to CSR (dropping the padded zeros).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        let slots = self.block_rows * self.block_cols;
+        for br in 0..self.num_block_rows() {
+            for k in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_col_ind[k] as usize;
+                let base = k * slots;
+                for lr in 0..self.block_rows {
+                    let r = br * self.block_rows + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    for lc in 0..self.block_cols {
+                        let c = bc * self.block_cols + lc;
+                        if c >= self.cols {
+                            break;
+                        }
+                        let v = self.block_values[base + lr * self.block_cols + lc];
+                        if v != T::ZERO {
+                            triplets.push((r, c, v));
+                        }
+                    }
+                }
+            }
+        }
+        let coo = crate::coo::CooMatrix::from_triplets(self.rows, self.cols, triplets)
+            .expect("valid BCSR yields valid COO");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Block shape `(block_rows, block_cols)`.
+    #[inline]
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.block_rows, self.block_cols)
+    }
+
+    /// Number of block rows.
+    #[inline]
+    pub fn num_block_rows(&self) -> usize {
+        self.block_row_ptr.len() - 1
+    }
+
+    /// Number of stored blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.block_col_ind.len()
+    }
+
+    /// Block-row pointer array.
+    #[inline]
+    pub fn block_row_ptr(&self) -> &[usize] {
+        &self.block_row_ptr
+    }
+
+    /// Block-column index array.
+    #[inline]
+    pub fn block_col_ind(&self) -> &[Index] {
+        &self.block_col_ind
+    }
+
+    /// Dense tile payload (row-major per block).
+    #[inline]
+    pub fn block_values(&self) -> &[T] {
+        &self.block_values
+    }
+
+    /// True non-zero count (excluding padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored slots including padding.
+    #[inline]
+    pub fn stored_slots(&self) -> usize {
+        self.num_blocks() * self.block_rows * self.block_cols
+    }
+
+    /// Fraction of stored slots that are padding. Reaches 0.99 for the
+    /// paper's pathological 8×8 case.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.stored_slots() == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.stored_slots() as f64
+    }
+
+    /// Memory footprint including padding.
+    pub fn memory_bytes(&self) -> usize {
+        (self.block_row_ptr.len() + self.block_col_ind.len()) * std::mem::size_of::<Index>()
+            + self.stored_slots() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::rng::Pcg32;
+
+    fn sample() -> CsrMatrix<f64> {
+        // 4x4, two 2x2 blocks touched.
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 3, 3.0), (3, 2, 4.0)],
+        )
+        .unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn block_structure() {
+        let b = BcsrMatrix::from_csr(&sample(), 2, 2).unwrap();
+        assert_eq!(b.num_block_rows(), 2);
+        assert_eq!(b.num_blocks(), 2);
+        assert_eq!(b.block_col_ind(), &[0, 1]);
+        assert_eq!(b.stored_slots(), 8);
+        assert!((b.padding_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        let csr = sample();
+        for (br, bc) in [(1, 1), (2, 2), (3, 2), (4, 4), (5, 3)] {
+            let b = BcsrMatrix::from_csr(&csr, br, bc).unwrap();
+            assert_eq!(b.to_csr(), csr, "block {br}x{bc}");
+        }
+    }
+
+    #[test]
+    fn round_trip_random() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        let mut trips = Vec::new();
+        for _ in 0..200 {
+            trips.push((
+                rng.usize_in(0, 33),
+                rng.usize_in(0, 29),
+                rng.f64_in(0.5, 2.0),
+            ));
+        }
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_triplets(33, 29, trips).unwrap());
+        let b = BcsrMatrix::from_csr(&csr, 8, 8).unwrap();
+        assert_eq!(b.to_csr(), csr);
+    }
+
+    #[test]
+    fn scattered_matrix_pads_heavily() {
+        // One nnz per 8x8 block: padding ratio = 63/64.
+        let mut trips = Vec::new();
+        for bi in 0..8 {
+            for bj in 0..8 {
+                trips.push((bi * 8, bj * 8, 1.0));
+            }
+        }
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_triplets(64, 64, trips).unwrap());
+        let b = BcsrMatrix::from_csr(&csr, 8, 8).unwrap();
+        assert!((b.padding_ratio() - 63.0 / 64.0).abs() < 1e-12);
+        assert!(b.memory_bytes() > csr.memory_bytes() * 4);
+    }
+
+    #[test]
+    fn zero_block_dims_rejected() {
+        assert!(BcsrMatrix::from_csr(&sample(), 0, 2).is_err());
+        assert!(BcsrMatrix::from_csr(&sample(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn ragged_edges_handled() {
+        // 5x5 with 2x2 blocks: bottom/right blocks are ragged.
+        let coo =
+            CooMatrix::from_triplets(5, 5, vec![(4, 4, 9.0), (4, 0, 1.0), (0, 4, 2.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let b = BcsrMatrix::from_csr(&csr, 2, 2).unwrap();
+        assert_eq!(b.to_csr(), csr);
+    }
+}

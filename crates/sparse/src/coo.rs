@@ -1,0 +1,293 @@
+//! Coordinate (COO) sparse format: an explicit list of `(row, col, value)`
+//! triplets. COO is the interchange format every generator produces and
+//! every other format converts through.
+
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in coordinate form.
+///
+/// Invariants after construction through [`CooMatrix::from_triplets`]:
+/// entries are sorted by `(row, col)`, contain no duplicates (duplicates are
+/// summed), all indices are in bounds, and no stored value equals zero
+/// unless `keep_zeros` was requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    rows: usize,
+    cols: usize,
+    row_ind: Vec<Index>,
+    col_ind: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Build from unsorted triplets. Duplicates are summed; exact zeros that
+    /// result are dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, T)>,
+    ) -> Result<Self> {
+        let mut entries: Vec<(usize, usize, T)> = Vec::new();
+        for (r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: (r, c),
+                    shape: (rows, cols),
+                });
+            }
+            if r > Index::MAX as usize || c > Index::MAX as usize {
+                return Err(SparseError::InvalidFormat(
+                    "index exceeds 32-bit range".into(),
+                ));
+            }
+            entries.push((r, c, v));
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ind = Vec::with_capacity(entries.len());
+        let mut col_ind = Vec::with_capacity(entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            if let (Some(&lr), Some(&lc)) = (row_ind.last(), col_ind.last()) {
+                if lr == r as Index && lc == c as Index {
+                    // Duplicate: accumulate into the previous entry.
+                    let last = values.len() - 1;
+                    values[last] += v;
+                    continue;
+                }
+            }
+            row_ind.push(r as Index);
+            col_ind.push(c as Index);
+            values.push(v);
+        }
+        // Drop entries that summed to exactly zero, compacting in place.
+        let (mut ri, mut ci, mut va) = (row_ind, col_ind, values);
+        let mut w = 0usize;
+        for i in 0..va.len() {
+            if va[i] != T::ZERO {
+                ri[w] = ri[i];
+                ci[w] = ci[i];
+                va[w] = va[i];
+                w += 1;
+            }
+        }
+        ri.truncate(w);
+        ci.truncate(w);
+        va.truncate(w);
+
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row_ind: ri,
+            col_ind: ci,
+            values: va,
+        })
+    }
+
+    /// An empty matrix with the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            row_ind: Vec::new(),
+            col_ind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity-like matrix with ones on the main diagonal.
+    pub fn identity(n: usize) -> Self {
+        CooMatrix {
+            rows: n,
+            cols: n,
+            row_ind: (0..n as Index).collect(),
+            col_ind: (0..n as Index).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density: `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Row index array.
+    #[inline]
+    pub fn row_indices(&self) -> &[Index] {
+        &self.row_ind
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_indices(&self) -> &[Index] {
+        &self.col_ind
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterate `(row, col, value)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.row_ind
+            .iter()
+            .zip(&self.col_ind)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Memory footprint: two index arrays plus values.
+    pub fn memory_bytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+
+    /// Materialize as dense (test/debug helper; O(rows*cols) memory).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+
+    /// Transpose (swaps the roles of rows and columns, re-sorts).
+    pub fn transpose(&self) -> Self {
+        let triplets: Vec<_> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        // Safe: indices already validated against swapped bounds.
+        CooMatrix::from_triplets(self.cols, self.rows, triplets)
+            .expect("transpose of a valid matrix is valid")
+    }
+
+    /// Check that all values are finite; first offender reported.
+    pub fn validate_finite(&self) -> Result<()> {
+        for (r, c, v) in self.iter() {
+            if !v.is_finite() {
+                return Err(SparseError::NonFiniteValue { index: (r, c) });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix<f64> {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(2, 1, 3.0), (0, 0, 1.0), (0, 3, 2.0), (1, 2, -1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triplets_are_sorted_and_counted() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.shape(), (3, 4));
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 2, -1.0), (2, 1, 3.0)]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.iter().next(), Some((0, 0, 3.0)));
+    }
+
+    #[test]
+    fn zero_sums_are_dropped() {
+        let m = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 5.0)])
+            .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.iter().next(), Some((1, 0, 5.0)));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(matches!(
+            CooMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_identity() {
+        let e = CooMatrix::<f64>::empty(5, 5);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.density(), 0.0);
+        let i = CooMatrix::<f64>::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.to_dense().get(1, 1), 1.0);
+        assert_eq!(i.to_dense().get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn validate_finite_catches_nan() {
+        let m = CooMatrix::from_triplets(1, 2, vec![(0, 1, f64::NAN)]).unwrap();
+        assert!(matches!(
+            m.validate_finite(),
+            Err(SparseError::NonFiniteValue { index: (0, 1) })
+        ));
+        assert!(sample().validate_finite().is_ok());
+    }
+
+    #[test]
+    fn memory_bytes_accounts_indices_and_values() {
+        let m = sample();
+        assert_eq!(m.memory_bytes(), 4 * (4 + 4 + 8));
+    }
+}

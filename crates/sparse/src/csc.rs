@@ -1,0 +1,209 @@
+//! Compressed Sparse Column (CSC): the column-major dual of CSR. Included
+//! for completeness of the elementwise-format survey and used by tests that
+//! check transpose identities.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in CSC form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_ind: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Convert from CSR by a counting transpose.
+    pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
+        let (rows, cols) = csr.shape();
+        let nnz = csr.nnz();
+        let mut col_ptr = vec![0usize; cols + 1];
+        for &c in csr.col_ind() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut next = col_ptr.clone();
+        let mut row_ind = vec![0 as Index; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        for (r, c, v) in csr.iter() {
+            let slot = next[c];
+            next[c] += 1;
+            row_ind[slot] = r as Index;
+            values[slot] = v;
+        }
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_ind,
+            values,
+        }
+    }
+
+    /// Convert to CSR (via COO).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let coo = CooMatrix::from_triplets(self.rows, self.cols, self.iter())
+            .expect("valid CSC yields valid COO");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Build from raw arrays with validation.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_ind: Vec<Index>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if col_ptr.len() != cols + 1 || col_ptr[0] != 0 {
+            return Err(SparseError::InvalidFormat("bad col_ptr".into()));
+        }
+        if row_ind.len() != values.len() || *col_ptr.last().expect("ptr") != row_ind.len() {
+            return Err(SparseError::InvalidFormat("nnz mismatch".into()));
+        }
+        for j in 0..cols {
+            if col_ptr[j] > col_ptr[j + 1] {
+                return Err(SparseError::InvalidFormat(format!(
+                    "col_ptr not monotone at column {j}"
+                )));
+            }
+            let span = &row_ind[col_ptr[j]..col_ptr[j + 1]];
+            for w in span.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidFormat(format!(
+                        "row indices not strictly increasing in column {j}"
+                    )));
+                }
+            }
+            if let Some(&last) = span.last() {
+                if last as usize >= rows {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: (last as usize, j),
+                        shape: (rows, cols),
+                    });
+                }
+            }
+        }
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_ind,
+            values,
+        })
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array.
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array.
+    #[inline]
+    pub fn row_ind(&self) -> &[Index] {
+        &self.row_ind
+    }
+
+    /// Values array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterate `(row, col, value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.cols).flat_map(move |j| {
+            self.row_ind[self.col_ptr[j]..self.col_ptr[j + 1]]
+                .iter()
+                .zip(&self.values[self.col_ptr[j]..self.col_ptr[j + 1]])
+                .map(move |(&r, &v)| (r as usize, j, v))
+        })
+    }
+
+    /// Memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        (self.cols + 1) * std::mem::size_of::<Index>()
+            + self.nnz() * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix<f64> {
+        let coo = CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 2, -1.0), (2, 1, 3.0)],
+        )
+        .unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let csr = sample_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn column_pointers_count_columns() {
+        let csc = CscMatrix::from_csr(&sample_csr());
+        assert_eq!(csc.col_ptr(), &[0, 1, 2, 3, 4]);
+        assert_eq!(csc.row_ind(), &[0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let csc = CscMatrix::from_csr(&sample_csr());
+        let cols: Vec<usize> = csc.iter().map(|(_, c, _)| c).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        assert_eq!(cols, sorted);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(
+            CscMatrix::<f64>::from_raw(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err(),
+            "unsorted rows must be rejected"
+        );
+        assert!(CscMatrix::<f64>::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_identity_via_csc() {
+        // CSC of A has the same arrays as CSR of A^T.
+        let csr = sample_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        let t_csr = CsrMatrix::from_coo(&csr.to_coo().transpose());
+        assert_eq!(csc.col_ptr(), t_csr.row_ptr());
+        assert_eq!(csc.row_ind(), t_csr.col_ind());
+    }
+}

@@ -1,0 +1,394 @@
+//! Compressed Sparse Row (CSR): the fixed format used by cuSPARSE, Sputnik,
+//! dgSPARSE and TACO in the paper's evaluation, and the input from which
+//! every composable format is built.
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in CSR form.
+///
+/// Invariants: `row_ptr` has `rows + 1` monotonically non-decreasing
+/// entries with `row_ptr[0] == 0` and `row_ptr[rows] == nnz`; column
+/// indices are strictly increasing within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_ind: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build from raw arrays, validating every invariant.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_ind: Vec<Index>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::InvalidFormat(format!(
+                "row_ptr length {} != rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidFormat("row_ptr[0] != 0".into()));
+        }
+        if col_ind.len() != values.len() {
+            return Err(SparseError::InvalidFormat(format!(
+                "col_ind length {} != values length {}",
+                col_ind.len(),
+                values.len()
+            )));
+        }
+        if *row_ptr.last().expect("non-empty row_ptr") != col_ind.len() {
+            return Err(SparseError::InvalidFormat(format!(
+                "row_ptr[rows] = {} != nnz = {}",
+                row_ptr[rows],
+                col_ind.len()
+            )));
+        }
+        for i in 0..rows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(SparseError::InvalidFormat(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
+            }
+            let span = &col_ind[row_ptr[i]..row_ptr[i + 1]];
+            for w in span.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidFormat(format!(
+                        "column indices not strictly increasing in row {i}"
+                    )));
+                }
+            }
+            if let Some(&last) = span.last() {
+                if last as usize >= cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: (i, last as usize),
+                        shape: (rows, cols),
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_ind,
+            values,
+        })
+    }
+
+    /// Convert from COO (already sorted and deduplicated).
+    pub fn from_coo(coo: &CooMatrix<T>) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &r in coo.row_indices() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_ind: coo.col_indices().to_vec(),
+            values: coo.values().to_vec(),
+        }
+    }
+
+    /// Convert back to COO.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        CooMatrix::from_triplets(self.rows, self.cols, self.iter())
+            .expect("valid CSR converts to valid COO")
+    }
+
+    /// An empty matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_ind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density `nnz / (rows*cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_ind(&self) -> &[Index] {
+        &self.col_ind
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Length (number of stored entries) of row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[Index] {
+        &self.col_ind[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[T] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Iterate `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            self.row_cols(i)
+                .iter()
+                .zip(self.row_values(i))
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Memory footprint: row pointers (stored as 4-byte ints on GPUs),
+    /// column indices, values.
+    pub fn memory_bytes(&self) -> usize {
+        (self.rows + 1) * std::mem::size_of::<Index>()
+            + self.nnz() * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+
+    /// Materialize as dense (test helper).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+
+    /// Extract the sub-matrix containing only columns `[col_lo, col_hi)`,
+    /// keeping original row count. Column indices are *not* rebased; the
+    /// result is expressed in the original column space, which is what the
+    /// CELL partition builder needs.
+    pub fn column_slice(&self, col_lo: usize, col_hi: usize) -> Result<Self> {
+        if col_lo > col_hi || col_hi > self.cols {
+            return Err(SparseError::InvalidConfig(format!(
+                "bad column slice [{col_lo}, {col_hi}) for {} cols",
+                self.cols
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_ind = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0usize);
+        for i in 0..self.rows {
+            let cols = self.row_cols(i);
+            let vals = self.row_values(i);
+            let start = cols.partition_point(|&c| (c as usize) < col_lo);
+            let end = cols.partition_point(|&c| (c as usize) < col_hi);
+            col_ind.extend_from_slice(&cols[start..end]);
+            values.extend_from_slice(&vals[start..end]);
+            row_ptr.push(col_ind.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_ind,
+            values,
+        })
+    }
+
+    /// Reference sequential SpMM: `C = A * B`. Used as the ground truth all
+    /// simulated kernels are checked against.
+    pub fn spmm_reference(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        if self.cols != b.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.rows, b.cols());
+        for i in 0..self.rows {
+            let cols = self.row_cols(i);
+            let vals = self.row_values(i);
+            let crow = c.row_mut(i);
+            for (&k, &a) in cols.iter().zip(vals) {
+                let brow = b.row(k as usize);
+                for j in 0..brow.len() {
+                    crow[j] += a * brow[j];
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Per-row non-zero counts.
+    pub fn row_lengths(&self) -> Vec<usize> {
+        (0..self.rows).map(|i| self.row_len(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 0 2]
+        // [0 0 -1 0]
+        // [0 3 0 0]
+        let coo = CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 2, -1.0), (2, 1, 3.0)],
+        )
+        .unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_builds_correct_pointers() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(m.col_ind(), &[0, 3, 2, 1]);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.row_len(1), 1);
+        assert_eq!(m.row_cols(2), &[1]);
+        assert_eq!(m.row_values(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let m = sample();
+        let coo = m.to_coo();
+        let back = CsrMatrix::from_coo(&coo);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        // Good.
+        assert!(
+            CsrMatrix::<f64>::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok()
+        );
+        // Bad row_ptr length.
+        assert!(CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Non-monotone.
+        assert!(
+            CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
+        // Unsorted columns in a row.
+        assert!(
+            CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // nnz mismatch.
+        assert!(CsrMatrix::<f64>::from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn spmm_reference_matches_dense() {
+        let m = sample();
+        let b = DenseMatrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 - 1.5);
+        let c = m.spmm_reference(&b).unwrap();
+        let c_dense = m.to_dense().matmul(&b).unwrap();
+        assert!(c.approx_eq(&c_dense, 1e-12));
+    }
+
+    #[test]
+    fn spmm_shape_error() {
+        let m = sample();
+        let b = DenseMatrix::<f64>::zeros(3, 3);
+        assert!(m.spmm_reference(&b).is_err());
+    }
+
+    #[test]
+    fn column_slice_keeps_row_structure() {
+        let m = sample();
+        let s = m.column_slice(1, 3).unwrap();
+        assert_eq!(s.shape(), m.shape());
+        let entries: Vec<_> = s.iter().collect();
+        assert_eq!(entries, vec![(1, 2, -1.0), (2, 1, 3.0)]);
+        // Degenerate slices.
+        assert_eq!(m.column_slice(0, 0).unwrap().nnz(), 0);
+        assert_eq!(m.column_slice(0, 4).unwrap().nnz(), m.nnz());
+        assert!(m.column_slice(3, 2).is_err());
+        assert!(m.column_slice(0, 5).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let m = CsrMatrix::<f64>::empty(3, 3);
+        assert_eq!(m.nnz(), 0);
+        let b = DenseMatrix::zeros(3, 2);
+        let c = m.spmm_reference(&b).unwrap();
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_lengths_and_density() {
+        let m = sample();
+        assert_eq!(m.row_lengths(), vec![2, 1, 1]);
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_bytes_formula() {
+        let m = sample();
+        // (3+1)*4 + 4*(4+8)
+        assert_eq!(m.memory_bytes(), 16 + 48);
+    }
+}

@@ -1,0 +1,187 @@
+//! Doubly Compressed Sparse Row (DCSR): compresses away empty rows, the
+//! hypersparse format of Buluç & Gilbert cited in §2.1. Relevant for the
+//! SuiteSparse-like corpus where densities go down to 8.7e-7.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in DCSR form: only rows with at least one stored entry
+/// appear in `row_ids`/`row_ptr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    /// Original indices of the non-empty rows, strictly increasing.
+    row_ids: Vec<Index>,
+    /// `row_ids.len() + 1` offsets into `col_ind`/`values`.
+    row_ptr: Vec<usize>,
+    col_ind: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> DcsrMatrix<T> {
+    /// Convert from CSR, dropping empty rows.
+    pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
+        let mut row_ids = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut col_ind = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..csr.rows() {
+            if csr.row_len(i) == 0 {
+                continue;
+            }
+            row_ids.push(i as Index);
+            col_ind.extend_from_slice(csr.row_cols(i));
+            values.extend_from_slice(csr.row_values(i));
+            row_ptr.push(col_ind.len());
+        }
+        DcsrMatrix {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            row_ids,
+            row_ptr,
+            col_ind,
+            values,
+        }
+    }
+
+    /// Convert back to CSR (re-inserting empty rows).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for (k, &rid) in self.row_ids.iter().enumerate() {
+            row_ptr[rid as usize + 1] = self.row_ptr[k + 1] - self.row_ptr[k];
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_raw(
+            self.rows,
+            self.cols,
+            row_ptr,
+            self.col_ind.clone(),
+            self.values.clone(),
+        )
+        .expect("valid DCSR yields valid CSR")
+    }
+
+    /// Validate structural invariants (used by property tests).
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.row_ids.len() + 1 {
+            return Err(SparseError::InvalidFormat("row_ptr length mismatch".into()));
+        }
+        for w in self.row_ids.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidFormat(
+                    "row_ids not strictly increasing".into(),
+                ));
+            }
+        }
+        if let Some(&last) = self.row_ids.last() {
+            if last as usize >= self.rows {
+                return Err(SparseError::InvalidFormat("row id out of range".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of non-empty rows.
+    #[inline]
+    pub fn nnz_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Indices of the non-empty rows.
+    #[inline]
+    pub fn row_ids(&self) -> &[Index] {
+        &self.row_ids
+    }
+
+    /// Memory footprint: row ids + pointers + column indices + values.
+    pub fn memory_bytes(&self) -> usize {
+        (self.row_ids.len() + self.row_ptr.len()) * std::mem::size_of::<Index>()
+            + self.nnz() * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+
+    /// Iterate `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.row_ids.iter().enumerate().flat_map(move |(k, &rid)| {
+            self.col_ind[self.row_ptr[k]..self.row_ptr[k + 1]]
+                .iter()
+                .zip(&self.values[self.row_ptr[k]..self.row_ptr[k + 1]])
+                .map(move |(&c, &v)| (rid as usize, c as usize, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn hypersparse() -> CsrMatrix<f64> {
+        // 1000x1000 with 3 entries in 2 rows.
+        let coo = CooMatrix::from_triplets(
+            1000,
+            1000,
+            vec![(5, 7, 1.0), (5, 900, 2.0), (999, 0, 3.0)],
+        )
+        .unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn drops_empty_rows() {
+        let d = DcsrMatrix::from_csr(&hypersparse());
+        assert_eq!(d.nnz_rows(), 2);
+        assert_eq!(d.row_ids(), &[5, 999]);
+        assert_eq!(d.nnz(), 3);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_csr() {
+        let csr = hypersparse();
+        assert_eq!(DcsrMatrix::from_csr(&csr).to_csr(), csr);
+    }
+
+    #[test]
+    fn memory_smaller_than_csr_when_hypersparse() {
+        let csr = hypersparse();
+        let d = DcsrMatrix::from_csr(&csr);
+        assert!(
+            d.memory_bytes() < csr.memory_bytes() / 10,
+            "dcsr {} vs csr {}",
+            d.memory_bytes(),
+            csr.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let d = DcsrMatrix::from_csr(&hypersparse());
+        let got: Vec<_> = d.iter().collect();
+        assert_eq!(got, vec![(5, 7, 1.0), (5, 900, 2.0), (999, 0, 3.0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f64>::empty(10, 10);
+        let d = DcsrMatrix::from_csr(&csr);
+        assert_eq!(d.nnz_rows(), 0);
+        assert_eq!(d.to_csr(), csr);
+    }
+}

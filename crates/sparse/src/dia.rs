@@ -1,0 +1,192 @@
+//! Diagonal (DIA) format: values stored along matrix diagonals — the
+//! classic layout for banded stencil matrices (Im, ref. 24, in the paper's
+//! survey). Extremely compact when non-zeros hug a few diagonals,
+//! catastrophic otherwise: the number of stored diagonals multiplies the
+//! row count regardless of how sparse each diagonal is.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// A sparse matrix in DIA form.
+///
+/// `offsets[d]` is the diagonal offset (`col - row`, negative below the
+/// main diagonal); `values` is a `num_diags × rows` row-major grid where
+/// slot `[d][i]` holds `A[i, i + offsets[d]]` (zero if out of range or
+/// absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix<T> {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    offsets: Vec<i64>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> DiaMatrix<T> {
+    /// Convert from CSR. Errors if the matrix would need more than
+    /// `max_diags` diagonals (the guard against the format's blow-up).
+    pub fn from_csr(csr: &CsrMatrix<T>, max_diags: usize) -> Result<Self> {
+        let (rows, cols) = csr.shape();
+        let mut offsets: Vec<i64> = csr
+            .iter()
+            .map(|(r, c, _)| c as i64 - r as i64)
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        if offsets.len() > max_diags {
+            return Err(SparseError::InvalidConfig(format!(
+                "matrix touches {} diagonals > limit {max_diags}",
+                offsets.len()
+            )));
+        }
+        let mut values = vec![T::ZERO; offsets.len() * rows];
+        for (r, c, v) in csr.iter() {
+            let off = c as i64 - r as i64;
+            let d = offsets.binary_search(&off).expect("offset present");
+            values[d * rows + r] = v;
+        }
+        Ok(DiaMatrix {
+            rows,
+            cols,
+            nnz: csr.nnz(),
+            offsets,
+            values,
+        })
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            for r in 0..self.rows {
+                let c = r as i64 + off;
+                if c < 0 || c >= self.cols as i64 {
+                    continue;
+                }
+                let v = self.values[d * self.rows + r];
+                if v != T::ZERO {
+                    triplets.push((r, c as usize, v));
+                }
+            }
+        }
+        let coo = crate::coo::CooMatrix::from_triplets(self.rows, self.cols, triplets)
+            .expect("valid DIA yields valid COO");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored diagonals.
+    #[inline]
+    pub fn num_diags(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Diagonal offsets, ascending.
+    #[inline]
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// True non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored slots (diags × rows), including structural zeros.
+    #[inline]
+    pub fn stored_slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored slots that are structural zeros.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.values.len() as f64
+    }
+
+    /// Memory footprint: offsets + the dense diagonal grid.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<i64>()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::gen::{banded, uniform_random};
+    use crate::rng::Pcg32;
+
+    fn tridiagonal(n: usize) -> CsrMatrix<f64> {
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 2.0));
+            if i > 0 {
+                trips.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                trips.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(n, n, trips).unwrap())
+    }
+
+    #[test]
+    fn tridiagonal_uses_three_diagonals() {
+        let csr = tridiagonal(50);
+        let dia = DiaMatrix::from_csr(&csr, 16).unwrap();
+        assert_eq!(dia.num_diags(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        // Padding: only the corner slots of the off-diagonals.
+        assert!(dia.padding_ratio() < 0.02);
+    }
+
+    #[test]
+    fn round_trip() {
+        let csr = tridiagonal(37);
+        assert_eq!(DiaMatrix::from_csr(&csr, 8).unwrap().to_csr(), csr);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let band = CsrMatrix::from_coo(&banded::<f64>(80, 80, 3, &mut rng));
+        assert_eq!(DiaMatrix::from_csr(&band, 16).unwrap().to_csr(), band);
+    }
+
+    #[test]
+    fn scattered_matrix_rejected_by_guard() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let csr = CsrMatrix::from_coo(&uniform_random::<f64>(200, 200, 2000, &mut rng));
+        assert!(DiaMatrix::from_csr(&csr, 32).is_err());
+        // With a huge limit it converts but pads enormously.
+        let dia = DiaMatrix::from_csr(&csr, 1000).unwrap();
+        assert!(dia.padding_ratio() > 0.9);
+        assert!(dia.memory_bytes() > csr.memory_bytes() * 5);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let coo =
+            CooMatrix::from_triplets(3, 6, vec![(0, 0, 1.0), (1, 4, 2.0), (2, 5, 3.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let dia = DiaMatrix::from_csr(&csr, 8).unwrap();
+        assert_eq!(dia.to_csr(), csr);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f64>::empty(5, 5);
+        let dia = DiaMatrix::from_csr(&csr, 4).unwrap();
+        assert_eq!(dia.num_diags(), 0);
+        assert_eq!(dia.padding_ratio(), 0.0);
+        assert_eq!(dia.to_csr(), csr);
+    }
+}

@@ -1,0 +1,217 @@
+//! Ellpack (ELL) format: non-zeros packed to the left into a dense
+//! `rows × width` grid (Figure 1 of the paper). A single long row inflates
+//! the whole matrix with padding — the weakness the CELL format's buckets
+//! and partitions exist to fix.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// Sentinel column index marking a padded slot.
+pub const ELL_PAD: Index = Index::MAX;
+
+/// A sparse matrix in Ellpack form.
+///
+/// `col_ind` and `values` are row-major `rows × width` arrays; slot
+/// `[i, j]` is at `i * width + j`. Padded slots hold [`ELL_PAD`] / zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix<T> {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    nnz: usize,
+    col_ind: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> EllMatrix<T> {
+    /// Convert from CSR with `width = max row length`.
+    pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
+        let width = (0..csr.rows()).map(|i| csr.row_len(i)).max().unwrap_or(0);
+        Self::from_csr_with_width(csr, width)
+            .expect("max row length always accommodates every row")
+    }
+
+    /// Convert from CSR with an explicit width; errors if any row exceeds it.
+    pub fn from_csr_with_width(csr: &CsrMatrix<T>, width: usize) -> Result<Self> {
+        let rows = csr.rows();
+        for i in 0..rows {
+            if csr.row_len(i) > width {
+                return Err(SparseError::InvalidConfig(format!(
+                    "row {i} has {} nnz > ELL width {width}",
+                    csr.row_len(i)
+                )));
+            }
+        }
+        let mut col_ind = vec![ELL_PAD; rows * width];
+        let mut values = vec![T::ZERO; rows * width];
+        for i in 0..rows {
+            let cols = csr.row_cols(i);
+            let vals = csr.row_values(i);
+            for (j, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                col_ind[i * width + j] = c;
+                values[i * width + j] = v;
+            }
+        }
+        Ok(EllMatrix {
+            rows,
+            cols: csr.cols(),
+            width,
+            nnz: csr.nnz(),
+            col_ind,
+            values,
+        })
+    }
+
+    /// Convert back to CSR, skipping padded slots.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_ind = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for i in 0..self.rows {
+            for j in 0..self.width {
+                let c = self.col_ind[i * self.width + j];
+                if c == ELL_PAD {
+                    break; // left-packed: first pad ends the row
+                }
+                col_ind.push(c);
+                values.push(self.values[i * self.width + j]);
+            }
+            row_ptr[i + 1] = col_ind.len();
+        }
+        CsrMatrix::from_raw(self.rows, self.cols, row_ptr, col_ind, values)
+            .expect("valid ELL yields valid CSR")
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Ellpack width (slots per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of true non-zeros (excluding padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of stored slots including padding.
+    #[inline]
+    pub fn stored_slots(&self) -> usize {
+        self.rows * self.width
+    }
+
+    /// Fraction of stored slots that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.stored_slots() == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.stored_slots() as f64
+    }
+
+    /// Column index grid (row-major, `ELL_PAD` marks padding).
+    #[inline]
+    pub fn col_ind(&self) -> &[Index] {
+        &self.col_ind
+    }
+
+    /// Value grid (row-major).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Slot accessor: `(col_index_or_pad, value)` at `[i, j]`.
+    #[inline]
+    pub fn slot(&self, i: usize, j: usize) -> (Index, T) {
+        let idx = i * self.width + j;
+        (self.col_ind[idx], self.values[idx])
+    }
+
+    /// Memory footprint including padding.
+    pub fn memory_bytes(&self) -> usize {
+        self.stored_slots() * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn skewed() -> CsrMatrix<f64> {
+        // Row 0 has 4 entries, rows 1-3 have 1 each => width 4, lots of pad.
+        let coo = CooMatrix::from_triplets(
+            4,
+            8,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (0, 5, 3.0),
+                (0, 7, 4.0),
+                (1, 1, 5.0),
+                (2, 3, 6.0),
+                (3, 6, 7.0),
+            ],
+        )
+        .unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn width_is_max_row_length() {
+        let e = EllMatrix::from_csr(&skewed());
+        assert_eq!(e.width(), 4);
+        assert_eq!(e.stored_slots(), 16);
+        assert_eq!(e.nnz(), 7);
+    }
+
+    #[test]
+    fn padding_ratio_matches() {
+        let e = EllMatrix::from_csr(&skewed());
+        assert!((e.padding_ratio() - 9.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_csr() {
+        let csr = skewed();
+        assert_eq!(EllMatrix::from_csr(&csr).to_csr(), csr);
+    }
+
+    #[test]
+    fn slots_left_packed() {
+        let e = EllMatrix::from_csr(&skewed());
+        assert_eq!(e.slot(1, 0), (1, 5.0));
+        assert_eq!(e.slot(1, 1).0, ELL_PAD);
+        assert_eq!(e.slot(0, 3), (7, 4.0));
+    }
+
+    #[test]
+    fn explicit_width_too_small_errors() {
+        assert!(EllMatrix::from_csr_with_width(&skewed(), 3).is_err());
+        assert!(EllMatrix::from_csr_with_width(&skewed(), 4).is_ok());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f64>::empty(3, 3);
+        let e = EllMatrix::from_csr(&csr);
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.padding_ratio(), 0.0);
+        assert_eq!(e.to_csr(), csr);
+    }
+
+    #[test]
+    fn memory_grows_with_padding() {
+        let csr = skewed();
+        let e = EllMatrix::from_csr(&csr);
+        assert!(e.memory_bytes() > csr.memory_bytes());
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type shared by all matrix constructors, conversions and IO.
+
+use std::fmt;
+
+/// Errors produced by `lf-sparse` operations.
+#[derive(Debug)]
+pub enum SparseError {
+    /// Matrix dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Dimensions of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An index is out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// Offending `(row, col)` coordinate.
+        index: (usize, usize),
+        /// Matrix shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Structural invariant of a format is violated (e.g. non-monotone
+    /// `row_ptr`, unsorted column indices where required).
+    InvalidFormat(String),
+    /// A configuration parameter is invalid (zero block size, width not a
+    /// power of two, ...).
+    InvalidConfig(String),
+    /// Matrix values contain NaN/inf where finite values are required.
+    NonFiniteValue {
+        /// First offending position.
+        index: (usize, usize),
+    },
+    /// Underlying IO failure while reading/writing Matrix Market files.
+    Io(std::io::Error),
+    /// Matrix Market (or other text) parse failure.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of what went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::InvalidFormat(msg) => write!(f, "invalid sparse format: {msg}"),
+            SparseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SparseError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at ({}, {})", index.0, index.1)
+            }
+            SparseError::Io(e) => write!(f, "io error: {e}"),
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            op: "spmm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        assert!(e.to_string().contains("spmm"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = SparseError::IndexOutOfBounds {
+            index: (9, 9),
+            shape: (2, 2),
+        };
+        assert!(e.to_string().contains("(9, 9)"));
+
+        let e = SparseError::Parse {
+            line: 7,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = ioe.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

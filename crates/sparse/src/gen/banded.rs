@@ -1,0 +1,86 @@
+//! Banded generator: entries clustered around the main diagonal, the shape
+//! of discretized PDE / stencil matrices that dominate parts of the
+//! SuiteSparse collection. Highly regular — the case where fixed formats
+//! are already near-optimal and LiteForm's selector should answer "FALSE".
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Generate a matrix with a diagonal band of half-width `bandwidth`,
+/// filling ~90% of the in-band slots (jittered so rows aren't identical).
+pub fn banded<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    bandwidth: usize,
+    rng: &mut Pcg32,
+) -> CooMatrix<T> {
+    if rows == 0 || cols == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    let bandwidth = bandwidth.max(1);
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        // Center the band on the scaled diagonal for rectangular shapes.
+        let center = if rows <= 1 {
+            0
+        } else {
+            r * (cols - 1) / (rows - 1).max(1)
+        };
+        let lo = center.saturating_sub(bandwidth);
+        let hi = (center + bandwidth + 1).min(cols);
+        for c in lo..hi {
+            if rng.f64() < 0.9 {
+                triplets.push((r, c, nz_value::<T>(rng)));
+            }
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    #[test]
+    fn entries_stay_in_band() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let m: CooMatrix<f64> = banded(100, 100, 3, &mut rng);
+        for (r, c, _) in m.iter() {
+            assert!(
+                (r as i64 - c as i64).abs() <= 4,
+                "entry ({r},{c}) outside band"
+            );
+        }
+    }
+
+    #[test]
+    fn row_lengths_are_regular() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let m: CooMatrix<f64> = banded(200, 200, 4, &mut rng);
+        let csr = CsrMatrix::from_coo(&m);
+        let lens = csr.row_lengths();
+        let max = *lens.iter().max().unwrap();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(max as f64 <= 1.5 * mean + 2.0, "band rows should be even");
+    }
+
+    #[test]
+    fn rectangular_band_spans_columns() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let m: CooMatrix<f64> = banded(50, 200, 2, &mut rng);
+        let max_col = m.iter().map(|(_, c, _)| c).max().unwrap();
+        assert!(max_col > 150, "band should reach the right edge");
+    }
+
+    #[test]
+    fn degenerate() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let m: CooMatrix<f64> = banded(0, 10, 2, &mut rng);
+        assert_eq!(m.nnz(), 0);
+        let m: CooMatrix<f64> = banded(1, 1, 5, &mut rng);
+        assert!(m.nnz() <= 1);
+    }
+}

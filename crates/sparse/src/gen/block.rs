@@ -1,0 +1,91 @@
+//! Block-sparse generator: dense tiles scattered over a sparse skeleton —
+//! the FEM/multiphysics structure where blockwise formats (BCSR) shine and
+//! LiteForm's selector should often keep the fixed blockwise format.
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Generate a matrix of `num_blocks` dense `block_size × block_size` tiles
+/// at random aligned positions, each filled with probability `fill`.
+pub fn block_sparse<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    block_size: usize,
+    num_blocks: usize,
+    fill: f64,
+    rng: &mut Pcg32,
+) -> CooMatrix<T> {
+    if rows == 0 || cols == 0 || block_size == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    let bs = block_size.min(rows).min(cols);
+    let brows = rows / bs;
+    let bcols = cols / bs;
+    if brows == 0 || bcols == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    let total_slots = brows * bcols;
+    let picks = rng.sample_distinct(total_slots, num_blocks.min(total_slots));
+    let mut triplets = Vec::with_capacity(picks.len() * bs * bs);
+    for p in picks {
+        let (br, bc) = (p / bcols, p % bcols);
+        for lr in 0..bs {
+            for lc in 0..bs {
+                if rng.f64() < fill {
+                    triplets.push((br * bs + lr, bc * bs + lc, nz_value::<T>(rng)));
+                }
+            }
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcsr::BcsrMatrix;
+    use crate::csr::CsrMatrix;
+
+    #[test]
+    fn blocks_are_dense_under_bcsr() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let m: CooMatrix<f64> = block_sparse(128, 128, 8, 20, 1.0, &mut rng);
+        let csr = CsrMatrix::from_coo(&m);
+        let b = BcsrMatrix::from_csr(&csr, 8, 8).unwrap();
+        // Fully filled aligned tiles => zero padding.
+        assert_eq!(b.padding_ratio(), 0.0);
+        assert_eq!(b.num_blocks(), 20);
+    }
+
+    #[test]
+    fn fill_controls_density() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let dense: CooMatrix<f64> = block_sparse(64, 64, 8, 10, 1.0, &mut rng);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let half: CooMatrix<f64> = block_sparse(64, 64, 8, 10, 0.5, &mut rng);
+        assert!(half.nnz() < dense.nnz());
+        assert!(half.nnz() > dense.nnz() / 4);
+    }
+
+    #[test]
+    fn caps_blocks_at_available_slots() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let m: CooMatrix<f64> = block_sparse(16, 16, 8, 1000, 1.0, &mut rng);
+        assert_eq!(m.nnz(), 16 * 16);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert_eq!(
+            block_sparse::<f64>(0, 16, 4, 2, 1.0, &mut rng).nnz(),
+            0
+        );
+        assert_eq!(
+            block_sparse::<f64>(16, 16, 0, 2, 1.0, &mut rng).nnz(),
+            0
+        );
+    }
+}

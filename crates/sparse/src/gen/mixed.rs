@@ -1,0 +1,102 @@
+//! Mixed-region generator: the column space is split into regions whose
+//! densities differ by orders of magnitude. This is exactly the "varying
+//! sparsity patterns within a single matrix" scenario from the paper's
+//! introduction — the workload the CELL format's per-partition bucket
+//! widths are designed for.
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Generate a matrix whose columns are split into `regions` vertical
+/// stripes with geometrically increasing density (each stripe ~4× denser
+/// than the previous), totalling approximately `target_nnz`.
+pub fn mixed_regions<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    target_nnz: usize,
+    regions: usize,
+    rng: &mut Pcg32,
+) -> CooMatrix<T> {
+    if rows == 0 || cols == 0 || target_nnz == 0 || regions == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    let regions = regions.min(cols);
+    // Geometric weights 1, 4, 16, ... normalized to target_nnz.
+    let weights: Vec<f64> = (0..regions).map(|k| 4.0f64.powi(k as i32)).collect();
+    let wsum: f64 = weights.iter().sum();
+
+    let mut triplets = Vec::with_capacity(target_nnz);
+    let stripe = cols / regions;
+    for (k, w) in weights.iter().enumerate() {
+        let col_lo = k * stripe;
+        let col_hi = if k + 1 == regions {
+            cols
+        } else {
+            (k + 1) * stripe
+        };
+        let stripe_cols = col_hi - col_lo;
+        let quota = ((w / wsum) * target_nnz as f64).round() as usize;
+        let quota = quota.min(rows * stripe_cols);
+        let flat = if rows * stripe_cols <= 1 << 22 {
+            rng.sample_distinct(rows * stripe_cols, quota)
+        } else {
+            let mut set = std::collections::HashSet::with_capacity(quota * 2);
+            while set.len() < quota {
+                set.insert(rng.gen_range((rows * stripe_cols) as u64) as usize);
+            }
+            set.into_iter().collect()
+        };
+        for p in flat {
+            triplets.push((p / stripe_cols, col_lo + p % stripe_cols, nz_value::<T>(rng)));
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_increases_across_regions() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let m: CooMatrix<f64> = mixed_regions(256, 256, 8000, 4, &mut rng);
+        let stripe = 256 / 4;
+        let counts: Vec<usize> = (0..4)
+            .map(|k| {
+                m.iter()
+                    .filter(|&(_, c, _)| c >= k * stripe && c < (k + 1) * stripe)
+                    .count()
+            })
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] > w[0] * 2, "regions not increasing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn total_near_target() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let m: CooMatrix<f64> = mixed_regions(512, 512, 10_000, 4, &mut rng);
+        let nnz = m.nnz() as f64;
+        assert!((nnz - 10_000.0).abs() / 10_000.0 < 0.05, "nnz {nnz}");
+    }
+
+    #[test]
+    fn regions_clamped_to_cols() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let m: CooMatrix<f64> = mixed_regions(16, 3, 10, 8, &mut rng);
+        assert!(m.nnz() > 0);
+        assert!(m.iter().all(|(_, c, _)| c < 3));
+    }
+
+    #[test]
+    fn degenerate() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert_eq!(mixed_regions::<f64>(0, 8, 10, 2, &mut rng).nnz(), 0);
+        assert_eq!(mixed_regions::<f64>(8, 8, 0, 2, &mut rng).nnz(), 0);
+        assert_eq!(mixed_regions::<f64>(8, 8, 10, 0, &mut rng).nnz(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Chung–Lu style power-law generator: row degrees follow a truncated
+//! power law, matching the skewed degree distributions of the social /
+//! citation / web graphs in the paper's GNN benchmark set.
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Configuration for [`power_law`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Approximate total non-zeros (hit within a few percent).
+    pub target_nnz: usize,
+    /// Power-law exponent for the degree distribution (typ. 1.5–2.5;
+    /// larger = more skew toward a few hub rows).
+    pub exponent: f64,
+    /// Optional cap on the largest row degree (real graphs' hubs are far
+    /// below the column count; an uncapped truncated power law would
+    /// produce fully dense hub rows at high target densities).
+    pub max_degree: Option<usize>,
+}
+
+/// Generate a power-law-degree sparse matrix.
+///
+/// Row degrees are drawn as `d_i ∝ rank_i^(-exponent)` (ranks shuffled so
+/// hubs land at random row positions), then each row's columns are sampled
+/// without replacement, biased toward low column ids with probability 1/2
+/// (creating mild column-space clustering like citation graphs).
+pub fn power_law<T: Scalar>(cfg: &PowerLawConfig, rng: &mut Pcg32) -> CooMatrix<T> {
+    let &PowerLawConfig {
+        rows,
+        cols,
+        target_nnz,
+        exponent,
+        max_degree,
+    } = cfg;
+    if rows == 0 || cols == 0 || target_nnz == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    // Unnormalized weights by rank, then water-fill: ranks whose expected
+    // degree exceeds the column count are clamped and the excess mass is
+    // redistributed over the unclamped ranks so the total stays on target.
+    let raw: Vec<f64> = (0..rows)
+        .map(|r| ((r + 1) as f64).powf(-exponent))
+        .collect();
+    let cap = max_degree.map_or(cols, |d| d.min(cols)).max(1) as f64;
+    let target = (target_nnz as f64).min(rows as f64 * cap);
+    let mut weights = vec![0.0f64; rows];
+    let mut clamped = vec![false; rows];
+    for _ in 0..32 {
+        let free_target: f64 =
+            target - clamped.iter().filter(|&&c| c).count() as f64 * cap;
+        let free_raw: f64 = raw
+            .iter()
+            .zip(&clamped)
+            .filter(|&(_, &c)| !c)
+            .map(|(w, _)| *w)
+            .sum();
+        if free_raw <= 0.0 {
+            break;
+        }
+        let scale = free_target / free_raw;
+        let mut newly_clamped = false;
+        for r in 0..rows {
+            if clamped[r] {
+                weights[r] = cap;
+            } else {
+                weights[r] = raw[r] * scale;
+                if weights[r] > cap {
+                    clamped[r] = true;
+                    newly_clamped = true;
+                }
+            }
+        }
+        if !newly_clamped {
+            break;
+        }
+    }
+    // Shuffle rank→row assignment.
+    let mut perm: Vec<usize> = (0..rows).collect();
+    rng.shuffle(&mut perm);
+
+    let mut triplets = Vec::with_capacity(target_nnz + rows);
+    for (rank, &row) in perm.iter().enumerate() {
+        let mean_deg = weights[rank];
+        // Randomized rounding keeps the expected total at target_nnz.
+        let deg = (mean_deg.floor() as usize
+            + usize::from(rng.f64() < mean_deg.fract()))
+        .min(cols);
+        if deg == 0 {
+            continue;
+        }
+        for c in rng.sample_distinct(cols, deg) {
+            triplets.push((row, c, nz_value::<T>(rng)));
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    fn gen(exp: f64, seed: u64) -> CsrMatrix<f64> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let coo = power_law(
+            &PowerLawConfig {
+                rows: 2000,
+                cols: 2000,
+                target_nnz: 20_000,
+                exponent: exp,
+                max_degree: None,
+            },
+            &mut rng,
+        );
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn nnz_near_target() {
+        let m = gen(1.8, 1);
+        let nnz = m.nnz() as f64;
+        assert!(
+            (nnz - 20_000.0).abs() / 20_000.0 < 0.15,
+            "nnz {nnz} too far from target"
+        );
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let m = gen(1.8, 2);
+        let lens = m.row_lengths();
+        let max = *lens.iter().max().unwrap() as f64;
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            max > 10.0 * mean,
+            "power law should produce hubs: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let flat = gen(0.5, 3);
+        let steep = gen(2.5, 3);
+        let skew = |m: &CsrMatrix<f64>| {
+            let lens = m.row_lengths();
+            let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+            *lens.iter().max().unwrap() as f64 / mean.max(1e-9)
+        };
+        assert!(skew(&steep) > skew(&flat));
+    }
+
+    #[test]
+    fn empty_config() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let m: CooMatrix<f64> = power_law(
+            &PowerLawConfig {
+                rows: 0,
+                cols: 10,
+                target_nnz: 5,
+                exponent: 2.0,
+                max_degree: None,
+            },
+            &mut rng,
+        );
+        assert_eq!(m.nnz(), 0);
+    }
+}

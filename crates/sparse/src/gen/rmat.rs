@@ -1,0 +1,165 @@
+//! R-MAT (recursive matrix) generator: Kronecker-style edge placement that
+//! produces community structure and heavy-tailed degrees — the standard
+//! synthetic model for network graphs like the paper's `reddit`/`arxiv`.
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Configuration for [`rmat`]. Probabilities `a`, `b`, `c` are the
+/// top-left / top-right / bottom-left quadrant weights; the bottom-right
+/// weight is `1 - a - b - c`. Graph500 uses `(0.57, 0.19, 0.19)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// Number of rows (rounded up to a power of two internally).
+    pub rows: usize,
+    /// Number of columns (rounded up to a power of two internally).
+    pub cols: usize,
+    /// Approximate number of non-zeros (duplicates are merged, so the
+    /// realized count is slightly lower on dense regions).
+    pub target_nnz: usize,
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+/// Generate an R-MAT matrix.
+pub fn rmat<T: Scalar>(cfg: &RmatConfig, rng: &mut Pcg32) -> CooMatrix<T> {
+    let &RmatConfig {
+        rows,
+        cols,
+        target_nnz,
+        a,
+        b,
+        c,
+    } = cfg;
+    if rows == 0 || cols == 0 || target_nnz == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12,
+        "invalid R-MAT quadrant probabilities"
+    );
+    let levels_r = usize::BITS - (rows - 1).leading_zeros().min(usize::BITS - 1);
+    let levels_c = usize::BITS - (cols - 1).leading_zeros().min(usize::BITS - 1);
+    let levels = levels_r.max(levels_c).max(1) as usize;
+
+    let mut triplets = Vec::with_capacity(target_nnz);
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = target_nnz.saturating_mul(4).max(64);
+    while placed < target_nnz && attempts < max_attempts {
+        attempts += 1;
+        let (mut r, mut co) = (0usize, 0usize);
+        for level in (0..levels).rev() {
+            // Add per-level noise so the distribution isn't exactly
+            // self-similar (standard "smoothing" used by Graph500 refs).
+            let u = rng.f64();
+            let (dr, dc) = if u < a {
+                (0, 0)
+            } else if u < a + b {
+                (0, 1)
+            } else if u < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            co |= dc << level;
+        }
+        if r < rows && co < cols {
+            triplets.push((r, co, nz_value::<T>(rng)));
+            placed += 1;
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    fn cfg(n: usize, nnz: usize) -> RmatConfig {
+        RmatConfig {
+            rows: n,
+            cols: n,
+            target_nnz: nnz,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        // Non-power-of-two shape: entries outside must be rejected.
+        let m: CooMatrix<f64> = rmat(
+            &RmatConfig {
+                rows: 100,
+                cols: 77,
+                target_nnz: 2000,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            },
+            &mut rng,
+        );
+        assert!(m.iter().all(|(r, c, _)| r < 100 && c < 77));
+        assert!(m.nnz() > 500);
+    }
+
+    #[test]
+    fn produces_skewed_degrees() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let m: CooMatrix<f64> = rmat(&cfg(1024, 20_000), &mut rng);
+        let csr = CsrMatrix::from_coo(&m);
+        let lens = csr.row_lengths();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let max = *lens.iter().max().unwrap() as f64;
+        assert!(max > 5.0 * mean, "rmat should be skewed: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn clusters_toward_origin() {
+        // With a=0.57 the top-left quadrant holds the majority of entries.
+        let mut rng = Pcg32::seed_from_u64(3);
+        let m: CooMatrix<f64> = rmat(&cfg(1024, 10_000), &mut rng);
+        let top_left = m
+            .iter()
+            .filter(|&(r, c, _)| r < 512 && c < 512)
+            .count() as f64;
+        assert!(top_left / m.nnz() as f64 > 0.4);
+    }
+
+    #[test]
+    fn degenerate_configs() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let m: CooMatrix<f64> = rmat(&cfg(0, 100), &mut rng);
+        assert_eq!(m.nnz(), 0);
+        let m: CooMatrix<f64> = rmat(&cfg(16, 0), &mut rng);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT")]
+    fn invalid_probabilities_panic() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let _: CooMatrix<f64> = rmat(
+            &RmatConfig {
+                rows: 8,
+                cols: 8,
+                target_nnz: 10,
+                a: 0.9,
+                b: 0.9,
+                c: 0.9,
+            },
+            &mut rng,
+        );
+    }
+}

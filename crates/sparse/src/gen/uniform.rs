@@ -1,0 +1,113 @@
+//! IID uniform scatter generators, plus a variant that injects a few
+//! extremely long rows (the pathology §5.3's folded rows address).
+
+use super::nz_value;
+use crate::coo::CooMatrix;
+use crate::rng::Pcg32;
+use crate::scalar::Scalar;
+
+/// Uniformly scattered matrix with exactly `nnz` entries (when
+/// `nnz ≤ rows*cols`; otherwise saturates at a full matrix).
+pub fn uniform_random<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    rng: &mut Pcg32,
+) -> CooMatrix<T> {
+    if rows == 0 || cols == 0 {
+        return CooMatrix::empty(rows, cols);
+    }
+    let total = rows.saturating_mul(cols);
+    let nnz = nnz.min(total);
+    // Sample distinct flat positions; exact nnz without rejection storms.
+    let flat = if total <= 1 << 22 {
+        rng.sample_distinct(total, nnz)
+    } else {
+        // For very large shapes, use a hash-set rejection sampler: the load
+        // factor is tiny so collisions are rare.
+        let mut set = std::collections::HashSet::with_capacity(nnz * 2);
+        while set.len() < nnz {
+            set.insert(rng.gen_range(total as u64) as usize);
+        }
+        let mut v: Vec<usize> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let triplets = flat
+        .into_iter()
+        .map(|p| (p / cols, p % cols, nz_value::<T>(rng)));
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+/// Uniform background plus `long_rows` rows filled to `long_len` entries —
+/// the "extremely long rows" case that forces folding in CELL and inflates
+/// padding in ELL/BCSR.
+pub fn uniform_with_long_rows<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    background_nnz: usize,
+    long_rows: usize,
+    long_len: usize,
+    rng: &mut Pcg32,
+) -> CooMatrix<T> {
+    let base = uniform_random::<T>(rows, cols, background_nnz, rng);
+    let mut triplets: Vec<(usize, usize, T)> = base.iter().collect();
+    let long_len = long_len.min(cols);
+    let chosen = rng.sample_distinct(rows, long_rows.min(rows));
+    for &r in &chosen {
+        for c in rng.sample_distinct(cols, long_len) {
+            triplets.push((r, c, nz_value::<T>(rng)));
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let m: CooMatrix<f64> = uniform_random(100, 100, 500, &mut rng);
+        assert_eq!(m.nnz(), 500);
+    }
+
+    #[test]
+    fn saturates_at_full() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let m: CooMatrix<f64> = uniform_random(4, 4, 100, &mut rng);
+        assert_eq!(m.nnz(), 16);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let m: CooMatrix<f64> = uniform_random(0, 10, 5, &mut rng);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn long_rows_present() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let m: CooMatrix<f64> = uniform_with_long_rows(200, 400, 1000, 3, 350, &mut rng);
+        let csr = crate::csr::CsrMatrix::from_coo(&m);
+        let max_len = (0..200).map(|i| csr.row_len(i)).max().unwrap();
+        assert!(max_len >= 300, "expected a long row, max was {max_len}");
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let m: CooMatrix<f64> = uniform_random(50, 50, 300, &mut rng);
+        assert!(m.values().iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn large_shape_uses_rejection_path() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        // rows*cols > 2^22 triggers the hash-set sampler.
+        let m: CooMatrix<f64> = uniform_random(3000, 3000, 1000, &mut rng);
+        assert_eq!(m.nnz(), 1000);
+    }
+}

@@ -1,0 +1,214 @@
+//! Classic HYB format: an ELL part holding up to `ell_width` left-packed
+//! entries per row plus a COO spill for the remainder. The historical
+//! cuSPARSE hybrid; included to complete the format survey and as a test
+//! oracle for partial-ELL logic. (SparseTIR's *composable* hyb — bucketed
+//! ELL — is modelled by the CELL format in `lf-cell` with shared bucket
+//! widths across partitions.)
+
+use crate::csr::CsrMatrix;
+use crate::ell::ELL_PAD;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// A sparse matrix in ELL+COO hybrid form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybMatrix<T> {
+    rows: usize,
+    cols: usize,
+    ell_width: usize,
+    nnz: usize,
+    /// `rows × ell_width` row-major ELL column indices (`ELL_PAD` = pad).
+    ell_col_ind: Vec<Index>,
+    /// `rows × ell_width` row-major ELL values.
+    ell_values: Vec<T>,
+    /// COO spill for entries beyond `ell_width` per row (sorted).
+    coo_row: Vec<Index>,
+    coo_col: Vec<Index>,
+    coo_val: Vec<T>,
+}
+
+impl<T: Scalar> HybMatrix<T> {
+    /// Convert from CSR with the given ELL width.
+    pub fn from_csr(csr: &CsrMatrix<T>, ell_width: usize) -> Result<Self> {
+        if ell_width == 0 && csr.nnz() > 0 {
+            // Degenerate but legal: everything spills to COO.
+        }
+        let rows = csr.rows();
+        let mut ell_col_ind = vec![ELL_PAD; rows * ell_width];
+        let mut ell_values = vec![T::ZERO; rows * ell_width];
+        let mut coo_row = Vec::new();
+        let mut coo_col = Vec::new();
+        let mut coo_val = Vec::new();
+        for i in 0..rows {
+            let cols = csr.row_cols(i);
+            let vals = csr.row_values(i);
+            let split = cols.len().min(ell_width);
+            for j in 0..split {
+                ell_col_ind[i * ell_width + j] = cols[j];
+                ell_values[i * ell_width + j] = vals[j];
+            }
+            for j in split..cols.len() {
+                coo_row.push(i as Index);
+                coo_col.push(cols[j]);
+                coo_val.push(vals[j]);
+            }
+        }
+        Ok(HybMatrix {
+            rows,
+            cols: csr.cols(),
+            ell_width,
+            nnz: csr.nnz(),
+            ell_col_ind,
+            ell_values,
+            coo_row,
+            coo_col,
+            coo_val,
+        })
+    }
+
+    /// Pick the width that covers a target fraction of rows completely
+    /// (the classical heuristic; cuSPARSE used ~the mean row length).
+    pub fn auto_width(csr: &CsrMatrix<impl Scalar>, coverage: f64) -> usize {
+        let mut lens: Vec<usize> = (0..csr.rows()).map(|i| csr.row_len(i)).collect();
+        if lens.is_empty() {
+            return 0;
+        }
+        lens.sort_unstable();
+        let idx = ((lens.len() as f64 - 1.0) * coverage.clamp(0.0, 1.0)) as usize;
+        lens[idx]
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut triplets: Vec<(usize, usize, T)> = Vec::with_capacity(self.nnz);
+        for i in 0..self.rows {
+            for j in 0..self.ell_width {
+                let c = self.ell_col_ind[i * self.ell_width + j];
+                if c == ELL_PAD {
+                    break;
+                }
+                triplets.push((i, c as usize, self.ell_values[i * self.ell_width + j]));
+            }
+        }
+        for k in 0..self.coo_row.len() {
+            triplets.push((
+                self.coo_row[k] as usize,
+                self.coo_col[k] as usize,
+                self.coo_val[k],
+            ));
+        }
+        let coo = crate::coo::CooMatrix::from_triplets(self.rows, self.cols, triplets)
+            .expect("valid HYB yields valid COO");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Configured ELL width.
+    #[inline]
+    pub fn ell_width(&self) -> usize {
+        self.ell_width
+    }
+
+    /// Total true non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Non-zeros stored in the COO spill.
+    #[inline]
+    pub fn coo_nnz(&self) -> usize {
+        self.coo_val.len()
+    }
+
+    /// Non-zeros stored in the ELL part.
+    #[inline]
+    pub fn ell_nnz(&self) -> usize {
+        self.nnz - self.coo_nnz()
+    }
+
+    /// Padding ratio of the ELL part.
+    pub fn padding_ratio(&self) -> f64 {
+        let slots = self.rows * self.ell_width;
+        if slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.ell_nnz() as f64 / slots as f64
+    }
+
+    /// Memory footprint of both parts.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows * self.ell_width * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+            + self.coo_nnz() * (2 * std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+    }
+
+    /// Validate internal consistency (property-test hook).
+    pub fn validate(&self) -> Result<()> {
+        if self.ell_col_ind.len() != self.rows * self.ell_width
+            || self.ell_values.len() != self.ell_col_ind.len()
+        {
+            return Err(SparseError::InvalidFormat("ELL grid size mismatch".into()));
+        }
+        if self.coo_row.len() != self.coo_col.len() || self.coo_col.len() != self.coo_val.len() {
+            return Err(SparseError::InvalidFormat("COO arrays length mismatch".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn skewed() -> CsrMatrix<f64> {
+        let mut trips = vec![(0, 0, 1.0), (1, 1, 1.5), (2, 2, 2.5)];
+        for j in 0..7 {
+            trips.push((3, j, (j + 1) as f64));
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(4, 8, trips).unwrap())
+    }
+
+    #[test]
+    fn split_between_ell_and_coo() {
+        let h = HybMatrix::from_csr(&skewed(), 2).unwrap();
+        assert_eq!(h.ell_nnz(), 3 + 2);
+        assert_eq!(h.coo_nnz(), 5);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_various_widths() {
+        let csr = skewed();
+        for w in [0, 1, 2, 7, 20] {
+            assert_eq!(HybMatrix::from_csr(&csr, w).unwrap().to_csr(), csr, "w={w}");
+        }
+    }
+
+    #[test]
+    fn auto_width_is_quantile() {
+        let csr = skewed(); // lens sorted: [1,1,1,7]
+        assert_eq!(HybMatrix::<f64>::auto_width(&csr, 0.0), 1);
+        assert_eq!(HybMatrix::<f64>::auto_width(&csr, 1.0), 7);
+    }
+
+    #[test]
+    fn padding_ratio_counts_only_ell() {
+        let h = HybMatrix::from_csr(&skewed(), 2).unwrap();
+        // 4 rows * 2 slots = 8 slots; 5 filled.
+        assert!((h.padding_ratio() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_zero_spills_everything() {
+        let h = HybMatrix::from_csr(&skewed(), 0).unwrap();
+        assert_eq!(h.ell_nnz(), 0);
+        assert_eq!(h.coo_nnz(), skewed().nnz());
+    }
+}

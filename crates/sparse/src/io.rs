@@ -1,0 +1,329 @@
+//! Matrix Market IO: read and write the `coordinate` exchange format used
+//! by the SuiteSparse Matrix Collection, so users can run every experiment
+//! harness on real SuiteSparse downloads instead of the synthetic corpus.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::Result;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; mirror on read.
+    Symmetric,
+    /// Lower triangle stored, mirrored with negated sign.
+    SkewSymmetric,
+}
+
+/// Field type declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Real values.
+    Real,
+    /// Integer values (read as reals).
+    Integer,
+    /// Pattern only; values default to 1.
+    Pattern,
+}
+
+/// Parse a Matrix Market `coordinate` stream into COO.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    // Header.
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: line_no,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let toks: Vec<&str> = header_lc.split_whitespace().collect();
+    if toks.len() < 4 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("bad header: {header}"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("unsupported representation '{}' (only coordinate)", toks[2]),
+        });
+    }
+    let field = match toks[3] {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: format!("unsupported field '{other}'"),
+            })
+        }
+    };
+    let symmetry = match toks.get(4).copied().unwrap_or("general") {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: line_no,
+                    msg: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|e| SparseError::Parse {
+                line: line_no,
+                msg: format!("bad size token '{t}': {e}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let (rows, cols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut triplets: Vec<(usize, usize, T)> = Vec::with_capacity(declared_nnz);
+    let mut seen = 0usize;
+    for l in lines {
+        line_no += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = parse_tok(it.next(), line_no, "row")?;
+        let c: usize = parse_tok(it.next(), line_no, "col")?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: "matrix market indices are 1-based".into(),
+            });
+        }
+        let v = match field {
+            MmField::Pattern => T::ONE,
+            MmField::Real | MmField::Integer => {
+                let tok = it.next().ok_or_else(|| SparseError::Parse {
+                    line: line_no,
+                    msg: "missing value".into(),
+                })?;
+                T::from_f64(tok.parse::<f64>().map_err(|e| SparseError::Parse {
+                    line: line_no,
+                    msg: format!("bad value '{tok}': {e}"),
+                })?)
+            }
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        triplets.push((r0, c0, v));
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric => {
+                if r0 != c0 {
+                    triplets.push((c0, r0, v));
+                }
+            }
+            MmSymmetry::SkewSymmetric => {
+                if r0 != c0 {
+                    triplets.push((c0, r0, -v));
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("header declared {declared_nnz} entries, found {seen}"),
+        });
+    }
+    CooMatrix::from_triplets(rows, cols, triplets)
+}
+
+fn parse_tok(tok: Option<&str>, line: usize, what: &str) -> Result<usize> {
+    let tok = tok.ok_or_else(|| SparseError::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })?;
+    tok.parse::<usize>().map_err(|e| SparseError::Parse {
+        line,
+        msg: format!("bad {what} '{tok}': {e}"),
+    })
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<CooMatrix<T>> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write a COO matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<T: Scalar, W: Write>(coo: &CooMatrix<T>, mut w: W) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by lf-sparse")?;
+    writeln!(w, "{} {} {}", coo.rows(), coo.cols(), coo.nnz())?;
+    for (r, c, v) in coo.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+/// Write a COO matrix to a file on disk.
+pub fn write_matrix_market_file<T: Scalar>(
+    coo: &CooMatrix<T>,
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(coo, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 4 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    3 4 7.25\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![(0, 0, 1.5), (1, 2, -2.0), (2, 3, 7.25)]
+        );
+    }
+
+    #[test]
+    fn read_symmetric_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 3.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn read_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(1, 0), 3.0);
+        assert_eq!(d.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn read_pattern_defaults_to_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let m: CooMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        // Bad header.
+        assert!(read_matrix_market::<f64, _>("garbage\n1 1 0\n".as_bytes()).is_err());
+        // Array representation unsupported.
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+        // 0-based index.
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // nnz mismatch.
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // Bad value token.
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = CooMatrix::from_triplets(
+            5,
+            3,
+            vec![(0, 0, 1.25), (4, 2, -0.5), (2, 1, 1e-9)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 3.5)]).unwrap();
+        let path = std::env::temp_dir().join("lf_sparse_io_test.mtx");
+        write_matrix_market_file(&m, &path).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic pseudo-random generator used by all synthetic workload
+//! generators.
+//!
+//! We implement PCG-XSH-RR 64/32 directly (≈20 lines) instead of depending
+//! on `rand` so that every generated dataset, corpus and training set is
+//! bit-reproducible regardless of `rand` version bumps. `rand`/`proptest`
+//! are still used in tests.
+
+/// PCG-XSH-RR 64/32: 64-bit state, 32-bit output, period 2^64 per stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Create a generator from a seed and a stream id.
+    ///
+    /// Different `stream` values yield statistically independent sequences
+    /// for the same seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Convenience constructor with stream 0.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Next uniformly distributed 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next uniformly distributed 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire rejection (unbiased).
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        if bound == 1 {
+            return 0;
+        }
+        // 128-bit multiply rejection method.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Standard normal deviate via Box–Muller (one value per call; the
+    /// second is discarded to keep the generator stateless beyond `state`).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = (self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draw `k` distinct values from `[0, n)`.
+    ///
+    /// Uses Floyd's algorithm for small `k` relative to `n`, falling back to
+    /// a shuffled prefix when `k` approaches `n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 3 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all.sort_unstable();
+            return all;
+        }
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.gen_range((j + 1) as u64) as usize;
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Zipf-like integer in `[1, n]` with exponent `s` using inverse-CDF on
+    /// a truncated power law (approximate but fast and deterministic).
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            return 1;
+        }
+        if (s - 1.0).abs() < 1e-9 {
+            // Harmonic case: invert H(x) ≈ ln(x).
+            let u = self.f64();
+            let x = ((n as f64).ln() * u).exp();
+            return (x as usize).clamp(1, n);
+        }
+        let u = self.f64();
+        let nf = n as f64;
+        let a = 1.0 - s;
+        // Inverse of CDF(x) = (x^a - 1) / (n^a - 1).
+        let x = (1.0 + u * (nf.powf(a) - 1.0)).powf(1.0 / a);
+        (x as usize).clamp(1, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = Pcg32::new(7, 0);
+        let mut b = Pcg32::new(7, 1);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(17) < 17);
+        }
+        assert_eq!(rng.gen_range(1), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn normal_has_unit_variance() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for &(n, k) in &[(100usize, 5usize), (100, 60), (10, 10), (5, 0)] {
+            let s = rng.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            let mut dedup = s.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), k, "duplicates in sample");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let mut rng = Pcg32::seed_from_u64(8);
+        let n = 1000;
+        let draws = 50_000;
+        let ones = (0..draws).filter(|_| rng.zipf(n, 1.5) == 1).count();
+        // For s=1.5 the mass at rank 1 is large (> 15%).
+        assert!(ones as f64 / draws as f64 > 0.15, "ones = {ones}");
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.25)).count();
+        let p = hits as f64 / 10_000.0;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Sliced Ellpack (SELL / SLICED-ELL): rows are cut into fixed-height
+//! slices and each slice gets its own Ellpack width (Monakov et al.,
+//! cited as ref. 35 in the paper). The per-slice width is the idea the CELL
+//! format generalizes into per-partition buckets.
+
+use crate::csr::CsrMatrix;
+use crate::ell::ELL_PAD;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{Index, Result};
+
+/// One slice of a SELL matrix: `height` consecutive rows stored as a small
+/// Ellpack grid with its own width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellSlice<T> {
+    /// First original row covered by the slice.
+    pub row_start: usize,
+    /// Number of rows in the slice (may be short at the bottom edge).
+    pub height: usize,
+    /// Ellpack width of this slice (max row length within it).
+    pub width: usize,
+    /// `height × width` row-major column indices (`ELL_PAD` marks padding).
+    pub col_ind: Vec<Index>,
+    /// `height × width` row-major values.
+    pub values: Vec<T>,
+}
+
+/// A sparse matrix in sliced-Ellpack form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellMatrix<T> {
+    rows: usize,
+    cols: usize,
+    slice_height: usize,
+    nnz: usize,
+    slices: Vec<SellSlice<T>>,
+}
+
+impl<T: Scalar> SellMatrix<T> {
+    /// Convert from CSR with the given slice height (e.g. 32 = warp size).
+    pub fn from_csr(csr: &CsrMatrix<T>, slice_height: usize) -> Result<Self> {
+        if slice_height == 0 {
+            return Err(SparseError::InvalidConfig("slice height must be > 0".into()));
+        }
+        let rows = csr.rows();
+        let mut slices = Vec::with_capacity(rows.div_ceil(slice_height));
+        let mut row_start = 0usize;
+        while row_start < rows {
+            let height = slice_height.min(rows - row_start);
+            let width = (row_start..row_start + height)
+                .map(|i| csr.row_len(i))
+                .max()
+                .unwrap_or(0);
+            let mut col_ind = vec![ELL_PAD; height * width];
+            let mut values = vec![T::ZERO; height * width];
+            for local in 0..height {
+                let i = row_start + local;
+                for (j, (&c, &v)) in csr.row_cols(i).iter().zip(csr.row_values(i)).enumerate() {
+                    col_ind[local * width + j] = c;
+                    values[local * width + j] = v;
+                }
+            }
+            slices.push(SellSlice {
+                row_start,
+                height,
+                width,
+                col_ind,
+                values,
+            });
+            row_start += height;
+        }
+        Ok(SellMatrix {
+            rows,
+            cols: csr.cols(),
+            slice_height,
+            nnz: csr.nnz(),
+            slices,
+        })
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_ind = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for slice in &self.slices {
+            for local in 0..slice.height {
+                for j in 0..slice.width {
+                    let c = slice.col_ind[local * slice.width + j];
+                    if c == ELL_PAD {
+                        break;
+                    }
+                    col_ind.push(c);
+                    values.push(slice.values[local * slice.width + j]);
+                }
+                row_ptr[slice.row_start + local + 1] = col_ind.len();
+            }
+        }
+        CsrMatrix::from_raw(self.rows, self.cols, row_ptr, col_ind, values)
+            .expect("valid SELL yields valid CSR")
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Configured slice height.
+    #[inline]
+    pub fn slice_height(&self) -> usize {
+        self.slice_height
+    }
+
+    /// True non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The slices.
+    #[inline]
+    pub fn slices(&self) -> &[SellSlice<T>] {
+        &self.slices
+    }
+
+    /// Total stored slots including padding.
+    pub fn stored_slots(&self) -> usize {
+        self.slices.iter().map(|s| s.height * s.width).sum()
+    }
+
+    /// Fraction of stored slots that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        let slots = self.stored_slots();
+        if slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / slots as f64
+    }
+
+    /// Memory footprint including padding and per-slice metadata.
+    pub fn memory_bytes(&self) -> usize {
+        self.stored_slots() * (std::mem::size_of::<Index>() + std::mem::size_of::<T>())
+            + self.slices.len() * 3 * std::mem::size_of::<Index>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn skewed() -> CsrMatrix<f64> {
+        // Rows 0..3 short, row 4 long: with slice height 4 the long row
+        // only pads its own slice.
+        let mut trips = vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)];
+        for j in 0..6 {
+            trips.push((4, j, 2.0));
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(5, 8, trips).unwrap())
+    }
+
+    #[test]
+    fn slices_have_local_widths() {
+        let s = SellMatrix::from_csr(&skewed(), 4).unwrap();
+        assert_eq!(s.slices().len(), 2);
+        assert_eq!(s.slices()[0].width, 1);
+        assert_eq!(s.slices()[1].width, 6);
+        assert_eq!(s.slices()[1].height, 1);
+    }
+
+    #[test]
+    fn less_padding_than_plain_ell() {
+        let csr = skewed();
+        let sell = SellMatrix::from_csr(&csr, 4).unwrap();
+        let ell = crate::ell::EllMatrix::from_csr(&csr);
+        assert!(sell.padding_ratio() < ell.padding_ratio());
+    }
+
+    #[test]
+    fn round_trip() {
+        let csr = skewed();
+        assert_eq!(SellMatrix::from_csr(&csr, 4).unwrap().to_csr(), csr);
+        assert_eq!(SellMatrix::from_csr(&csr, 2).unwrap().to_csr(), csr);
+        assert_eq!(SellMatrix::from_csr(&csr, 100).unwrap().to_csr(), csr);
+    }
+
+    #[test]
+    fn zero_slice_height_rejected() {
+        assert!(SellMatrix::from_csr(&skewed(), 0).is_err());
+    }
+
+    #[test]
+    fn nnz_preserved() {
+        let csr = skewed();
+        let s = SellMatrix::from_csr(&csr, 3).unwrap();
+        assert_eq!(s.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f64>::empty(0, 4);
+        let s = SellMatrix::from_csr(&csr, 8).unwrap();
+        assert_eq!(s.slices().len(), 0);
+        assert_eq!(s.padding_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+set -uo pipefail
+cd /root/repo
+# Wait for fig6 + transfer to finish before starting (single core).
+
+echo "=== final cargo test ==="
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "test result" | tail -5
+
+echo "=== final cargo bench ==="
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | grep -E "time:" | tail -5
+
+echo "=== experiment batch ==="
+for b in fig7_suitesparse fig8_overhead fig11_cost_model ablations \
+         table5_format_models table6_partition_models fig10_training_size \
+         fig9_overhead_corpus feature_importance table4_datasets bcsr_padding transfer_learning; do
+  echo "######## $b"
+  cargo run --release -q -p lf-bench --bin "$b" 2>/dev/null
+done
+echo ALL_FINAL_DONE

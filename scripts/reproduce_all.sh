@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the LiteForm reproduction.
+# Usage: scripts/reproduce_all.sh [results_dir]
+# Env knobs: LF_SCALE=small|paper  LF_CORPUS_N=<n>  LF_SEED=<n>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export LF_RESULTS_DIR="${1:-results}"
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== train pretrained models =="
+cargo run --release -q -p lf-bench --bin train_models
+
+for bin in table4_datasets fig6_speedup fig7_suitesparse fig8_overhead \
+           fig9_overhead_corpus table5_format_models table6_partition_models \
+           fig10_training_size fig11_cost_model bcsr_padding \
+           ablations transfer_learning feature_importance; do
+  echo "== $bin =="
+  cargo run --release -q -p lf-bench --bin "$bin"
+done
+
+echo "== done; JSON results in $LF_RESULTS_DIR =="

@@ -1,0 +1,64 @@
+//! # liteform
+//!
+//! A Rust reproduction of **LiteForm: Lightweight and Automatic Format
+//! Composition for Sparse Matrix-Matrix Multiplication on GPUs**
+//! (Peng, Thomadakis, Pienaar, Kestor — HPDC '25).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`sparse`] — matrix types, formats, generators, Matrix Market IO;
+//! * [`data`] — GNN-graph analogues and the SuiteSparse-like corpus;
+//! * [`sim`] — the GPU execution-model simulator (V100-like);
+//! * [`cell`] — the Composable Ellpack (CELL) format;
+//! * [`kernels`] — SpMM kernels for every format;
+//! * [`ml`] — the ten-classifier zoo behind Tables 5–6;
+//! * [`cost`] — the Eq. 5–7 cost model and Algorithm 3;
+//! * [`core`] — the LiteForm pipeline (selector → partitions → widths);
+//! * [`baselines`] — cuSPARSE/Triton/Sputnik/dgSPARSE/TACO/SparseTIR/STile;
+//! * [`bench_harness`] — the experiment harness regenerating every table/figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use liteform::prelude::*;
+//!
+//! // A small sparse matrix with mixed-density column regions.
+//! let mut rng = Pcg32::seed_from_u64(7);
+//! let coo = liteform::sparse::gen::mixed_regions::<f32>(256, 256, 4000, 4, &mut rng);
+//! let a = CsrMatrix::from_coo(&coo);
+//!
+//! // Compose the CELL format by hand and run SpMM.
+//! let config = CellConfig::with_partitions(4);
+//! let cell = build_cell(&a, &config).unwrap();
+//! let kernel = CellKernel::new(cell);
+//! let b = DenseMatrix::random(256, 32, &mut rng);
+//! let c = kernel.run(&b).unwrap();
+//!
+//! // The result matches the sequential reference.
+//! let want = a.spmm_reference(&b).unwrap();
+//! assert!(c.approx_eq(&want, 1e-3));
+//!
+//! // And the simulator prices the kernel on a V100-like device.
+//! let profile = kernel.profile(32, &DeviceModel::v100());
+//! assert!(profile.time_ms > 0.0);
+//! ```
+
+pub use lf_baselines as baselines;
+pub use lf_bench as bench_harness;
+pub use lf_cell as cell;
+pub use lf_cost as cost;
+pub use lf_data as data;
+pub use lf_kernels as kernels;
+pub use lf_ml as ml;
+pub use lf_sim as sim;
+pub use lf_sparse as sparse;
+pub use liteform_core as core;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use lf_cell::{build_cell, CellConfig, CellMatrix};
+    pub use lf_kernels::{CellKernel, CsrVectorKernel, SpmmKernel};
+    pub use lf_sim::{DeviceModel, KernelProfile};
+    pub use lf_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Pcg32, Scalar};
+    pub use liteform_core::{LiteForm, ModelBundle};
+}

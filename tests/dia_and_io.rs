@@ -1,0 +1,59 @@
+//! Integration: DIA + SELL participate in the format ecosystem, and the
+//! Matrix Market path round-trips matrices that exercise every format.
+
+use liteform::kernels::{SellKernel, SpmmKernel};
+use liteform::sparse::io::{read_matrix_market, write_matrix_market};
+use liteform::sparse::{CooMatrix, CsrMatrix, DenseMatrix, DiaMatrix, Pcg32, SellMatrix};
+
+#[test]
+fn banded_matrix_prefers_dia_and_roundtrips_via_mtx() {
+    let mut rng = Pcg32::seed_from_u64(17);
+    let coo = liteform::sparse::gen::banded::<f64>(300, 300, 4, &mut rng);
+    let csr = CsrMatrix::from_coo(&coo);
+
+    // DIA is compact on banded structure.
+    let dia = DiaMatrix::from_csr(&csr, 16).expect("few diagonals");
+    assert!(dia.memory_bytes() < csr.memory_bytes());
+    assert_eq!(dia.to_csr(), csr);
+
+    // Matrix Market round trip preserves the matrix exactly.
+    let mut buf = Vec::new();
+    write_matrix_market(&coo, &mut buf).unwrap();
+    let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+    assert_eq!(back, coo);
+    // And the DIA built from the round-tripped matrix is identical.
+    let dia2 = DiaMatrix::from_csr(&CsrMatrix::from_coo(&back), 16).unwrap();
+    assert_eq!(dia2, dia);
+}
+
+#[test]
+fn sell_kernel_in_the_ecosystem() {
+    let mut rng = Pcg32::seed_from_u64(18);
+    let coo = liteform::sparse::gen::power_law::<f64>(
+        &liteform::sparse::gen::PowerLawConfig {
+            rows: 500,
+            cols: 500,
+            target_nnz: 6000,
+            exponent: 1.9,
+            max_degree: Some(120),
+        },
+        &mut rng,
+    );
+    let csr = CsrMatrix::from_coo(&coo);
+    let b = DenseMatrix::random(500, 48, &mut rng);
+    let want = csr.spmm_reference(&b).unwrap();
+    let got = SellKernel::new(SellMatrix::from_csr(&csr, 32).unwrap())
+        .run(&b)
+        .unwrap();
+    assert!(got.approx_eq(&want, 1e-9));
+}
+
+#[test]
+fn nan_values_are_caught_by_validation() {
+    let coo = CooMatrix::from_triplets(3, 3, vec![(0, 0, f64::NAN), (1, 1, 1.0)]).unwrap();
+    assert!(coo.validate_finite().is_err());
+    // But the formats still carry them losslessly (IEEE semantics) —
+    // validation is a choice, not an ambush.
+    let csr = CsrMatrix::from_coo(&coo);
+    assert!(csr.values()[0].is_nan());
+}

@@ -1,0 +1,116 @@
+//! Cross-crate simulator invariants: properties every kernel's analytic
+//! path must satisfy regardless of format.
+
+use liteform::cell::{build_cell, CellConfig};
+use liteform::kernels::{
+    BcsrKernel, CellKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
+    SputnikKernel, SpmmKernel, TacoKernel, TacoSchedule,
+};
+use liteform::prelude::*;
+use liteform::sparse::{BcsrMatrix, EllMatrix, Pcg32, SellMatrix};
+
+fn kernels(csr: &CsrMatrix<f32>) -> Vec<Box<dyn SpmmKernel<f32>>> {
+    vec![
+        Box::new(CsrVectorKernel::new(csr.clone())),
+        Box::new(DgSparseKernel::new(csr.clone())),
+        Box::new(SputnikKernel::new(csr.clone())),
+        Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default())),
+        Box::new(EllKernel::new(EllMatrix::from_csr(csr))),
+        Box::new(SellKernel::new(SellMatrix::from_csr(csr, 32).unwrap())),
+        Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 8, 8).unwrap())),
+        Box::new(CellKernel::new(
+            build_cell(csr, &CellConfig::with_partitions(2)).unwrap(),
+        )),
+    ]
+}
+
+fn workload() -> CsrMatrix<f32> {
+    let mut rng = Pcg32::seed_from_u64(0x51AB);
+    CsrMatrix::from_coo(&liteform::sparse::gen::power_law(
+        &liteform::sparse::gen::PowerLawConfig {
+            rows: 3000,
+            cols: 3000,
+            target_nnz: 45_000,
+            exponent: 1.8,
+            max_degree: Some(400),
+        },
+        &mut rng,
+    ))
+}
+
+#[test]
+fn time_grows_with_dense_width() {
+    let d = DeviceModel::v100();
+    let csr = workload();
+    for k in kernels(&csr) {
+        let t32 = k.profile(32, &d).time_ms;
+        let t512 = k.profile(512, &d).time_ms;
+        // Strictly more work must cost more; the factor is well below the
+        // 16x traffic ratio because small-J launches under-occupy the
+        // device (fewer j-tiles in the grid), exactly as on real GPUs.
+        assert!(
+            t512 > 1.15 * t32,
+            "{}: J=512 ({t512}) should cost more than J=32 ({t32})",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn flops_scale_linearly_in_j() {
+    let d = DeviceModel::v100();
+    let csr = workload();
+    for k in kernels(&csr) {
+        let f64_ = k.profile(64, &d).flops as f64;
+        let f256 = k.profile(256, &d).flops as f64;
+        let ratio = f256 / f64_.max(1.0);
+        assert!(
+            (ratio - 4.0).abs() < 0.05,
+            "{}: flops must scale with J: ratio {ratio}",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn bandwidth_never_exceeds_device_peak() {
+    let d = DeviceModel::v100();
+    let csr = workload();
+    for k in kernels(&csr) {
+        let p = k.profile(128, &d);
+        let effective_peak = d.dram_bandwidth * d.l2_speedup; // all-L2 upper bound
+        let bw = p.achieved_bandwidth(&d);
+        assert!(
+            bw <= effective_peak * 1.01,
+            "{}: achieved {bw:.3e} exceeds even the L2 peak {effective_peak:.3e}",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn faster_device_is_faster() {
+    let v100 = DeviceModel::v100();
+    let a100 = DeviceModel::a100();
+    let csr = workload();
+    for k in kernels(&csr) {
+        let tv = k.profile(256, &v100).time_ms;
+        let ta = k.profile(256, &a100).time_ms;
+        assert!(
+            ta < tv,
+            "{}: the A100 model must not be slower ({ta} vs {tv})",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let d = DeviceModel::v100();
+    let csr = workload();
+    for k in kernels(&csr) {
+        let a = k.profile(128, &d);
+        let b = k.profile(128, &d);
+        assert_eq!(a, b, "{} profile must be deterministic", k.name());
+    }
+}
