@@ -56,12 +56,7 @@ pub trait System<T: AtomicScalar>: Send + Sync {
     fn prepare(&self, csr: &CsrMatrix<T>, j: usize, device: &DeviceModel) -> Option<Prepared<T>>;
 
     /// Simulated kernel time in ms, or `None` on OOM.
-    fn kernel_time_ms(
-        &self,
-        csr: &CsrMatrix<T>,
-        j: usize,
-        device: &DeviceModel,
-    ) -> Option<f64> {
+    fn kernel_time_ms(&self, csr: &CsrMatrix<T>, j: usize, device: &DeviceModel) -> Option<f64> {
         self.prepare(csr, j, device)
             .map(|p| p.kernel.profile(j, device).time_ms)
     }
@@ -91,8 +86,7 @@ mod tests {
     fn every_system_produces_correct_numerics() {
         let device = DeviceModel::v100();
         let mut rng = Pcg32::seed_from_u64(1);
-        let csr: CsrMatrix<f64> =
-            CsrMatrix::from_coo(&mixed_regions(200, 200, 4000, 4, &mut rng));
+        let csr: CsrMatrix<f64> = CsrMatrix::from_coo(&mixed_regions(200, 200, 4000, 4, &mut rng));
         let b = DenseMatrix::random(200, 24, &mut rng);
         let want = csr.spmm_reference(&b).unwrap();
         for system in roster::<f64>() {
@@ -120,8 +114,7 @@ mod tests {
     fn tuned_systems_report_overhead() {
         let device = DeviceModel::v100();
         let mut rng = Pcg32::seed_from_u64(2);
-        let csr: CsrMatrix<f32> =
-            CsrMatrix::from_coo(&mixed_regions(300, 300, 6000, 4, &mut rng));
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(300, 300, 6000, 4, &mut rng));
         for system in roster::<f32>() {
             let p = system.prepare(&csr, 64, &device).unwrap();
             let tuned = matches!(system.name(), "taco" | "sparsetir" | "stile");

@@ -91,7 +91,7 @@ impl SparseTir {
                 candidates += 1;
                 simulated_gpu_s += self.compile.reps_per_candidate as f64 * ms / 1e3;
                 modeled_host_s += self.compile.compile_s_per_candidate;
-                if best.as_ref().map_or(true, |(b, _)| ms < *b) {
+                if best.as_ref().is_none_or(|(b, _)| ms < *b) {
                     best = Some((ms, config));
                 }
             }
@@ -141,14 +141,15 @@ mod tests {
         let tir = SparseTir::default();
         let (config, best_ms, cost) = tir.autotune(&csr, 128, &device).unwrap();
         // Naive: 1 partition, natural widths.
-        let naive = CellKernel::new(
-            build_cell(&csr, &CellConfig::default()).unwrap(),
-        )
-        .profile(128, &device)
-        .time_ms;
+        let naive = CellKernel::new(build_cell(&csr, &CellConfig::default()).unwrap())
+            .profile(128, &device)
+            .time_ms;
         assert!(best_ms <= naive * 1.0001, "{best_ms} vs naive {naive}");
         assert!(cost.candidates_evaluated > 10);
-        assert!(cost.total_s() > cost.measured_cpu_s, "overhead must include tuning");
+        assert!(
+            cost.total_s() > cost.measured_cpu_s,
+            "overhead must include tuning"
+        );
         // Shared width across partitions (the hyb restriction).
         assert_eq!(config.max_widths.as_ref().unwrap().len(), 1);
     }

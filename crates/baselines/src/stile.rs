@@ -75,8 +75,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrRowSubsetKernel<T> {
         let elem = std::mem::size_of::<T>();
         let ws = self.csr.cols() * j * elem;
         let per_row = b_row_tx(j, elem, device);
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         for chunk in self.rows.chunks(8) {
             let mut cols: Vec<u32> = Vec::new();
             let mut colval = 0u64;

@@ -4,7 +4,7 @@
 use crate::tuning::ConstructionCost;
 use crate::{Prepared, System};
 use lf_kernels::{
-    BcsrKernel, CsrVectorKernel, DgSparseKernel, SputnikKernel, SpmmKernel, TacoKernel,
+    BcsrKernel, CsrVectorKernel, DgSparseKernel, SpmmKernel, SputnikKernel, TacoKernel,
     TacoSchedule,
 };
 use lf_sim::atomicf::AtomicScalar;
@@ -127,7 +127,7 @@ impl<T: AtomicScalar> System<T> for TacoSwept {
             }
             let ms = kernel.profile(j, device).time_ms;
             simulated_gpu_s += ms / 1e3;
-            if best.map_or(true, |(b, _)| ms < b) {
+            if best.is_none_or(|(b, _)| ms < b) {
                 best = Some((ms, sched));
             }
         }
@@ -186,6 +186,9 @@ mod tests {
         let default_ms = TacoKernel::new(csr, TacoSchedule::default())
             .profile(128, &device)
             .time_ms;
-        assert!(swept <= default_ms * 1.0001, "{swept} vs default {default_ms}");
+        assert!(
+            swept <= default_ms * 1.0001,
+            "{swept} vs default {default_ms}"
+        );
     }
 }

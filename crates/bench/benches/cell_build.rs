@@ -1,18 +1,46 @@
 //! Criterion: CELL construction cost — the thing LiteForm keeps cheap.
-//! Sweeps partition counts and folding caps on a mid-size matrix.
+//!
+//! Compares the single-pass parallel builder (`build_cell`) against the
+//! seed per-partition-rescan builder (`build_cell_reference`) on a
+//! 4096×4096 mixed-regions matrix across partition counts, plus the
+//! original partition/fold-cap sweeps on a larger skewed matrix. The
+//! criterion harness emits one BENCH JSON line per case under
+//! `target/criterion-lite/cell_build.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lf_cell::{build_cell, CellConfig};
-use lf_sparse::gen::uniform_with_long_rows;
+use lf_cell::{build_cell, build_cell_reference, CellConfig};
+use lf_sparse::gen::{mixed_regions, uniform_with_long_rows};
 use lf_sparse::{CsrMatrix, Pcg32};
 
+/// Old vs new builder on the acceptance matrix: 4096×4096 mixed regions.
+fn bench_old_vs_new(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(22);
+    let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(4096, 4096, 600_000, 4, &mut rng));
+
+    let mut group = c.benchmark_group("cell_build");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.sample_size(10);
+    for p in [1usize, 4, 16, 32] {
+        let cfg = CellConfig::with_partitions(p);
+        group.bench_with_input(BenchmarkId::new("single_pass", p), &cfg, |bch, cfg| {
+            bch.iter(|| build_cell(&csr, cfg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("reference", p), &cfg, |bch, cfg| {
+            bch.iter(|| build_cell_reference(&csr, cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// The original sweep: partition counts and folding caps on a larger
+/// skewed matrix, now on the single-pass builder.
 fn bench_build(c: &mut Criterion) {
     let mut rng = Pcg32::seed_from_u64(21);
     let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&uniform_with_long_rows(
         20_000, 20_000, 400_000, 20, 8_000, &mut rng,
     ));
 
-    let mut group = c.benchmark_group("cell_build");
+    let mut group = c.benchmark_group("cell_build_sweep");
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     group.sample_size(10);
     for p in [1usize, 4, 16] {
@@ -30,5 +58,5 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build);
+criterion_group!(benches, bench_old_vs_new, bench_build);
 criterion_main!(benches);

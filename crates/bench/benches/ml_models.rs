@@ -12,7 +12,11 @@ fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
     for i in 0..n {
         let label = i % 2;
         let c = if label == 0 { -1.0 } else { 1.0 };
-        x.push((0..7).map(|k| c * (k as f64 + 1.0) / 7.0 + rng.normal()).collect());
+        x.push(
+            (0..7)
+                .map(|k| c * (k as f64 + 1.0) / 7.0 + rng.normal())
+                .collect(),
+        );
         y.push(label);
     }
     (x, y)
@@ -45,13 +49,9 @@ fn bench_models(c: &mut Criterion) {
     infer_group.sample_size(10);
     for mut model in model_zoo(7) {
         model.fit(&xtr, &ytr, 2);
-        infer_group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &model,
-            |b, m| {
-                b.iter(|| m.predict(&xte));
-            },
-        );
+        infer_group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, m| {
+            b.iter(|| m.predict(&xte));
+        });
     }
     infer_group.finish();
 }

@@ -5,16 +5,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lf_cell::{build_cell, CellConfig};
 use lf_kernels::{
-    BcsrKernel, CellKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SputnikKernel,
-    SpmmKernel, TacoKernel, TacoSchedule,
+    BcsrKernel, CellKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SpmmKernel, SputnikKernel,
+    TacoKernel, TacoSchedule,
 };
 use lf_sparse::gen::mixed_regions;
 use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32};
 
 fn bench_formats(c: &mut Criterion) {
     let mut rng = Pcg32::seed_from_u64(11);
-    let csr: CsrMatrix<f32> =
-        CsrMatrix::from_coo(&mixed_regions(4096, 4096, 200_000, 4, &mut rng));
+    let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(4096, 4096, 200_000, 4, &mut rng));
     let j = 64;
     let b = DenseMatrix::random(csr.cols(), j, &mut rng);
 

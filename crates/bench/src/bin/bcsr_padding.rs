@@ -49,8 +49,14 @@ fn main() {
         &mut rng,
     ));
     // Structured: aligned dense 8x8 tiles — BCSR's best case.
-    let blocky: CsrMatrix<f32> =
-        CsrMatrix::from_coo(&block_sparse(60_000, 60_000, 8, 300_000 / 64, 1.0, &mut rng));
+    let blocky: CsrMatrix<f32> = CsrMatrix::from_coo(&block_sparse(
+        60_000,
+        60_000,
+        8,
+        300_000 / 64,
+        1.0,
+        &mut rng,
+    ));
 
     let rows = vec![
         report("power-law (scattered)", &scattered),

@@ -18,7 +18,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
     let mut table = Table::new(&[
-        "graph", "decision", "pred p", "oracle p", "pred ms", "oracle ms", "csr ms",
+        "graph",
+        "decision",
+        "pred p",
+        "oracle p",
+        "pred ms",
+        "oracle ms",
+        "csr ms",
     ]);
     for spec in &GNN_GRAPHS {
         let csr: CsrMatrix<f32> = spec.build(env.scale);

@@ -2,10 +2,10 @@
 //! Not a paper artifact — used to sanity-check the performance model.
 
 use lf_baselines::roster;
-use lf_cell::build_cell;
-use lf_kernels::{CellKernel, SpmmKernel};
 use lf_bench::{fmt, BenchEnv, Table};
+use lf_cell::build_cell;
 use lf_data::GraphSpec;
+use lf_kernels::{CellKernel, SpmmKernel};
 use lf_sim::DeviceModel;
 use lf_sparse::CsrMatrix;
 

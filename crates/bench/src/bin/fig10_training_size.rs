@@ -41,7 +41,11 @@ fn main() {
     let max_part = part_split.train.len();
     let steps = 8usize;
     let mut points = Vec::new();
-    let mut table = Table::new(&["train size (sel/part)", "format-selection acc", "partition acc"]);
+    let mut table = Table::new(&[
+        "train size (sel/part)",
+        "format-selection acc",
+        "partition acc",
+    ]);
     for k in 1..=steps {
         let n_sel = (max_sel * k / steps).max(4);
         let n_part = (max_part * k / steps).max(4);

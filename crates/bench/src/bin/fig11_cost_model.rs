@@ -60,12 +60,7 @@ fn main() {
     // Normalize like the figure (shared y-axis).
     let max_cost = points.iter().map(|p| p.cost).fold(0.0, f64::max);
     let max_time = points.iter().map(|p| p.time_ms).fold(0.0, f64::max);
-    let mut table = Table::new(&[
-        "max width",
-        "cost (norm)",
-        "time (norm)",
-        "utilization",
-    ]);
+    let mut table = Table::new(&["max width", "cost (norm)", "time (norm)", "utilization"]);
     for p in &points {
         table.row(&[
             format!("2^{}", p.width.trailing_zeros()),
@@ -91,9 +86,8 @@ fn main() {
         .iter()
         .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
         .expect("points");
-    let octaves = (best_cost.width.trailing_zeros() as i32
-        - best_time.width.trailing_zeros() as i32)
-        .abs();
+    let octaves =
+        (best_cost.width.trailing_zeros() as i32 - best_time.width.trailing_zeros() as i32).abs();
     println!(
         "\ncost argmin: width {}   time argmin: width {}   ({octaves} power(s) \
          of two apart; the paper reports them coinciding at 2^8)",

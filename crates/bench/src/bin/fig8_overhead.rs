@@ -11,6 +11,7 @@ use lf_bench::{fmt, geomean, pipeline, write_json, BenchEnv, Table};
 use lf_data::GNN_GRAPHS;
 use lf_sim::DeviceModel;
 use lf_sparse::CsrMatrix;
+use liteform_core::PreprocessProfile;
 use serde::Serialize;
 
 const J: usize = 128;
@@ -21,6 +22,8 @@ struct Row {
     sparsetir_s: f64,
     stile_s: f64,
     liteform_s: f64,
+    /// Where LiteForm's seconds (and allocations) went, stage by stage.
+    liteform_profile: PreprocessProfile,
 }
 
 fn main() {
@@ -31,7 +34,14 @@ fn main() {
     let stile = STile::default();
 
     let mut rows = Vec::new();
-    let mut table = Table::new(&["graph", "sparsetir(s)", "stile(s)", "liteform(s)", "tir/lf", "stile/lf"]);
+    let mut table = Table::new(&[
+        "graph",
+        "sparsetir(s)",
+        "stile(s)",
+        "liteform(s)",
+        "tir/lf",
+        "stile/lf",
+    ]);
     for spec in &GNN_GRAPHS {
         eprintln!("[fig8] {} ...", spec.name);
         let csr: CsrMatrix<f32> = spec.build(env.scale);
@@ -43,7 +53,9 @@ fn main() {
             .prepare(&csr, J, &device)
             .map(|p| p.construction.total_s())
             .unwrap_or(f64::NAN);
-        let lf_s = liteform.compose(&csr, J).overhead.total_s();
+        let plan = liteform.compose(&csr, J);
+        let lf_profile = plan.profile;
+        let lf_s = plan.overhead.total_s();
         table.row(&[
             spec.name.to_string(),
             fmt(tir_s),
@@ -57,6 +69,7 @@ fn main() {
             sparsetir_s: tir_s,
             stile_s,
             liteform_s: lf_s,
+            liteform_profile: lf_profile,
         });
     }
 
@@ -80,5 +93,23 @@ fn main() {
         tir_ratio.map_or("n/a".into(), fmt),
         stile_ratio.map_or("n/a".into(), fmt)
     );
+
+    // Where LiteForm's preprocessing time and allocations went.
+    let mut agg = PreprocessProfile::default();
+    for r in &rows {
+        agg.accumulate(&r.liteform_profile);
+    }
+    let mut stage_table = Table::new(&["liteform stage", "wall(s)", "allocs", "alloc MiB"]);
+    for (name, s) in agg.named_stages() {
+        stage_table.row(&[
+            name.to_string(),
+            fmt(s.wall_s),
+            s.alloc_calls.to_string(),
+            fmt(s.alloc_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    println!("\nLiteForm preprocessing profile (summed over graphs):\n");
+    stage_table.print();
+
     write_json(&env.results_dir, "fig8_overhead", &rows);
 }

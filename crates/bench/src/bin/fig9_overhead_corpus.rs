@@ -8,6 +8,7 @@ use lf_baselines::SparseTir;
 use lf_bench::{fmt, geomean, pipeline, write_json, BenchEnv, Summary, Table};
 use lf_data::Corpus;
 use lf_sim::DeviceModel;
+use liteform_core::PreprocessProfile;
 use serde::Serialize;
 
 const J: usize = 128;
@@ -21,6 +22,14 @@ struct Point {
     ratio: f64,
 }
 
+/// The corpus-level roll-up of LiteForm's per-stage preprocessing work,
+/// written alongside the per-matrix points.
+#[derive(Serialize)]
+struct ProfileSummary {
+    matrices: usize,
+    total: PreprocessProfile,
+}
+
 fn main() {
     let env = BenchEnv::from_env();
     let device = DeviceModel::v100();
@@ -29,12 +38,15 @@ fn main() {
     let tir = SparseTir::default();
 
     let mut points = Vec::new();
+    let mut agg_profile = PreprocessProfile::default();
     for (i, m) in corpus.matrices.iter().enumerate() {
         let Some((_, _, cost)) = tir.autotune(&m.csr, J, &device) else {
             continue;
         };
         let tir_s = cost.total_s();
-        let lf_s = liteform.compose(&m.csr, J).overhead.total_s();
+        let plan = liteform.compose(&m.csr, J);
+        agg_profile.accumulate(&plan.profile);
+        let lf_s = plan.overhead.total_s();
         points.push(Point {
             id: m.id.clone(),
             rows: m.csr.rows(),
@@ -84,5 +96,27 @@ fn main() {
         "overall geomean ratio sparsetir/liteform: {}x (paper 1150.2x)",
         fmt(summary.geomean)
     );
+
+    // Per-stage roll-up of LiteForm's preprocessing across the corpus.
+    let mut stage_table = Table::new(&["liteform stage", "wall(s)", "allocs", "alloc MiB"]);
+    for (name, s) in agg_profile.named_stages() {
+        stage_table.row(&[
+            name.to_string(),
+            fmt(s.wall_s),
+            s.alloc_calls.to_string(),
+            fmt(s.alloc_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    println!("\nLiteForm preprocessing profile (summed over corpus):\n");
+    stage_table.print();
+
     write_json(&env.results_dir, "fig9_overhead_corpus", &points);
+    write_json(
+        &env.results_dir,
+        "fig9_liteform_profile",
+        &ProfileSummary {
+            matrices: points.len(),
+            total: agg_profile,
+        },
+    );
 }

@@ -53,24 +53,50 @@ fn main() {
         });
     }
 
-    println!("\nTable 4 — sparse matrices information ({:?} scale)\n", env.scale);
+    println!(
+        "\nTable 4 — sparse matrices information ({:?} scale)\n",
+        env.scale
+    );
     table.print();
 
     // Corpus summary (the paper's last Table 4 row: SuiteSparse
     // 2.0K-3.8M nodes, 3.1K-300.9M edges, density 8.7E-7 - 0.1).
     let corpus: Corpus<f32> = Corpus::generate(env.corpus_spec());
     let rows_range = (
-        corpus.matrices.iter().map(|m| m.csr.rows()).min().unwrap_or(0),
-        corpus.matrices.iter().map(|m| m.csr.rows()).max().unwrap_or(0),
+        corpus
+            .matrices
+            .iter()
+            .map(|m| m.csr.rows())
+            .min()
+            .unwrap_or(0),
+        corpus
+            .matrices
+            .iter()
+            .map(|m| m.csr.rows())
+            .max()
+            .unwrap_or(0),
     );
     let nnz_range = (
-        corpus.matrices.iter().map(|m| m.csr.nnz()).min().unwrap_or(0),
-        corpus.matrices.iter().map(|m| m.csr.nnz()).max().unwrap_or(0),
+        corpus
+            .matrices
+            .iter()
+            .map(|m| m.csr.nnz())
+            .min()
+            .unwrap_or(0),
+        corpus
+            .matrices
+            .iter()
+            .map(|m| m.csr.nnz())
+            .max()
+            .unwrap_or(0),
     );
-    let den_range = corpus.matrices.iter().map(|m| m.csr.density()).fold(
-        (f64::INFINITY, 0.0f64),
-        |(lo, hi), d| (lo.min(d), hi.max(d)),
-    );
+    let den_range = corpus
+        .matrices
+        .iter()
+        .map(|m| m.csr.density())
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), d| {
+            (lo.min(d), hi.max(d))
+        });
     println!(
         "\ncorpus ({} matrices): rows {}..{}, nnz {}..{}, density {}..{}",
         corpus.len(),

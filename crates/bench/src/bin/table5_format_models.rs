@@ -28,7 +28,13 @@ fn main() {
     let split = dataset.split(0.8, env.seed);
     let rows = mlbench::sweep_models(&split.train, &split.test, None, env.seed);
 
-    let mut table = Table::new(&["name", "training(s)", "inference(s)", "accuracy", "macro_f1"]);
+    let mut table = Table::new(&[
+        "name",
+        "training(s)",
+        "inference(s)",
+        "accuracy",
+        "macro_f1",
+    ]);
     for r in &rows {
         table.row(&[
             r.name.clone(),

@@ -65,9 +65,21 @@ fn main() {
     };
 
     let mut table = Table::new(&["trained on", "evaluated against", "accuracy"]);
-    table.row(&["V100".into(), "V100 ground truth".into(), format!("{:.1}%", v100_on_v100 * 100.0)]);
-    table.row(&["V100".into(), "A100 ground truth".into(), format!("{:.1}%", v100_on_a100 * 100.0)]);
-    table.row(&["A100".into(), "A100 ground truth".into(), format!("{:.1}%", a100_on_a100 * 100.0)]);
+    table.row(&[
+        "V100".into(),
+        "V100 ground truth".into(),
+        format!("{:.1}%", v100_on_v100 * 100.0),
+    ]);
+    table.row(&[
+        "V100".into(),
+        "A100 ground truth".into(),
+        format!("{:.1}%", v100_on_a100 * 100.0),
+    ]);
+    table.row(&[
+        "A100".into(),
+        "A100 ground truth".into(),
+        format!("{:.1}%", a100_on_a100 * 100.0),
+    ]);
 
     println!("\nExtension — cross-architecture transfer of the partition predictor\n");
     table.print();

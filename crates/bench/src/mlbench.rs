@@ -46,10 +46,7 @@ pub fn format_selection_dataset(corpus: &Corpus<f32>, device: &DeviceModel) -> D
 
 /// Build the partition dataset; also returns, per sample, the matrix id
 /// it came from (for the cosine-similarity grouping across dense widths).
-pub fn partition_dataset(
-    corpus: &Corpus<f32>,
-    device: &DeviceModel,
-) -> (Dataset, Vec<String>) {
+pub fn partition_dataset(corpus: &Corpus<f32>, device: &DeviceModel) -> (Dataset, Vec<String>) {
     let cfg = TrainingConfig::default();
     let mut x = Vec::new();
     let mut y = Vec::new();
@@ -146,12 +143,13 @@ mod tests {
     fn sweep_returns_all_ten_models() {
         let device = DeviceModel::v100();
         let corpus = tiny_corpus();
-        let (part, groups) = partition_dataset(&corpus, &device);
+        let (part, _groups) = partition_dataset(&corpus, &device);
         let split = part.split(0.8, 1);
         // Recompute groups for the test split is impossible here (split
         // shuffles); pass a fake grouping to exercise the path.
-        let fake_groups: Vec<String> =
-            (0..split.test.len()).map(|i| format!("g{}", i % 3)).collect();
+        let fake_groups: Vec<String> = (0..split.test.len())
+            .map(|i| format!("g{}", i % 3))
+            .collect();
         let rows = sweep_models(&split.train, &split.test, Some(&fake_groups), 3);
         assert_eq!(rows.len(), 10);
         for r in &rows {

@@ -129,7 +129,7 @@ mod tests {
         assert_eq!(fmt(f64::INFINITY), "OOM");
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.5), "1234"); // ".0" rounding
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.14215), "3.14");
         assert_eq!(fmt(0.01), "0.0100");
         assert_eq!(fmt(1e-6), "1.00e-6");
     }

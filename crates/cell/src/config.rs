@@ -91,13 +91,9 @@ impl CellConfig {
 
     /// The width cap for partition `p`, if any.
     pub fn max_width_for(&self, p: usize) -> Option<usize> {
-        self.max_widths.as_ref().map(|v| {
-            if v.len() == 1 {
-                v[0]
-            } else {
-                v[p]
-            }
-        })
+        self.max_widths
+            .as_ref()
+            .map(|v| if v.len() == 1 { v[0] } else { v[p] })
     }
 }
 
@@ -119,8 +115,10 @@ mod tests {
 
     #[test]
     fn zero_partitions_invalid() {
-        let mut c = CellConfig::default();
-        c.num_partitions = 0;
+        let c = CellConfig {
+            num_partitions: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -128,8 +126,10 @@ mod tests {
     fn non_power_of_two_rejected() {
         let c = CellConfig::with_partitions(2).with_max_widths(vec![8, 12]);
         assert!(c.validate().is_err());
-        let mut c = CellConfig::default();
-        c.block_nnz_multiple = 3;
+        let c = CellConfig {
+            block_nnz_multiple: 3,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -187,13 +187,8 @@ impl<T: Scalar> CellMatrix<T> {
                 (0..b.num_rows()).flat_map(move |r| {
                     (0..b.width).filter_map(move |w| {
                         let c = b.col_ind[r * b.width + w];
-                        (c != ELL_PAD).then(|| {
-                            (
-                                b.row_ind[r] as usize,
-                                c as usize,
-                                b.values[r * b.width + w],
-                            )
-                        })
+                        (c != ELL_PAD)
+                            .then(|| (b.row_ind[r] as usize, c as usize, b.values[r * b.width + w]))
                     })
                 })
             })
@@ -272,10 +267,7 @@ mod tests {
         for p in c.partitions() {
             for b in &p.buckets {
                 assert!(b.rows_per_block >= 1);
-                assert_eq!(
-                    b.num_blocks(),
-                    b.num_rows().div_ceil(b.rows_per_block)
-                );
+                assert_eq!(b.num_blocks(), b.num_rows().div_ceil(b.rows_per_block));
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The LiteForm composer: the runtime pipeline of Figure 2.
 
 use crate::predictor::PartitionPredictor;
+use crate::profile::{PreprocessProfile, StageStats};
 use crate::selector::FormatSelector;
 use lf_cell::{build_cell, CellConfig, CellMatrix};
 use lf_cost::search::optimal_widths_for_matrix;
@@ -9,7 +10,6 @@ use lf_sim::atomicf::AtomicScalar;
 use lf_sim::{DeviceModel, KernelProfile};
 use lf_sparse::{CsrMatrix, DenseMatrix, FormatFeatures, PartitionFeatures, Result};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Where LiteForm's (real, wall-clock) construction time went — the
 /// quantity Figures 8–9 compare against the autotuners' kernel re-runs.
@@ -57,8 +57,10 @@ pub enum PlanKind<T> {
 pub struct CompositionPlan<T> {
     /// The decision.
     pub kind: PlanKind<T>,
-    /// Wall-clock overhead breakdown.
+    /// Wall-clock overhead breakdown (the Figures 8–9 quantity).
     pub overhead: OverheadBreakdown,
+    /// Per-stage wall clock *and* allocation counters.
+    pub profile: PreprocessProfile,
 }
 
 impl<T> CompositionPlan<T> {
@@ -81,7 +83,11 @@ pub struct LiteForm {
 
 impl LiteForm {
     /// Assemble from trained components.
-    pub fn new(selector: FormatSelector, predictor: PartitionPredictor, device: DeviceModel) -> Self {
+    pub fn new(
+        selector: FormatSelector,
+        predictor: PartitionPredictor,
+        device: DeviceModel,
+    ) -> Self {
         assert!(selector.is_trained(), "selector must be trained");
         assert!(predictor.is_trained(), "predictor must be trained");
         LiteForm {
@@ -93,38 +99,40 @@ impl LiteForm {
 
     /// Run the Figure 2 pipeline for a matrix and dense width `j`.
     pub fn compose<T: AtomicScalar>(&self, csr: &CsrMatrix<T>, j: usize) -> CompositionPlan<T> {
-        let mut overhead = OverheadBreakdown::default();
+        let mut profile = PreprocessProfile::default();
 
         // 1. Features (shared single pass over row lengths, done twice
         //    here for clarity; both are O(rows)).
-        let t0 = Instant::now();
-        let format_features = FormatFeatures::from_csr(csr);
-        let partition_features = PartitionFeatures::from_csr(csr, j);
-        overhead.feature_extraction_s = t0.elapsed().as_secs_f64();
+        let ((format_features, partition_features), stats) = StageStats::measure(|| {
+            (
+                FormatFeatures::from_csr(csr),
+                PartitionFeatures::from_csr(csr, j),
+            )
+        });
+        profile.feature_extraction = stats;
 
         // 2. Should we compose CELL at all?
-        let t0 = Instant::now();
-        let use_cell = self.selector.predict(&format_features);
-        overhead.selection_inference_s = t0.elapsed().as_secs_f64();
+        let (use_cell, stats) = StageStats::measure(|| self.selector.predict(&format_features));
+        profile.selection_inference = stats;
         if !use_cell {
             return CompositionPlan {
                 kind: PlanKind::FixedCsr,
-                overhead,
+                overhead: profile.overhead(),
+                profile,
             };
         }
 
         // 3. Partition count.
-        let t0 = Instant::now();
-        let p = self
-            .predictor
-            .predict(&partition_features)
-            .min(csr.cols().max(1));
-        overhead.partition_inference_s = t0.elapsed().as_secs_f64();
+        let (p, stats) = StageStats::measure(|| {
+            self.predictor
+                .predict(&partition_features)
+                .min(csr.cols().max(1))
+        });
+        profile.partition_inference = stats;
 
         // 4. Bucket widths per partition (Algorithm 3).
-        let t0 = Instant::now();
-        let widths = optimal_widths_for_matrix(csr, p, j);
-        overhead.width_search_s = t0.elapsed().as_secs_f64();
+        let (widths, stats) = StageStats::measure(|| optimal_widths_for_matrix(csr, p, j));
+        profile.width_search = stats;
 
         // 5. Materialize.
         let config = CellConfig {
@@ -133,13 +141,14 @@ impl LiteForm {
             block_nnz_multiple: 4,
             uniform_block_nnz: true,
         };
-        let t0 = Instant::now();
-        let cell = build_cell(csr, &config).expect("validated config");
-        overhead.build_s = t0.elapsed().as_secs_f64();
+        let (cell, stats) =
+            StageStats::measure(|| build_cell(csr, &config).expect("validated config"));
+        profile.build = stats;
 
         CompositionPlan {
             kind: PlanKind::Cell { config, cell },
-            overhead,
+            overhead: profile.overhead(),
+            profile,
         }
     }
 
@@ -173,9 +182,11 @@ impl LiteForm {
         let plan = self.compose(csr, j);
         match plan.kind {
             PlanKind::Cell { cell, .. } => CellKernel::new(cell).profile(j, &self.device).time_ms,
-            PlanKind::FixedCsr => CsrVectorKernel::new(csr.clone())
-                .profile(j, &self.device)
-                .time_ms,
+            PlanKind::FixedCsr => {
+                CsrVectorKernel::new(csr.clone())
+                    .profile(j, &self.device)
+                    .time_ms
+            }
         }
     }
 }
@@ -223,9 +234,8 @@ mod tests {
     fn end_to_end_compose_and_run() {
         let lf = tiny_pipeline();
         let mut rng = Pcg32::seed_from_u64(5);
-        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::mixed_regions(
-            300, 300, 8000, 4, &mut rng,
-        ));
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&lf_sparse::gen::mixed_regions(300, 300, 8000, 4, &mut rng));
         let b = DenseMatrix::random(300, 32, &mut rng);
         let (c, profile, overhead) = lf.spmm(&csr, &b).unwrap();
         // Numerically correct regardless of which path was taken.
@@ -240,9 +250,8 @@ mod tests {
     fn plan_reports_decision() {
         let lf = tiny_pipeline();
         let mut rng = Pcg32::seed_from_u64(6);
-        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(
-            400, 400, 6000, &mut rng,
-        ));
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(400, 400, 6000, &mut rng));
         let plan = lf.compose(&csr, 64);
         match &plan.kind {
             PlanKind::Cell { config, cell } => {
@@ -266,12 +275,34 @@ mod tests {
     }
 
     #[test]
+    fn profile_mirrors_overhead_and_counts_allocations() {
+        let lf = tiny_pipeline();
+        let mut rng = Pcg32::seed_from_u64(8);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&lf_sparse::gen::mixed_regions(400, 400, 9000, 4, &mut rng));
+        let plan = lf.compose(&csr, 64);
+        // The wall-clock view is derived from the profile, never drifts.
+        assert_eq!(plan.overhead, plan.profile.overhead());
+        let total = plan.profile.total();
+        assert!(total.wall_s >= 0.0);
+        // Feature extraction allocates the feature vectors at minimum.
+        assert!(
+            plan.profile.feature_extraction.alloc_calls >= 1,
+            "feature stage must show allocation activity"
+        );
+        if plan.uses_cell() {
+            // Materializing CELL allocates its grids.
+            assert!(plan.profile.build.alloc_bytes > 0);
+            assert!(plan.profile.width_search.alloc_calls >= 1);
+        }
+    }
+
+    #[test]
     fn simulated_time_is_positive() {
         let lf = tiny_pipeline();
         let mut rng = Pcg32::seed_from_u64(7);
-        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(
-            200, 200, 3000, &mut rng,
-        ));
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&lf_sparse::gen::uniform_random(200, 200, 3000, &mut rng));
         assert!(lf.simulated_time_ms(&csr, 128) > 0.0);
     }
 }

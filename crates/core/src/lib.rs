@@ -23,12 +23,14 @@
 pub mod composer;
 pub mod predictor;
 pub mod pretrained;
+pub mod profile;
 pub mod selector;
 pub mod training;
 
 pub use composer::{CompositionPlan, LiteForm, OverheadBreakdown, PlanKind};
 pub use predictor::PartitionPredictor;
 pub use pretrained::ModelBundle;
+pub use profile::{PreprocessProfile, StageStats};
 pub use selector::FormatSelector;
 pub use training::{
     label_format_selection, label_partitions, FormatSelectionSample, PartitionSample,

@@ -95,6 +95,9 @@ mod tests {
         let json = serde_json::to_string(&sel).unwrap();
         let back: FormatSelector = serde_json::from_str(&json).unwrap();
         assert!(back.is_trained());
-        assert_eq!(back.predict(&feat(1200.0, 15.0)), sel.predict(&feat(1200.0, 15.0)));
+        assert_eq!(
+            back.predict(&feat(1200.0, 15.0)),
+            sel.predict(&feat(1200.0, 15.0))
+        );
     }
 }

@@ -166,8 +166,7 @@ mod tests {
     #[test]
     fn partition_labels_one_per_width() {
         let mut rng = Pcg32::seed_from_u64(2);
-        let csr: CsrMatrix<f32> =
-            CsrMatrix::from_coo(&mixed_regions(256, 256, 6_000, 4, &mut rng));
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(256, 256, 6_000, 4, &mut rng));
         let cfg = TrainingConfig {
             dense_widths: vec![32, 128],
             ..Default::default()
@@ -197,8 +196,7 @@ mod tests {
     #[test]
     fn tuned_cell_time_is_consistent() {
         let mut rng = Pcg32::seed_from_u64(4);
-        let csr: CsrMatrix<f32> =
-            CsrMatrix::from_coo(&mixed_regions(256, 256, 8_000, 4, &mut rng));
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(256, 256, 8_000, 4, &mut rng));
         let (t, config) = tuned_cell_time(&csr, 128, &device());
         assert!(t.is_finite());
         assert!(config.num_partitions >= 1);

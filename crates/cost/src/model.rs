@@ -1,5 +1,7 @@
 //! The bucket cost model, Eq. 5–7 of the paper.
 
+use lf_cell::config::bucket_width_for_len;
+use lf_cell::span::SpanMap;
 use lf_sparse::{CsrMatrix, Index, Scalar};
 use serde::{Deserialize, Serialize};
 
@@ -39,56 +41,224 @@ pub fn partition_cost(sketches: &[BucketSketch], j: usize) -> f64 {
     sketches.iter().map(|s| bucket_cost(s, j)).sum()
 }
 
-/// A column partition's rows, extracted once from CSR so the width search
-/// can re-bucket repeatedly without touching the full matrix again.
-#[derive(Debug, Clone)]
+/// Per length-class statistics: class `k` holds the rows whose natural
+/// bucket width is `2^k` (length in `(2^(k-1), 2^k]`).
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassStats {
+    /// Rows in this class.
+    rows: usize,
+    /// Their total non-zeros.
+    nnz: usize,
+    /// Distinct column indices among this class's rows.
+    distinct_cols: usize,
+}
+
+/// A column partition's length histogram, extracted once from CSR so the
+/// width search can re-bucket repeatedly without touching the matrix (or
+/// any column data) again.
+///
+/// Unlike the original sketch, no column vectors are cloned: distinct
+/// column counts are precomputed per length class plus as a suffix union
+/// (`distinct over classes ≥ k`), which is exactly what
+/// [`crate::search::tune_width`] needs — under a cap `2^c`, every class
+/// below `c` becomes its own bucket unchanged and all classes ≥ `c`
+/// merge into the cap bucket, whose distinct-column count is the suffix
+/// union at `c`.
+#[derive(Debug, Clone, Default)]
 pub struct PartitionSketch {
-    /// Number of columns in the whole matrix (stamp-array size).
+    /// Number of columns in the whole matrix (for span bookkeeping).
     pub cols: usize,
-    /// Per non-empty row: `(row id, column indices within the partition)`.
-    pub rows: Vec<(Index, Vec<Index>)>,
+    num_rows: usize,
+    nnz: usize,
+    max_row_len: usize,
+    /// `classes[k]` ⇒ natural width `2^k`; empty when the partition is.
+    classes: Vec<ClassStats>,
+    /// `suffix_distinct[k]` = distinct columns over classes `k..`.
+    suffix_distinct: Vec<usize>,
+    /// All non-empty row lengths, descending (fragment counting).
+    lens_desc: Vec<usize>,
 }
 
 impl PartitionSketch {
     /// Extract the rows of `csr` restricted to columns `[col_lo, col_hi)`.
+    ///
+    /// This rescans the whole matrix; to sketch *every* partition of a
+    /// `p`-way split, [`PartitionSketch::all_from_csr`] does one shared
+    /// O(nnz) sweep instead.
     pub fn from_csr<T: Scalar>(csr: &CsrMatrix<T>, col_lo: usize, col_hi: usize) -> Self {
-        let mut rows = Vec::new();
+        let mut slices: Vec<&[Index]> = Vec::new();
         for r in 0..csr.rows() {
             let rcols = csr.row_cols(r);
             let start = rcols.partition_point(|&c| (c as usize) < col_lo);
             let end = rcols.partition_point(|&c| (c as usize) < col_hi);
             if start < end {
-                rows.push((r as Index, rcols[start..end].to_vec()));
+                slices.push(&rcols[start..end]);
             }
         }
+        Self::from_slices(csr.cols(), col_lo, col_hi, &slices)
+    }
+
+    /// Sketch every partition of a `p`-way equal split with a single
+    /// O(nnz) sweep over the CSR — the same
+    /// [`lf_cell::build::row_segment_bounds`] sweep the CELL builder
+    /// uses, so the sketches describe exactly what `build_cell` builds.
+    pub fn all_from_csr<T: Scalar>(csr: &CsrMatrix<T>, p: usize) -> Vec<Self> {
+        let map = SpanMap::new(csr.cols(), p);
+        let p = map.num_partitions();
+        let workers = lf_cell::build::workers_for(csr.nnz());
+        let bounds = lf_cell::build::row_segment_bounds(csr, &map, workers);
+        let stride = p + 1;
+        lf_sim::parallel::parallel_map(p, workers.min(p), |pi| {
+            let (lo, hi) = map.span_of(pi);
+            let mut slices: Vec<&[Index]> = Vec::new();
+            for r in 0..csr.rows() {
+                let start = bounds[r * stride + pi];
+                let end = bounds[r * stride + pi + 1];
+                if start < end {
+                    slices.push(&csr.col_ind()[start..end]);
+                }
+            }
+            Self::from_slices(csr.cols(), lo, hi, &slices)
+        })
+    }
+
+    /// Build the histogram from per-row column slices (all non-empty,
+    /// every column in `[col_lo, col_hi)`).
+    fn from_slices(cols: usize, col_lo: usize, col_hi: usize, slices: &[&[Index]]) -> Self {
+        let num_rows = slices.len();
+        let nnz: usize = slices.iter().map(|s| s.len()).sum();
+        let max_row_len = slices.iter().map(|s| s.len()).max().unwrap_or(0);
+        let n_classes = if num_rows == 0 {
+            0
+        } else {
+            bucket_width_for_len(max_row_len).trailing_zeros() as usize + 1
+        };
+        let mut classes = vec![ClassStats::default(); n_classes];
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+        for (i, s) in slices.iter().enumerate() {
+            let k = bucket_width_for_len(s.len()).trailing_zeros() as usize;
+            classes[k].rows += 1;
+            classes[k].nnz += s.len();
+            by_class[k].push(i);
+        }
+
+        // One top-down sweep fills both distinct counts: `stamp` is
+        // per-class (epoch = class index), `seen` accumulates the suffix
+        // union. Arrays are span-sized, indexed by `col - col_lo`.
+        let width = col_hi - col_lo;
+        let mut stamp = vec![u32::MAX; width];
+        let mut seen = vec![false; width];
+        let mut suffix_distinct = vec![0usize; n_classes];
+        let mut cumulative = 0usize;
+        for k in (0..n_classes).rev() {
+            let mut distinct = 0usize;
+            for &i in &by_class[k] {
+                for &c in slices[i] {
+                    let x = c as usize - col_lo;
+                    if stamp[x] != k as u32 {
+                        stamp[x] = k as u32;
+                        distinct += 1;
+                    }
+                    if !seen[x] {
+                        seen[x] = true;
+                        cumulative += 1;
+                    }
+                }
+            }
+            classes[k].distinct_cols = distinct;
+            suffix_distinct[k] = cumulative;
+        }
+
+        let mut lens_desc: Vec<usize> = slices.iter().map(|s| s.len()).collect();
+        lens_desc.sort_unstable_by(|a, b| b.cmp(a));
+
         PartitionSketch {
-            cols: csr.cols(),
-            rows,
+            cols,
+            num_rows,
+            nnz,
+            max_row_len,
+            classes,
+            suffix_distinct,
+            lens_desc,
         }
     }
 
     /// Even column spans for `p` partitions of a matrix with `cols`
-    /// columns — must match `lf_cell::build_cell`'s partitioning.
+    /// columns — delegates to [`lf_cell::span::partition_spans`], the
+    /// same function `build_cell` partitions with, so the two can never
+    /// drift (including the clamp of `p` to the column count).
     pub fn spans(cols: usize, p: usize) -> Vec<(usize, usize)> {
-        let p = p.max(1);
-        let span = cols / p;
-        (0..p)
-            .map(|pi| {
-                let lo = pi * span;
-                let hi = if pi + 1 == p { cols } else { (pi + 1) * span };
-                (lo, hi)
-            })
-            .collect()
+        lf_cell::span::partition_spans(cols, p)
+    }
+
+    /// Number of non-empty rows in the partition.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
     }
 
     /// Longest row length in the partition (0 when empty).
     pub fn max_row_len(&self) -> usize {
-        self.rows.iter().map(|(_, c)| c.len()).max().unwrap_or(0)
+        self.max_row_len
     }
 
     /// Total non-zeros in the partition.
     pub fn nnz(&self) -> usize {
-        self.rows.iter().map(|(_, c)| c.len()).sum()
+        self.nnz
+    }
+
+    /// The paper's `TuneWidth` on the histogram: bucket sketches under a
+    /// maximum width of `cap` (a power of two), folding longer rows into
+    /// the cap bucket. O(classes + folded rows); no column data touched.
+    pub fn sketches_under_cap(&self, cap: usize) -> Vec<BucketSketch> {
+        assert!(
+            cap >= 1 && cap.is_power_of_two(),
+            "cap must be a power of two"
+        );
+        let c = cap.trailing_zeros() as usize;
+        let mut out = Vec::new();
+        // Classes strictly below the cap keep their natural buckets.
+        for (k, cls) in self
+            .classes
+            .iter()
+            .enumerate()
+            .take(c.min(self.classes.len()))
+        {
+            if cls.rows > 0 {
+                out.push(BucketSketch {
+                    width: 1 << k,
+                    i1: cls.rows,
+                    i2: cls.rows,
+                    unique_cols: cls.distinct_cols,
+                    nnz: cls.nnz,
+                });
+            }
+        }
+        if c >= self.classes.len() {
+            return out;
+        }
+        // The cap bucket: class `c`'s rows plus every longer row folded
+        // into `ceil(len/cap)` fragments. Lengths are sorted descending,
+        // so the fold scan stops at the first row that fits.
+        let natural = self.classes[c];
+        let mut fragments = 0usize;
+        let mut folded_rows = 0usize;
+        let mut folded_nnz = 0usize;
+        for &len in &self.lens_desc {
+            if len <= cap {
+                break;
+            }
+            fragments += len.div_ceil(cap);
+            folded_rows += 1;
+            folded_nnz += len;
+        }
+        out.push(BucketSketch {
+            width: cap,
+            i1: natural.rows + fragments,
+            i2: natural.rows + folded_rows,
+            unique_cols: self.suffix_distinct[c],
+            nnz: natural.nnz + folded_nnz,
+        });
+        out
     }
 }
 
@@ -142,10 +312,7 @@ mod tests {
             unique_cols: 7,
             nnz: 8,
         };
-        assert_eq!(
-            partition_cost(&[s, s], 16),
-            2.0 * bucket_cost(&s, 16)
-        );
+        assert_eq!(partition_cost(&[s, s], 16), 2.0 * bucket_cost(&s, 16));
         assert_eq!(partition_cost(&[], 16), 0.0);
     }
 
@@ -166,7 +333,7 @@ mod tests {
         .unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let left = PartitionSketch::from_csr(&csr, 0, 4);
-        assert_eq!(left.rows.len(), 3); // rows 0, 1, 3 have entries < col 4
+        assert_eq!(left.num_rows(), 3); // rows 0, 1, 3 have entries < col 4
         assert_eq!(left.nnz(), 4);
         assert_eq!(left.max_row_len(), 2);
         let right = PartitionSketch::from_csr(&csr, 4, 8);
@@ -174,12 +341,52 @@ mod tests {
     }
 
     #[test]
+    fn all_from_csr_matches_per_partition_extraction() {
+        let coo = CooMatrix::from_triplets(
+            6,
+            10,
+            vec![
+                (0, 0, 1.0),
+                (0, 4, 1.0),
+                (0, 9, 1.0),
+                (2, 3, 1.0),
+                (2, 5, 1.0),
+                (4, 1, 1.0),
+                (4, 2, 1.0),
+                (4, 6, 1.0),
+                (4, 7, 1.0),
+                (5, 8, 1.0),
+            ],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        for p in [1usize, 2, 3, 5, 16] {
+            let swept = PartitionSketch::all_from_csr(&csr, p);
+            let spans = PartitionSketch::spans(csr.cols(), p);
+            assert_eq!(swept.len(), spans.len());
+            for (sk, &(lo, hi)) in swept.iter().zip(&spans) {
+                let slow = PartitionSketch::from_csr(&csr, lo, hi);
+                assert_eq!(sk.num_rows(), slow.num_rows(), "p={p} span {lo}..{hi}");
+                assert_eq!(sk.nnz(), slow.nnz());
+                assert_eq!(sk.max_row_len(), slow.max_row_len());
+                for cap in [1usize, 2, 4, 1024] {
+                    assert_eq!(
+                        sk.sketches_under_cap(cap),
+                        slow.sketches_under_cap(cap),
+                        "p={p} span {lo}..{hi} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn spans_match_cell_builder() {
-        assert_eq!(
-            PartitionSketch::spans(10, 3),
-            vec![(0, 3), (3, 6), (6, 10)]
-        );
+        assert_eq!(PartitionSketch::spans(10, 3), vec![(0, 3), (3, 6), (6, 10)]);
         assert_eq!(PartitionSketch::spans(8, 1), vec![(0, 8)]);
         assert_eq!(PartitionSketch::spans(8, 0), vec![(0, 8)]);
+        // Requested partitions beyond the column count are clamped, same
+        // as `build_cell`: no empty spans.
+        assert_eq!(PartitionSketch::spans(2, 5), vec![(0, 1), (1, 2)]);
     }
 }

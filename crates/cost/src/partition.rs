@@ -73,8 +73,7 @@ mod tests {
     #[test]
     fn sweep_covers_candidates() {
         let mut rng = Pcg32::seed_from_u64(1);
-        let csr: CsrMatrix<f32> =
-            CsrMatrix::from_coo(&uniform_random(256, 256, 4000, &mut rng));
+        let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&uniform_random(256, 256, 4000, &mut rng));
         let sweep = optimal_partitions(&csr, 64, &DeviceModel::v100());
         assert_eq!(sweep.evaluated.len(), PARTITION_CANDIDATES.len());
         assert!(PARTITION_CANDIDATES.contains(&sweep.best_p));

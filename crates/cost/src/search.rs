@@ -5,91 +5,80 @@
 //! the Eq. 7 cost trend (if `cost(m) > cost(2m)` the optimum lies right
 //! of `m`, else left). Widths are powers of two throughout, so the search
 //! walks exponents — the geometric version of the paper's
-//! `mW = (lW + rW) / 2` midpoint.
+//! `mW = (lW + rW) / 2` midpoint. Cost probes are memoized per exponent
+//! ([`CostProbe`]), so overlapping `cost(m)`/`cost(2m)` evaluations
+//! across iterations never re-sketch the same cap twice.
 
 use crate::model::{partition_cost, BucketSketch, PartitionSketch};
-use lf_sparse::Index;
-use std::collections::BTreeMap;
 
 /// The paper's `TuneWidth`: bucket the partition's rows under a maximum
 /// width of `cap` (a power of two), folding longer rows into the maximum
 /// bucket, and return the per-bucket sketches.
+///
+/// Runs on the partition's precomputed length histogram —
+/// O(classes + folded rows), no column data touched.
 pub fn tune_width(partition: &PartitionSketch, cap: usize) -> Vec<BucketSketch> {
-    assert!(cap >= 1 && cap.is_power_of_two(), "cap must be a power of two");
-    // width -> (i1, nnz, fragments' rows, stamp bookkeeping)
-    struct Acc {
-        i1: usize,
-        nnz: usize,
-        out_rows: Vec<Index>,
-        cols: Vec<Index>,
-    }
-    let mut buckets: BTreeMap<usize, Acc> = BTreeMap::new();
-    for (row, cols) in &partition.rows {
-        let len = cols.len();
-        if len == 0 {
-            continue;
-        }
-        if len <= cap {
-            let w = len.next_power_of_two();
-            let acc = buckets.entry(w).or_insert_with(|| Acc {
-                i1: 0,
-                nnz: 0,
-                out_rows: Vec::new(),
-                cols: Vec::new(),
-            });
-            acc.i1 += 1;
-            acc.nnz += len;
-            acc.out_rows.push(*row);
-            acc.cols.extend_from_slice(cols);
-        } else {
-            // Fold into the cap-width bucket.
-            let acc = buckets.entry(cap).or_insert_with(|| Acc {
-                i1: 0,
-                nnz: 0,
-                out_rows: Vec::new(),
-                cols: Vec::new(),
-            });
-            let fragments = len.div_ceil(cap);
-            acc.i1 += fragments;
-            acc.nnz += len;
-            acc.out_rows.push(*row);
-            acc.cols.extend_from_slice(cols);
+    partition.sketches_under_cap(cap)
+}
+
+/// Memoized Eq. 7 cost probes over power-of-two caps for one partition.
+///
+/// Both the doubling binary search and the exhaustive reference evaluate
+/// caps repeatedly (`cost(m)` of one iteration is `cost(2m)` of another);
+/// the cache guarantees each exponent is sketched at most once.
+pub struct CostProbe<'a> {
+    partition: &'a PartitionSketch,
+    j: usize,
+    cache: Vec<Option<f64>>,
+    probes: usize,
+    evaluations: usize,
+}
+
+impl<'a> CostProbe<'a> {
+    /// A probe for `partition` at dense width `j`, covering caps up to
+    /// `2^max_exp` inclusive.
+    pub fn new(partition: &'a PartitionSketch, j: usize, max_exp: u32) -> Self {
+        CostProbe {
+            partition,
+            j,
+            cache: vec![None; max_exp as usize + 1],
+            probes: 0,
+            evaluations: 0,
         }
     }
-    buckets
-        .into_iter()
-        .map(|(width, mut acc)| {
-            acc.out_rows.sort_unstable();
-            acc.out_rows.dedup();
-            acc.cols.sort_unstable();
-            acc.cols.dedup();
-            BucketSketch {
-                width,
-                i1: acc.i1,
-                i2: acc.out_rows.len(),
-                unique_cols: acc.cols.len(),
-                nnz: acc.nnz,
-            }
-        })
-        .collect()
+
+    /// Total Eq. 7 cost under cap `2^exp`, computing it at most once.
+    pub fn cost(&mut self, exp: u32) -> f64 {
+        self.probes += 1;
+        if let Some(c) = self.cache[exp as usize] {
+            return c;
+        }
+        self.evaluations += 1;
+        let c = partition_cost(&self.partition.sketches_under_cap(1 << exp), self.j);
+        self.cache[exp as usize] = Some(c);
+        c
+    }
+
+    /// `(cost probes answered, sketches actually built)` — the gap is
+    /// the memoization saving.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.probes, self.evaluations)
+    }
 }
 
 /// Algorithm 3 (`BuildBuckets`): find the maximum bucket width minimizing
 /// total Eq. 7 cost for this partition at dense width `j`. Returns
 /// `(width, sketches, cost)`.
-pub fn build_buckets(
-    partition: &PartitionSketch,
-    j: usize,
-) -> (usize, Vec<BucketSketch>, f64) {
+pub fn build_buckets(partition: &PartitionSketch, j: usize) -> (usize, Vec<BucketSketch>, f64) {
     let natural = partition.max_row_len().max(1).next_power_of_two();
     // Exponent-space binary search bounds: lW = 1 (2^0), rW = natural max.
     let mut lo_exp = 0u32;
     let mut hi_exp = natural.trailing_zeros();
+    let mut probe = CostProbe::new(partition, j, hi_exp + 1);
     while lo_exp < hi_exp {
         let mid_exp = (lo_exp + hi_exp) / 2;
-        let m_w = 1usize << mid_exp;
-        let cost_m = partition_cost(&tune_width(partition, m_w), j);
-        let cost_2m = partition_cost(&tune_width(partition, m_w * 2), j);
+        let cost_m = probe.cost(mid_exp);
+        let cost_2m = probe.cost(mid_exp + 1);
         if cost_m > cost_2m {
             // The optimum is to the right of mW.
             lo_exp = mid_exp + 1;
@@ -98,46 +87,38 @@ pub fn build_buckets(
         }
     }
     let width = 1usize << lo_exp;
-    let sketches = tune_width(partition, width);
-    let cost = partition_cost(&sketches, j);
+    let sketches = partition.sketches_under_cap(width);
+    let cost = probe.cost(lo_exp);
     (width, sketches, cost)
 }
 
 /// Exhaustive reference: evaluate every power-of-two cap up to the
 /// natural maximum and return the argmin. Used by tests to check
 /// Algorithm 3 lands on (or within noise of) the global optimum.
-pub fn exhaustive_best_width(
-    partition: &PartitionSketch,
-    j: usize,
-) -> (usize, f64) {
+pub fn exhaustive_best_width(partition: &PartitionSketch, j: usize) -> (usize, f64) {
     let natural = partition.max_row_len().max(1).next_power_of_two();
+    let max_exp = natural.trailing_zeros();
+    let mut probe = CostProbe::new(partition, j, max_exp);
     let mut best = (1usize, f64::INFINITY);
-    let mut w = 1usize;
-    loop {
-        let cost = partition_cost(&tune_width(partition, w), j);
+    for exp in 0..=max_exp {
+        let cost = probe.cost(exp);
         if cost < best.1 {
-            best = (w, cost);
+            best = (1usize << exp, cost);
         }
-        if w >= natural {
-            break;
-        }
-        w *= 2;
     }
     best
 }
 
-/// Convenience: Algorithm-3 widths for every partition of a `p`-way split.
+/// Convenience: Algorithm-3 widths for every partition of a `p`-way split
+/// (one shared O(nnz) sweep extracts all sketches at once).
 pub fn optimal_widths_for_matrix<T: lf_sparse::Scalar>(
     csr: &lf_sparse::CsrMatrix<T>,
     p: usize,
     j: usize,
 ) -> Vec<usize> {
-    PartitionSketch::spans(csr.cols(), p)
-        .into_iter()
-        .map(|(lo, hi)| {
-            let part = PartitionSketch::from_csr(csr, lo, hi);
-            build_buckets(&part, j).0
-        })
+    PartitionSketch::all_from_csr(csr, p)
+        .iter()
+        .map(|part| build_buckets(part, j).0)
         .collect()
 }
 
@@ -149,14 +130,10 @@ pub fn total_cost_for_caps<T: lf_sparse::Scalar>(
     caps: &[usize],
     j: usize,
 ) -> f64 {
-    let spans = PartitionSketch::spans(csr.cols(), caps.len());
-    spans
+    PartitionSketch::all_from_csr(csr, caps.len())
         .iter()
         .zip(caps)
-        .map(|(&(lo, hi), &cap)| {
-            let part = PartitionSketch::from_csr(csr, lo, hi);
-            partition_cost(&tune_width(&part, cap), j)
-        })
+        .map(|(part, &cap)| partition_cost(&part.sketches_under_cap(cap), j))
         .sum()
 }
 
@@ -261,6 +238,31 @@ mod tests {
         assert_eq!(w, 1);
         assert!(sk.is_empty());
         assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn cost_probe_never_reevaluates() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let coo = uniform_with_long_rows::<f64>(500, 512, 6000, 4, 400, &mut rng);
+        let csr = CsrMatrix::from_coo(&coo);
+        let part = sketch_of(&csr);
+        let max_exp = part.max_row_len().next_power_of_two().trailing_zeros();
+        let mut probe = CostProbe::new(&part, 128, max_exp + 1);
+        // Hammer overlapping probes, exhaustive-style and search-style.
+        for exp in 0..=max_exp {
+            probe.cost(exp);
+            probe.cost(exp.min(max_exp));
+            if exp > 0 {
+                probe.cost(exp - 1);
+            }
+        }
+        let (probes, evals) = probe.stats();
+        assert!(probes > evals, "cache must absorb repeated probes");
+        assert!(
+            evals as u32 <= max_exp + 1,
+            "each exponent sketched at most once: {evals} evals for {} exps",
+            max_exp + 1
+        );
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property test: the cost model's `tune_width` sketches must describe
+//! *exactly* the buckets `build_cell` materializes for the same cap —
+//! width, `I⁽¹⁾`, `I⁽²⁾`, distinct columns, and non-zeros all agree, for
+//! every pattern family, partition count, and cap.
+//!
+//! This is the contract that makes Eq. 7 pricing meaningful: a sketch
+//! that drifts from the real format silently optimizes the wrong layout.
+
+use lf_cell::{build_cell, CellConfig};
+use lf_cost::model::PartitionSketch;
+use lf_cost::search::tune_width;
+use lf_sparse::gen::PatternFamily;
+use lf_sparse::{CsrMatrix, Pcg32};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tune_width_sketches_match_build_cell_buckets(
+        seed in 0u64..1_000_000u64,
+        dims in (24usize..200, 16usize..160),
+        nnz in 50usize..3000,
+        p in 1usize..9,
+        cap_exp in 0u32..8,
+    ) {
+        let (rows, cols) = dims;
+        let cap = 1usize << cap_exp;
+        for fam in PatternFamily::ALL {
+            let mut rng = Pcg32::seed_from_u64(seed ^ (fam.name().len() as u64) << 32);
+            let coo = fam.generate::<f64>(rows, cols, nnz, &mut rng);
+            let csr = CsrMatrix::from_coo(&coo);
+
+            let cfg = CellConfig {
+                num_partitions: p,
+                max_widths: Some(vec![cap]), // broadcast to all partitions
+                block_nnz_multiple: 4,
+                uniform_block_nnz: true,
+            };
+            let cell = build_cell(&csr, &cfg).unwrap();
+            let sketches = PartitionSketch::all_from_csr(&csr, p);
+            prop_assert_eq!(cell.partitions().len(), sketches.len());
+
+            for (pi, (part, sketch)) in
+                cell.partitions().iter().zip(&sketches).enumerate()
+            {
+                let predicted = tune_width(sketch, cap);
+                prop_assert_eq!(
+                    part.buckets.len(),
+                    predicted.len(),
+                    "bucket count: family {} p={} pi={} cap={}",
+                    fam.name(), p, pi, cap
+                );
+                for (bucket, sk) in part.buckets.iter().zip(&predicted) {
+                    let ctx = format!(
+                        "family {} p={p} pi={pi} cap={cap} width {}",
+                        fam.name(),
+                        bucket.width
+                    );
+                    prop_assert_eq!(bucket.width, sk.width, "width: {}", ctx);
+                    prop_assert_eq!(bucket.num_rows(), sk.i1, "i1: {}", ctx);
+                    prop_assert_eq!(bucket.num_output_rows(), sk.i2, "i2: {}", ctx);
+                    prop_assert_eq!(bucket.unique_cols(), sk.unique_cols, "unique: {}", ctx);
+                    prop_assert_eq!(bucket.nnz(), sk.nnz, "nnz: {}", ctx);
+                }
+            }
+        }
+    }
+
+    /// The natural-cap path (no configured widths) must agree too: the
+    /// builder derives the cap from the longest row, exactly like the
+    /// sketch's natural maximum.
+    #[test]
+    fn natural_cap_agrees(
+        seed in 0u64..1_000_000u64,
+        p in 1usize..6,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let coo = lf_sparse::gen::mixed_regions::<f64>(150, 120, 2500, 3, &mut rng);
+        let csr = CsrMatrix::from_coo(&coo);
+        let cell = build_cell(&csr, &CellConfig::with_partitions(p)).unwrap();
+        let sketches = PartitionSketch::all_from_csr(&csr, p);
+        for (part, sketch) in cell.partitions().iter().zip(&sketches) {
+            let natural = sketch.max_row_len().max(1).next_power_of_two();
+            let predicted = tune_width(sketch, natural);
+            prop_assert_eq!(part.buckets.len(), predicted.len());
+            for (bucket, sk) in part.buckets.iter().zip(&predicted) {
+                prop_assert_eq!(bucket.width, sk.width);
+                prop_assert_eq!(bucket.num_rows(), sk.i1);
+                prop_assert_eq!(bucket.num_output_rows(), sk.i2);
+                prop_assert_eq!(bucket.unique_cols(), sk.unique_cols);
+                prop_assert_eq!(bucket.nnz(), sk.nnz);
+            }
+        }
+    }
+}

@@ -84,8 +84,7 @@ impl<T: Scalar> Corpus<T> {
             let ld = rng.f64_in(spec.min_density.ln(), spec.max_density.ln());
             let density = ld.exp();
             let total = rows as f64 * cols as f64;
-            let nnz = ((density * total).round() as usize)
-                .clamp(rows.min(512), spec.max_nnz);
+            let nnz = ((density * total).round() as usize).clamp(rows.min(512), spec.max_nnz);
             let csr = CsrMatrix::from_coo(&family.generate(rows, cols, nnz, &mut rng));
             matrices.push(CorpusMatrix {
                 id: format!("{}-{i:04}", family.name()),
@@ -209,8 +208,7 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let c: Corpus<f32> = Corpus::generate(small_spec(18));
-        let ids: std::collections::HashSet<&String> =
-            c.matrices.iter().map(|m| &m.id).collect();
+        let ids: std::collections::HashSet<&String> = c.matrices.iter().map(|m| &m.id).collect();
         assert_eq!(ids.len(), 18);
     }
 }

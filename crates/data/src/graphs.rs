@@ -146,12 +146,9 @@ impl GraphSpec {
     pub fn build<T: Scalar>(&self, scale: Scale) -> CsrMatrix<T> {
         let (nodes, edges) = self.scaled_size(scale);
         // Seed tied to the dataset name so every run sees the same graph.
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            });
+        let seed = self.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         let mut rng = Pcg32::seed_from_u64(seed);
         let coo = match self.family {
             GraphFamily::PowerLaw => power_law(
@@ -228,7 +225,12 @@ mod tests {
             let m: CsrMatrix<f32> = spec.build(Scale::Small);
             assert_eq!(m.rows(), spec.nodes);
             let rel = (m.nnz() as f64 - spec.edges as f64).abs() / spec.edges as f64;
-            assert!(rel < 0.2, "{name}: nnz {} vs {} ({rel})", m.nnz(), spec.edges);
+            assert!(
+                rel < 0.2,
+                "{name}: nnz {} vs {} ({rel})",
+                m.nnz(),
+                spec.edges
+            );
         }
     }
 

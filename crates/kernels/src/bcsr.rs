@@ -4,7 +4,7 @@
 //! both stored and multiplied, which on scattered matrices inflates the
 //! footprint enough to reproduce the paper's Triton OOM entries.
 
-use crate::common::{b_row_tx, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -92,8 +92,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
         let slots = br * bc;
         let ws = k_dim * j * elem;
         let per_row = b_row_tx(j, elem, device);
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         let ptr = self.bcsr.block_row_ptr();
         for blk_row in 0..self.bcsr.num_block_rows() {
             let ntiles = ptr[blk_row + 1] - ptr[blk_row];
@@ -101,10 +101,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
                 continue;
             }
             // Tile payload: dense values, coalesced, padding included.
-            let tile_tx =
-                segment_transactions(ntiles * slots, elem, device.transaction_bytes);
-            let meta =
-                segment_transactions(ntiles, 4, device.transaction_bytes) + 1;
+            let tile_tx = segment_transactions(ntiles * slots, elem, device.transaction_bytes);
+            let meta = segment_transactions(ntiles, 4, device.transaction_bytes) + 1;
             // Each tile consumes `bc` rows of B in full; distinct tiles in
             // a block row have distinct block columns, so these are unique.
             let unique_b = (ntiles * bc) as u64 * per_row;
@@ -198,9 +196,8 @@ mod tests {
                 }
             }
         }
-        let csr = CsrMatrix::from_coo(
-            &lf_sparse::CooMatrix::from_triplets(3200, 3200, trips).unwrap(),
-        );
+        let csr =
+            CsrMatrix::from_coo(&lf_sparse::CooMatrix::from_triplets(3200, 3200, trips).unwrap());
         let k = BcsrKernel::new(BcsrMatrix::from_csr(&csr, 8, 8).unwrap());
         assert!(k.bcsr().padding_ratio() > 0.98);
         assert!(k.format_bytes() > 30 * csr.memory_bytes());

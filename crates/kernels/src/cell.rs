@@ -13,7 +13,7 @@
 //! * launches all buckets of all partitions as **one fused launch**,
 //!   mirroring the horizontal-fusion pass SparseTIR inserts (§6).
 
-use crate::common::{b_row_tx, count_unique, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_cell::CellMatrix;
 use lf_sim::atomicf::AtomicScalar;
@@ -142,13 +142,10 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
                     let nnz = block_cols.len();
                     let unique = count_unique(&block_cols) as u64 * per_row;
                     let total = nnz as u64 * per_row;
-                    let (b_dram, b_l2) =
-                        split_b_traffic(unique, total - unique, ws, device);
+                    let (b_dram, b_l2) = split_b_traffic(unique, total - unique, ws, device);
                     // row_ind + col_ind + values, all coalesced streams.
-                    let row_ind_tx =
-                        segment_transactions(rows_here, 4, device.transaction_bytes);
-                    let colval =
-                        2 * segment_transactions(slots, 4, device.transaction_bytes);
+                    let row_ind_tx = segment_transactions(rows_here, 4, device.transaction_bytes);
+                    let colval = 2 * segment_transactions(slots, 4, device.transaction_bytes);
                     let out_rows = count_unique(&bucket.row_ind[r..hi]) as u64;
                     let (c_store, c_atomic) = if bucket.needs_atomic {
                         (0, out_rows * per_row)

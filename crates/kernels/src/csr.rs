@@ -1,7 +1,7 @@
 //! CSR-based SpMM kernels: the four fixed-format baseline mappings
 //! (naive scalar, cuSPARSE-like vector, dgSPARSE/GE-SpMM, Sputnik).
 
-use crate::common::{b_row_tx, count_unique, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -109,8 +109,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrScalarKernel<T> {
         let elem = std::mem::size_of::<T>();
         let rows_per_block = 256;
         let ws = full_b_working_set::<T>(self.csr.cols(), j);
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         let mut r = 0;
         while r < self.csr.rows() {
             let hi = (r + rows_per_block).min(self.csr.rows());
@@ -285,8 +285,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for SputnikKernel<T> {
         for (i, &r) in order.iter().enumerate() {
             blocks[i % num_blocks].push(r);
         }
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         for rows in blocks.iter().filter(|b| !b.is_empty()) {
             let mut block_cols: Vec<u32> = Vec::new();
             let mut nnz = 0usize;
@@ -351,8 +351,7 @@ fn vector_style_launches<T: AtomicScalar>(
     let elem = std::mem::size_of::<T>();
     let ws = full_b_working_set::<T>(csr.cols(), j);
     let rows_per_block = 8; // 8 warps × 1 row each, 256 threads
-    let mut launch =
-        LaunchSpec::new(name, 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+    let mut launch = LaunchSpec::new(name, 256).with_grid_multiplier(j.div_ceil(device.warp_size));
     let mut r = 0;
     while r < csr.rows() {
         let hi = (r + rows_per_block).min(csr.rows());
@@ -446,7 +445,10 @@ mod tests {
         let t32 = cusparse.profile(32, &d).time_ms / dg.profile(32, &d).time_ms;
         // At J=512 the vector kernel re-reads col/val 16×.
         let t512 = cusparse.profile(512, &d).time_ms / dg.profile(512, &d).time_ms;
-        assert!(t512 > t32, "re-read penalty should grow with J: {t32} vs {t512}");
+        assert!(
+            t512 > t32,
+            "re-read penalty should grow with J: {t32} vs {t512}"
+        );
         assert!(t512 > 1.0);
     }
 
@@ -495,8 +497,10 @@ mod tests {
         let k = DgSparseKernel::new(random_csr(4, 500, 500, 5000));
         let p32 = k.profile(32, &d);
         let p256 = k.profile(256, &d);
-        assert!(p256.dram_transactions + p256.l2_transactions
-            > 4 * (p32.dram_transactions + p32.l2_transactions));
+        assert!(
+            p256.dram_transactions + p256.l2_transactions
+                > 4 * (p32.dram_transactions + p32.l2_transactions)
+        );
         assert_eq!(p256.flops, 8 * p32.flops);
     }
 

@@ -2,7 +2,7 @@
 //! both wasted lanes (divergence on the `ELL_PAD` check) and wasted
 //! compute/traffic — the inefficiency CELL's buckets remove.
 
-use crate::common::{b_row_tx, count_unique, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -73,8 +73,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for EllKernel<T> {
         let width = self.ell.width();
         let ws = k * j * elem;
         let rows_per_block = 8;
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         let mut r = 0;
         while r < rows {
             let hi = (r + rows_per_block).min(rows);
@@ -159,7 +159,9 @@ mod tests {
         let ell_time = EllKernel::new(EllMatrix::from_csr(&csr))
             .profile(128, &d)
             .time_ms;
-        let csr_time = crate::csr::CsrVectorKernel::new(csr).profile(128, &d).time_ms;
+        let csr_time = crate::csr::CsrVectorKernel::new(csr)
+            .profile(128, &d)
+            .time_ms;
         assert!(
             ell_time > 3.0 * csr_time,
             "padding should dominate: ell {ell_time} csr {csr_time}"
@@ -181,7 +183,9 @@ mod tests {
         let ell = EllKernel::new(EllMatrix::from_csr(&csr));
         assert_eq!(ell.ell().padding_ratio(), 0.0);
         let ell_time = ell.profile(128, &d).time_ms;
-        let csr_time = crate::csr::CsrVectorKernel::new(csr).profile(128, &d).time_ms;
+        let csr_time = crate::csr::CsrVectorKernel::new(csr)
+            .profile(128, &d)
+            .time_ms;
         assert!(
             ell_time < 1.5 * csr_time,
             "no-padding ELL should be close: {ell_time} vs {csr_time}"

@@ -4,7 +4,7 @@
 //! padding, but slices follow the row order — they cannot group rows of
 //! similar length from across the matrix the way CELL buckets do.
 
-use crate::common::{b_row_tx, count_unique, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -79,8 +79,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for SellKernel<T> {
         let (_, k_dim) = self.sell.shape();
         let ws = k_dim * j * elem;
         let per_row = b_row_tx(j, elem, device);
-        let mut launch = LaunchSpec::new(self.name(), 256)
-            .with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut launch =
+            LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
         for slice in self.sell.slices() {
             let slots = slice.height * slice.width;
             let cols: Vec<u32> = slice
@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn numeric_matches_reference() {
         let mut rng = Pcg32::seed_from_u64(1);
-        let csr: CsrMatrix<f64> =
-            CsrMatrix::from_coo(&uniform_random(130, 110, 1700, &mut rng));
+        let csr: CsrMatrix<f64> = CsrMatrix::from_coo(&uniform_random(130, 110, 1700, &mut rng));
         let k = SellKernel::new(SellMatrix::from_csr(&csr, 32).unwrap());
         for j in [1, 16, 50] {
             let b = DenseMatrix::random(csr.cols(), j, &mut rng);

@@ -3,7 +3,7 @@
 //! the price of atomics wherever a row straddles a segment boundary. The
 //! paper sweeps 6 × 6 schedules and keeps the fastest (§7.1).
 
-use crate::common::{b_row_tx, count_unique, spmm_flops, split_b_traffic};
+use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -180,8 +180,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
             // col/val coalesced, but TACO's generated loop re-reads them
             // for every j-tile like the cuSPARSE mapping.
             let passes = j.div_ceil(device.warp_size) as u64;
-            let colval =
-                2 * segment_transactions(hi - lo, 4, device.transaction_bytes) * passes;
+            let colval = 2 * segment_transactions(hi - lo, 4, device.transaction_bytes) * passes;
             // Output rows in this block; boundary rows straddling warp
             // segments are written atomically.
             let rows_here = count_unique(&self.row_of_nnz[lo..hi]) as u64;
@@ -305,9 +304,7 @@ mod tests {
         // A single dense-ish row spanning many segments forces boundary
         // atomics.
         let trips: Vec<(usize, usize, f64)> = (0..500).map(|c| (0, c, 1.0)).collect();
-        let csr = CsrMatrix::from_coo(
-            &lf_sparse::CooMatrix::from_triplets(4, 500, trips).unwrap(),
-        );
+        let csr = CsrMatrix::from_coo(&lf_sparse::CooMatrix::from_triplets(4, 500, trips).unwrap());
         let k = TacoKernel::new(
             csr,
             TacoSchedule {

@@ -102,7 +102,10 @@ mod tests {
             let label = i % 2;
             let r = if label == 0 { 1.0 } else { 2.5 };
             let t = rng.f64_in(0.0, 2.0 * std::f64::consts::PI);
-            x.push(vec![r * t.cos() + rng.normal() * 0.1, r * t.sin() + rng.normal() * 0.1]);
+            x.push(vec![
+                r * t.cos() + rng.normal() * 0.1,
+                r * t.sin() + rng.normal() * 0.1,
+            ]);
             y.push(label);
         }
         let mut gp = GaussianProcess::new(1.0, 1e-3);

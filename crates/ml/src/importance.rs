@@ -59,7 +59,11 @@ mod tests {
             let label = i % 2;
             let signal = if label == 0 { -2.0 } else { 2.0 };
             // Feature 0 carries the label; features 1-2 are noise.
-            x.push(vec![signal + rng.normal() * 0.3, rng.normal(), rng.normal()]);
+            x.push(vec![
+                signal + rng.normal() * 0.3,
+                rng.normal(),
+                rng.normal(),
+            ]);
             y.push(label);
         }
         let mut rf = RandomForest::new(30, 8, 2);

@@ -90,12 +90,7 @@ mod tests {
 
     #[test]
     fn majority_vote_with_k3() {
-        let x = vec![
-            vec![0.0],
-            vec![0.1],
-            vec![0.2],
-            vec![5.0],
-        ];
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]];
         let y = vec![0, 0, 1, 1];
         let mut knn = KNeighbors::new(3);
         knn.fit(&x, &y, 2);

@@ -128,9 +128,7 @@ mod tests {
             vec![0.6, 1.0, 3.0],
         ];
         let l = cholesky(&a).unwrap();
-        let lt: Vec<Vec<f64>> = (0..3)
-            .map(|i| (0..3).map(|j| l[j][i]).collect())
-            .collect();
+        let lt: Vec<Vec<f64>> = (0..3).map(|i| (0..3).map(|j| l[j][i]).collect()).collect();
         let back = matmul(&l, &lt);
         for i in 0..3 {
             for j in 0..3 {

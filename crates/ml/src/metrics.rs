@@ -14,12 +14,7 @@ pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    truth
-        .iter()
-        .zip(pred)
-        .filter(|&(a, b)| a == b)
-        .count() as f64
-        / truth.len() as f64
+    truth.iter().zip(pred).filter(|&(a, b)| a == b).count() as f64 / truth.len() as f64
 }
 
 /// `cm[t][p]` = samples of true class `t` predicted as `p`.

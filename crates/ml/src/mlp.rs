@@ -43,9 +43,7 @@ impl NeuralNet {
             .w1
             .iter()
             .zip(&self.b1)
-            .map(|(w, &b)| {
-                (w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + b).max(0.0)
-            })
+            .map(|(w, &b)| (w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + b).max(0.0))
             .collect();
         let logits: Vec<f64> = self
             .w2
@@ -184,7 +182,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![(i % 9) as f64, (i % 4) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i % 9) as f64, (i % 4) as f64])
+            .collect();
         let y: Vec<usize> = (0..80).map(|i| i % 2).collect();
         let mut a = NeuralNet::new(8, 50, 0.05, 5);
         let mut b = NeuralNet::new(8, 50, 0.05, 5);

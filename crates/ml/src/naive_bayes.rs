@@ -73,7 +73,9 @@ impl Classifier for GaussianNaiveBayes {
                     .iter()
                     .zip(mean.iter().zip(var))
                     .map(|(&xv, (&m, &v))| {
-                        -0.5 * ((xv - m) * (xv - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln())
+                        -0.5 * ((xv - m) * (xv - m) / v
+                            + v.ln()
+                            + (2.0 * std::f64::consts::PI).ln())
                     })
                     .sum();
                 (c, prior + ll)
@@ -131,7 +133,12 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_is_stable() {
-        let x = vec![vec![5.0, 0.0], vec![5.0, 1.0], vec![5.0, 10.0], vec![5.0, 11.0]];
+        let x = vec![
+            vec![5.0, 0.0],
+            vec![5.0, 1.0],
+            vec![5.0, 10.0],
+            vec![5.0, 11.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNaiveBayes::new();
         nb.fit(&x, &y, 2);

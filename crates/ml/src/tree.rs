@@ -61,13 +61,7 @@ impl DecisionTree {
     }
 
     /// Fit with per-sample weights (AdaBoost). Weights must sum > 0.
-    pub fn fit_weighted(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[usize],
-        w: &[f64],
-        n_classes: usize,
-    ) {
+    pub fn fit_weighted(&mut self, x: &[Vec<f64>], y: &[usize], w: &[f64], n_classes: usize) {
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), w.len());
         let idx: Vec<usize> = (0..x.len()).collect();
@@ -86,10 +80,7 @@ impl DecisionTree {
         rng: &mut lf_sparse::Pcg32,
     ) -> Node {
         let majority = weighted_majority(y, w, idx, n_classes);
-        if depth >= self.max_depth
-            || idx.len() < self.min_samples_split
-            || is_pure(y, idx)
-        {
+        if depth >= self.max_depth || idx.len() < self.min_samples_split || is_pure(y, idx) {
             return Node::Leaf { class: majority };
         }
         let n_features = x[0].len();
@@ -194,7 +185,7 @@ fn best_split(
             let split_gini = (left_w / total_w) * gini(&left_counts, left_w)
                 + (right_w / total_w) * gini(&right_counts, right_w);
             let gain = parent_gini - split_gini;
-            if best.map_or(true, |(g, _, _)| gain > g) && gain > 1e-12 {
+            if best.is_none_or(|(g, _, _)| gain > g) && gain > 1e-12 {
                 best = Some((gain, f, (xv + xn) / 2.0));
             }
         }
@@ -251,7 +242,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

@@ -1,0 +1,103 @@
+//! A counting global allocator: real allocation statistics for the
+//! preprocessing-overhead instrumentation (`PreprocessProfile` in
+//! `liteform-core`).
+//!
+//! The allocator forwards every request to [`System`] and bumps two
+//! process-wide relaxed atomics (calls, bytes). Overhead is two atomic
+//! adds per allocation — negligible next to the allocation itself — and
+//! the counters include worker-thread allocations, so parallel stages
+//! are fully accounted. Counters are global: concurrent measured regions
+//! attribute each other's allocations to both, so measure stages from a
+//! single driver thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] plus process-wide allocation counters.
+pub struct CountingAlloc;
+
+// SAFETY: pure forwarding to `System`; the counters do not affect layout
+// or pointer validity.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation calls since process start (alloc + alloc_zeroed +
+    /// growing reallocs).
+    pub calls: u64,
+    /// Bytes requested since process start (reallocs count only growth).
+    pub bytes: u64,
+}
+
+/// Read the counters now.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Counter deltas since `earlier` (saturating, in case of reordering
+/// between relaxed loads on another thread).
+pub fn since(earlier: AllocSnapshot) -> AllocSnapshot {
+    let now = snapshot();
+    AllocSnapshot {
+        calls: now.calls.saturating_sub(earlier.calls),
+        bytes: now.bytes.saturating_sub(earlier.bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_vec_allocation() {
+        let before = snapshot();
+        let v = vec![0u8; 1 << 16];
+        std::hint::black_box(&v);
+        let d = since(before);
+        assert!(d.calls >= 1, "the Vec allocation must be counted");
+        assert!(d.bytes >= 1 << 16, "at least the Vec's bytes: {}", d.bytes);
+    }
+
+    #[test]
+    fn counters_are_monotonic() {
+        let a = snapshot();
+        let _x = Vec::<usize>::with_capacity(10);
+        let b = snapshot();
+        assert!(b.calls >= a.calls && b.bytes >= a.bytes);
+    }
+}

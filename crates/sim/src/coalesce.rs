@@ -33,7 +33,11 @@ pub fn segment_transactions(count: usize, elem_bytes: usize, transaction_bytes: 
 /// Transactions for a warp reading a contiguous span of `span_elems`
 /// elements starting anywhere (one row of the dense operand, say): the
 /// span is sequential, so it coalesces perfectly modulo alignment slack.
-pub fn row_span_transactions(span_elems: usize, elem_bytes: usize, transaction_bytes: usize) -> u64 {
+pub fn row_span_transactions(
+    span_elems: usize,
+    elem_bytes: usize,
+    transaction_bytes: usize,
+) -> u64 {
     segment_transactions(span_elems, elem_bytes, transaction_bytes)
 }
 

@@ -132,8 +132,7 @@ impl DeviceModel {
         if threads_per_block == 0 {
             return 1;
         }
-        (self.max_threads_per_sm / threads_per_block)
-            .clamp(1, self.max_blocks_per_sm)
+        (self.max_threads_per_sm / threads_per_block).clamp(1, self.max_blocks_per_sm)
     }
 
     /// Total concurrent block slots on the device.

@@ -31,6 +31,7 @@
 //! [`atomicf::AtomicF32Slice`]) used by the kernels' *numeric* path, which
 //! computes bit-for-bit checkable results independent of the cost model.
 
+pub mod alloc;
 pub mod atomicf;
 pub mod coalesce;
 pub mod cost;

@@ -1,4 +1,4 @@
-//! Minimal data-parallel helpers on crossbeam scoped threads.
+//! Minimal data-parallel helpers on std scoped threads.
 //!
 //! The kernels' numeric path uses these instead of pulling in a full
 //! work-stealing runtime: an atomic-counter dynamic scheduler is enough
@@ -35,9 +35,9 @@ where
     // ~16 chunks per worker.
     let chunk = (n / (workers * 16)).max(1);
     let counter = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = counter.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -48,8 +48,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel map over `0..n` collecting results in index order.

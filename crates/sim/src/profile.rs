@@ -151,15 +151,13 @@ impl KernelProfile {
             } else {
                 (slots as f64 / hw_blocks as f64).clamp(1.0, MLP_SHORTFALL_CAP)
             };
-            let dram_cycles = (l_dram as f64 * tb
-                + l_atomic as f64 * tb * device.atomic_penalty)
+            let dram_cycles = (l_dram as f64 * tb + l_atomic as f64 * tb * device.atomic_penalty)
                 / device.dram_bytes_per_cycle()
                 * mlp_shortfall;
-            let l2_cycles = l_l2 as f64 * tb
-                / (device.dram_bytes_per_cycle() * device.l2_speedup)
+            let l2_cycles = l_l2 as f64 * tb / (device.dram_bytes_per_cycle() * device.l2_speedup)
                 * mlp_shortfall;
-            let issue_cycles = issue_flops
-                / (device.flops_per_sm_per_cycle * device.num_sms as f64);
+            let issue_cycles =
+                issue_flops / (device.flops_per_sm_per_cycle * device.num_sms as f64);
             let makespan = (dram_cycles + l2_cycles)
                 .max(issue_cycles)
                 .max(sched_makespan);

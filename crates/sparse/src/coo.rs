@@ -236,8 +236,8 @@ mod tests {
 
     #[test]
     fn zero_sums_are_dropped() {
-        let m = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 5.0)])
-            .unwrap();
+        let m =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 5.0)]).unwrap();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.iter().next(), Some((1, 0, 5.0)));
     }

@@ -188,7 +188,9 @@ mod tests {
 
     #[test]
     fn from_raw_validates() {
-        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(
+            CscMatrix::<f64>::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok()
+        );
         assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
         assert!(
             CscMatrix::<f64>::from_raw(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err(),

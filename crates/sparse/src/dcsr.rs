@@ -134,12 +134,9 @@ mod tests {
 
     fn hypersparse() -> CsrMatrix<f64> {
         // 1000x1000 with 3 entries in 2 rows.
-        let coo = CooMatrix::from_triplets(
-            1000,
-            1000,
-            vec![(5, 7, 1.0), (5, 900, 2.0), (999, 0, 3.0)],
-        )
-        .unwrap();
+        let coo =
+            CooMatrix::from_triplets(1000, 1000, vec![(5, 7, 1.0), (5, 900, 2.0), (999, 0, 3.0)])
+                .unwrap();
         CsrMatrix::from_coo(&coo)
     }
 

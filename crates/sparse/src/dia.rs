@@ -29,10 +29,7 @@ impl<T: Scalar> DiaMatrix<T> {
     /// `max_diags` diagonals (the guard against the format's blow-up).
     pub fn from_csr(csr: &CsrMatrix<T>, max_diags: usize) -> Result<Self> {
         let (rows, cols) = csr.shape();
-        let mut offsets: Vec<i64> = csr
-            .iter()
-            .map(|(r, c, _)| c as i64 - r as i64)
-            .collect();
+        let mut offsets: Vec<i64> = csr.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
         offsets.sort_unstable();
         offsets.dedup();
         if offsets.len() > max_diags {

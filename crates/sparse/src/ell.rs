@@ -29,8 +29,7 @@ impl<T: Scalar> EllMatrix<T> {
     /// Convert from CSR with `width = max row length`.
     pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
         let width = (0..csr.rows()).map(|i| csr.row_len(i)).max().unwrap_or(0);
-        Self::from_csr_with_width(csr, width)
-            .expect("max row length always accommodates every row")
+        Self::from_csr_with_width(csr, width).expect("max row length always accommodates every row")
     }
 
     /// Convert from CSR with an explicit width; errors if any row exceeds it.

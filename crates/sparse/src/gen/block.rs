@@ -79,13 +79,7 @@ mod tests {
     #[test]
     fn degenerate_shapes() {
         let mut rng = Pcg32::seed_from_u64(4);
-        assert_eq!(
-            block_sparse::<f64>(0, 16, 4, 2, 1.0, &mut rng).nnz(),
-            0
-        );
-        assert_eq!(
-            block_sparse::<f64>(16, 16, 0, 2, 1.0, &mut rng).nnz(),
-            0
-        );
+        assert_eq!(block_sparse::<f64>(0, 16, 4, 2, 1.0, &mut rng).nnz(), 0);
+        assert_eq!(block_sparse::<f64>(16, 16, 0, 2, 1.0, &mut rng).nnz(), 0);
     }
 }

@@ -49,7 +49,11 @@ pub fn mixed_regions<T: Scalar>(
             set.into_iter().collect()
         };
         for p in flat {
-            triplets.push((p / stripe_cols, col_lo + p % stripe_cols, nz_value::<T>(rng)));
+            triplets.push((
+                p / stripe_cols,
+                col_lo + p % stripe_cols,
+                nz_value::<T>(rng),
+            ));
         }
     }
     CooMatrix::from_triplets(rows, cols, triplets).expect("positions are in bounds")

@@ -53,8 +53,7 @@ pub fn power_law<T: Scalar>(cfg: &PowerLawConfig, rng: &mut Pcg32) -> CooMatrix<
     let mut weights = vec![0.0f64; rows];
     let mut clamped = vec![false; rows];
     for _ in 0..32 {
-        let free_target: f64 =
-            target - clamped.iter().filter(|&&c| c).count() as f64 * cap;
+        let free_target: f64 = target - clamped.iter().filter(|&&c| c).count() as f64 * cap;
         let free_raw: f64 = raw
             .iter()
             .zip(&clamped)
@@ -89,9 +88,7 @@ pub fn power_law<T: Scalar>(cfg: &PowerLawConfig, rng: &mut Pcg32) -> CooMatrix<
     for (rank, &row) in perm.iter().enumerate() {
         let mean_deg = weights[rank];
         // Randomized rounding keeps the expected total at target_nnz.
-        let deg = (mean_deg.floor() as usize
-            + usize::from(rng.f64() < mean_deg.fract()))
-        .min(cols);
+        let deg = (mean_deg.floor() as usize + usize::from(rng.f64() < mean_deg.fract())).min(cols);
         if deg == 0 {
             continue;
         }

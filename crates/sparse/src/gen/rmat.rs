@@ -122,7 +122,10 @@ mod tests {
         let lens = csr.row_lengths();
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         let max = *lens.iter().max().unwrap() as f64;
-        assert!(max > 5.0 * mean, "rmat should be skewed: max {max} mean {mean}");
+        assert!(
+            max > 5.0 * mean,
+            "rmat should be skewed: max {max} mean {mean}"
+        );
     }
 
     #[test]
@@ -130,10 +133,7 @@ mod tests {
         // With a=0.57 the top-left quadrant holds the majority of entries.
         let mut rng = Pcg32::seed_from_u64(3);
         let m: CooMatrix<f64> = rmat(&cfg(1024, 10_000), &mut rng);
-        let top_left = m
-            .iter()
-            .filter(|&(r, c, _)| r < 512 && c < 512)
-            .count() as f64;
+        let top_left = m.iter().filter(|&(r, c, _)| r < 512 && c < 512).count() as f64;
         assert!(top_left / m.nnz() as f64 > 0.4);
     }
 

@@ -156,7 +156,9 @@ impl<T: Scalar> HybMatrix<T> {
             return Err(SparseError::InvalidFormat("ELL grid size mismatch".into()));
         }
         if self.coo_row.len() != self.coo_col.len() || self.coo_col.len() != self.coo_val.len() {
-            return Err(SparseError::InvalidFormat("COO arrays length mismatch".into()));
+            return Err(SparseError::InvalidFormat(
+                "COO arrays length mismatch".into(),
+            ));
         }
         Ok(())
     }

@@ -305,12 +305,8 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let m = CooMatrix::from_triplets(
-            5,
-            3,
-            vec![(0, 0, 1.25), (4, 2, -0.5), (2, 1, 1e-9)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(5, 3, vec![(0, 0, 1.25), (4, 2, -0.5), (2, 1, 1e-9)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();

@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn abs_and_finiteness() {
         assert_eq!((-3.5f32).abs(), 3.5);
-        assert!(f64::INFINITY.is_finite() == false);
+        assert!(!f64::INFINITY.is_finite());
         assert!(1.0f64.is_finite());
         assert!(f32::NAN.is_nan());
     }

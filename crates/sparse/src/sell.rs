@@ -39,7 +39,9 @@ impl<T: Scalar> SellMatrix<T> {
     /// Convert from CSR with the given slice height (e.g. 32 = warp size).
     pub fn from_csr(csr: &CsrMatrix<T>, slice_height: usize) -> Result<Self> {
         if slice_height == 0 {
-            return Err(SparseError::InvalidConfig("slice height must be > 0".into()));
+            return Err(SparseError::InvalidConfig(
+                "slice height must be > 0".into(),
+            ));
         }
         let rows = csr.rows();
         let mut slices = Vec::with_capacity(rows.div_ceil(slice_height));

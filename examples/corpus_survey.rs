@@ -53,7 +53,10 @@ fn main() {
         }
     }
 
-    println!("\nCELL-vs-fixed survey over {} corpus matrices\n", corpus.len());
+    println!(
+        "\nCELL-vs-fixed survey over {} corpus matrices\n",
+        corpus.len()
+    );
     println!(
         "{:<10} {:>3} {:>10} {:>14}   best-partition votes",
         "family", "n", "CELL wins", "geo speedup"

@@ -39,8 +39,7 @@ fn main() {
     //    width (exactly what the LiteForm pipeline does after its
     //    predictors fire).
     let sweep = liteform::cost::partition::optimal_partitions(&a, j, &device);
-    let widths =
-        liteform::cost::search::optimal_widths_for_matrix(&a, sweep.best_p, j);
+    let widths = liteform::cost::search::optimal_widths_for_matrix(&a, sweep.best_p, j);
     let config = CellConfig::with_partitions(sweep.best_p).with_max_widths(widths);
     let cell = build_cell(&a, &config).expect("valid config");
     println!(

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, format, lint.
+#
+# Run from the repo root. Fails fast on the first broken stage so CI and
+# pre-commit hooks get a single unambiguous exit code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

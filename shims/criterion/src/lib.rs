@@ -1,0 +1,304 @@
+//! Offline stand-in for `criterion`. Keeps the bench-source API surface
+//! (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`,
+//! `iter`, `iter_batched`, `Throughput`) but measures with a simple
+//! warmup + fixed-sample wall-clock loop and writes one JSON line per
+//! benchmark to `target/criterion-lite/<group>.json`.
+//!
+//! Passing `--quick-check` (or setting `CRITERION_LITE_QUICK=1`) runs
+//! every closure exactly once — used by `cargo test`-style smoke runs.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick-check" || a == "--test")
+            || std::env::var("CRITERION_LITE_QUICK").is_ok();
+        Criterion {
+            quick,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (the real crate parses CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure directly (ungrouped).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let quick = self.quick;
+        let samples = self.sample_size;
+        run_one("ungrouped", &id.to_string(), quick, samples, None, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set elements/bytes processed per iteration (reported alongside).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &self.name,
+            &id.0,
+            self.criterion.quick,
+            samples,
+            self.throughput.as_ref(),
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.criterion.quick,
+            samples,
+            self.throughput.as_ref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Units processed per iteration.
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized (accepted, ignored).
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by `iter*`.
+    result_ns: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.result_ns = Some((0.0, 0.0));
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        self.result_ns = Some(stats_ns(&times));
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            self.result_ns = Some((0.0, 0.0));
+            return;
+        }
+        black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        self.result_ns = Some(stats_ns(&times));
+    }
+
+    /// `iter_batched` variant taking inputs by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut i| routine(&mut i), BatchSize::SmallInput);
+    }
+}
+
+fn stats_ns(times: &[Duration]) -> (f64, f64) {
+    let ns: Vec<f64> = times.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    quick: bool,
+    samples: usize,
+    throughput: Option<&Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        quick,
+        samples,
+        result_ns: None,
+    };
+    f(&mut b);
+    let Some((mean_ns, min_ns)) = b.result_ns else {
+        return;
+    };
+    if quick {
+        println!("{group}/{id}: ok (quick check)");
+        return;
+    }
+    let per_elem = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if *n > 0 => {
+            format!(", {:.2} ns/elem", mean_ns / *n as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{group}/{id}: mean {} (min {}){per_elem}",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns)
+    );
+    write_record(group, id, mean_ns, min_ns, samples);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn write_record(group: &str, id: &str, mean_ns: f64, min_ns: f64, samples: usize) {
+    let dir = out_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.json", group.replace('/', "_")));
+    let line = format!(
+        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"min_ns\":{min_ns:.1},\"samples\":{samples}}}\n"
+    );
+    if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+fn out_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CRITERION_LITE_DIR") {
+        return PathBuf::from(d);
+    }
+    PathBuf::from("target").join("criterion-lite")
+}
+
+/// Collect bench functions under a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -29,7 +29,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.len() < 2 {
-        return Err("usage: liteform-cli <info|compose|bench> <matrix.mtx> [--j N] [--device v100|a100]".into());
+        return Err(
+            "usage: liteform-cli <info|compose|bench> <matrix.mtx> [--j N] [--device v100|a100]"
+                .into(),
+        );
     }
     let command = argv[0].clone();
     if !matches!(command.as_str(), "info" | "compose" | "bench") {
@@ -126,12 +129,18 @@ fn main() -> ExitCode {
             let profile = CellKernel::new(cell).profile(args.j, &args.device);
             println!(
                 "simulated SpMM on {} at J={}: {:.4} ms ({} DRAM + {} L2 transactions)",
-                args.device.name, args.j, profile.time_ms, profile.dram_transactions,
+                args.device.name,
+                args.j,
+                profile.time_ms,
+                profile.dram_transactions,
                 profile.l2_transactions
             );
         }
         "bench" => {
-            println!("\nsimulated kernel times at J={} on {}:", args.j, args.device.name);
+            println!(
+                "\nsimulated kernel times at J={} on {}:",
+                args.j, args.device.name
+            );
             let mut results: Vec<(String, Option<f64>)> = Vec::new();
             for system in roster::<f32>() {
                 results.push((

@@ -5,7 +5,7 @@
 use liteform::cell::{build_cell, CellConfig};
 use liteform::kernels::{
     BcsrKernel, CellKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel,
-    SputnikKernel, SpmmKernel, TacoKernel, TacoSchedule,
+    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
 };
 use liteform::sparse::gen::PatternFamily;
 use liteform::sparse::{
@@ -62,9 +62,18 @@ fn all_kernels_agree_with_reference() {
         let check = |label: &str, got: DenseMatrix<f64>| {
             assert!(got.approx_eq(&want, 1e-9), "{name}/{label} wrong result");
         };
-        check("csr-scalar", CsrScalarKernel::new(csr.clone()).run(&b).unwrap());
-        check("csr-vector", CsrVectorKernel::new(csr.clone()).run(&b).unwrap());
-        check("dgsparse", DgSparseKernel::new(csr.clone()).run(&b).unwrap());
+        check(
+            "csr-scalar",
+            CsrScalarKernel::new(csr.clone()).run(&b).unwrap(),
+        );
+        check(
+            "csr-vector",
+            CsrVectorKernel::new(csr.clone()).run(&b).unwrap(),
+        );
+        check(
+            "dgsparse",
+            DgSparseKernel::new(csr.clone()).run(&b).unwrap(),
+        );
         check("sputnik", SputnikKernel::new(csr.clone()).run(&b).unwrap());
         check(
             "taco",
@@ -96,8 +105,7 @@ fn all_kernels_agree_with_reference() {
 fn kernels_preserve_empty_and_single_entry_matrices() {
     let empty = CsrMatrix::<f64>::empty(10, 12);
     let single = {
-        let coo =
-            liteform::sparse::CooMatrix::from_triplets(10, 12, vec![(3, 7, 2.5)]).unwrap();
+        let coo = liteform::sparse::CooMatrix::from_triplets(10, 12, vec![(3, 7, 2.5)]).unwrap();
         CsrMatrix::from_coo(&coo)
     };
     let mut rng = Pcg32::seed_from_u64(5);

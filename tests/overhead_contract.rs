@@ -71,9 +71,8 @@ fn algorithm3_evaluates_logarithmically_many_candidates() {
     use liteform::cost::model::PartitionSketch;
     use liteform::cost::search::{build_buckets, exhaustive_best_width};
     let mut rng = Pcg32::seed_from_u64(4);
-    let coo = liteform::sparse::gen::uniform_with_long_rows::<f32>(
-        3000, 3000, 30_000, 6, 2500, &mut rng,
-    );
+    let coo =
+        liteform::sparse::gen::uniform_with_long_rows::<f32>(3000, 3000, 30_000, 6, 2500, &mut rng);
     let csr = CsrMatrix::from_coo(&coo);
     let sketch = PartitionSketch::from_csr(&csr, 0, csr.cols());
     let (w, _, c) = build_buckets(&sketch, 128);

@@ -16,10 +16,7 @@ fn sparse_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
         let entry = (0..rows, 0..cols, -5.0f64..5.0);
         proptest::collection::vec(entry, 0..120).prop_map(move |trips| {
             // Filter exact zeros so nnz is stable through dedup.
-            let trips: Vec<_> = trips
-                .into_iter()
-                .filter(|&(_, _, v)| v != 0.0)
-                .collect();
+            let trips: Vec<_> = trips.into_iter().filter(|&(_, _, v)| v != 0.0).collect();
             CsrMatrix::from_coo(&CooMatrix::from_triplets(rows, cols, trips).unwrap())
         })
     })

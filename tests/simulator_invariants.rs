@@ -3,8 +3,8 @@
 
 use liteform::cell::{build_cell, CellConfig};
 use liteform::kernels::{
-    BcsrKernel, CellKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
-    SputnikKernel, SpmmKernel, TacoKernel, TacoSchedule,
+    BcsrKernel, CellKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel, SpmmKernel,
+    SputnikKernel, TacoKernel, TacoSchedule,
 };
 use liteform::prelude::*;
 use liteform::sparse::{BcsrMatrix, EllMatrix, Pcg32, SellMatrix};
