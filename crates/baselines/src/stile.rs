@@ -7,11 +7,11 @@
 use crate::tuning::{CompileCostModel, ConstructionCost};
 use crate::{Prepared, System};
 use lf_cell::{build_cell, CellConfig};
-use lf_kernels::common::{b_row_tx, spmm_flops};
+use lf_kernels::common::{b_row_tx, spmm_flops, BlockScratch};
 use lf_kernels::{CellKernel, SpmmKernel};
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::gen::uniform_random;
 use lf_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Pcg32, Result, SparseError};
@@ -57,13 +57,18 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrRowSubsetKernel<T> {
         let j = b.cols();
         let mut c = DenseMatrix::zeros(self.csr.rows(), j);
         {
-            let cells = T::as_cells(c.as_mut_slice());
+            // Subset rows are deduplicated, so every output row has one
+            // writer: accumulate straight into it.
+            let out = DisjointSlice::new(c.as_mut_slice());
             parallel_for(self.rows.len(), default_workers(), |idx| {
                 let i = self.rows[idx];
+                // SAFETY: `rows` is sorted + deduped and each index goes
+                // to exactly one worker.
+                let crow = unsafe { out.slice_mut(i * j, j) };
                 for (&k, &a) in self.csr.row_cols(i).iter().zip(self.csr.row_values(i)) {
                     let brow = b.row(k as usize);
-                    for (jj, &bv) in brow.iter().enumerate() {
-                        T::atomic_add(&cells[i * j + jj], a * bv);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += a * bv;
                     }
                 }
             });
@@ -77,8 +82,10 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrRowSubsetKernel<T> {
         let per_row = b_row_tx(j, elem, device);
         let mut launch =
             LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut scratch = BlockScratch::new();
+        let mut cols: Vec<u32> = Vec::new();
         for chunk in self.rows.chunks(8) {
-            let mut cols: Vec<u32> = Vec::new();
+            cols.clear();
             let mut colval = 0u64;
             let mut nnz = 0usize;
             for &r in chunk {
@@ -87,7 +94,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrRowSubsetKernel<T> {
                 colval += 2 * segment_transactions(len, 4, device.transaction_bytes);
                 cols.extend_from_slice(self.csr.row_cols(r));
             }
-            let unique = lf_kernels::common::count_unique(&cols) as u64 * per_row;
+            let unique = scratch.count_unique(&cols) as u64 * per_row;
             let total = nnz as u64 * per_row;
             let (b_dram, b_l2) =
                 lf_kernels::common::split_b_traffic(unique, total - unique, ws, device);

@@ -34,16 +34,22 @@ fn bench_formats(c: &mut Criterion) {
             "bcsr",
             Box::new(BcsrKernel::new(BcsrMatrix::from_csr(&csr, 8, 8).unwrap())),
         ),
-        (
-            "cell",
-            Box::new(CellKernel::new(
-                build_cell(&csr, &CellConfig::with_partitions(4)).unwrap(),
-            )),
-        ),
     ];
     for (name, kernel) in &kernels {
         group.bench_with_input(BenchmarkId::from_parameter(*name), kernel, |bch, k| {
             bch.iter(|| k.run(&b).unwrap());
+        });
+    }
+    // CELL across the partition sweep, engine path vs the pre-engine
+    // (scoped-spawn, always-atomic) path — the speedup the execution
+    // engine claims lives in this comparison.
+    for p in [4usize, 16, 32] {
+        let k = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(p)).unwrap());
+        group.bench_with_input(BenchmarkId::new("cell", p), &k, |bch, k| {
+            bch.iter(|| k.run(&b).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cell_legacy", p), &k, |bch, k| {
+            bch.iter(|| k.run_legacy(&b).unwrap());
         });
     }
     group.finish();

@@ -1,0 +1,193 @@
+//! SpMM execution-engine benchmark: per-kernel numeric throughput on this
+//! host, with the CELL kernel measured on both the pre-engine path
+//! (`run_legacy`: one scoped spawn/join per bucket, per-row heap
+//! accumulator, atomics everywhere) and the pooled engine path (`run`).
+//!
+//! Writes a machine-readable artifact:
+//!
+//! * full mode (default) — the ISSUE's reference configuration
+//!   (4096×4096 `mixed_regions`, 200k nnz, J=64, p ∈ {4, 16, 32}) into
+//!   `results/bench_spmm.json` (`LF_RESULTS_DIR` overrides);
+//! * `--quick` — a seconds-scale smoke at reduced sizes into
+//!   `target/bench-spmm/bench_spmm.json`, exiting non-zero if the engine
+//!   path regresses catastrophically vs the legacy path. Wired into
+//!   `scripts/verify.sh --bench`.
+
+use lf_bench::{fmt, geomean, write_json, Table};
+use lf_cell::{build_cell, CellConfig};
+use lf_kernels::{
+    BcsrKernel, CellKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel,
+    SellKernel, SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+};
+use lf_sparse::gen::mixed_regions;
+use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct MatrixInfo {
+    kind: &'static str,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    j: usize,
+}
+
+#[derive(Serialize)]
+struct KernelTime {
+    name: String,
+    time_ms: f64,
+}
+
+#[derive(Serialize)]
+struct CellComparison {
+    partitions: usize,
+    legacy_ms: f64,
+    engine_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    mode: &'static str,
+    matrix: MatrixInfo,
+    reps: usize,
+    kernels: Vec<KernelTime>,
+    cell: Vec<CellComparison>,
+    geomean_speedup: f64,
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, nnz, j, reps) = if quick {
+        (512, 12_000, 16, 3)
+    } else {
+        (4096, 200_000, 64, 5)
+    };
+
+    let mut rng = Pcg32::seed_from_u64(11);
+    let csr: CsrMatrix<f32> = CsrMatrix::from_coo(&mixed_regions(n, n, nnz, 4, &mut rng));
+    let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+    let matrix = MatrixInfo {
+        kind: "mixed_regions",
+        rows: csr.rows(),
+        cols: csr.cols(),
+        nnz: csr.nnz(),
+        j,
+    };
+    eprintln!(
+        "bench_spmm: {}x{} nnz={} J={j} reps={reps} ({})",
+        csr.rows(),
+        csr.cols(),
+        csr.nnz(),
+        if quick { "quick" } else { "full" }
+    );
+
+    // --- All kernels on the shared engine -----------------------------
+    let kernels: Vec<(&str, Box<dyn SpmmKernel<f32>>)> = vec![
+        ("csr_scalar", Box::new(CsrScalarKernel::new(csr.clone()))),
+        ("csr_vector", Box::new(CsrVectorKernel::new(csr.clone()))),
+        ("dgsparse", Box::new(DgSparseKernel::new(csr.clone()))),
+        ("sputnik", Box::new(SputnikKernel::new(csr.clone()))),
+        (
+            "taco",
+            Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default())),
+        ),
+        ("ell", Box::new(EllKernel::new(EllMatrix::from_csr(&csr)))),
+        (
+            "sell",
+            Box::new(SellKernel::new(SellMatrix::from_csr(&csr, 32).unwrap())),
+        ),
+        (
+            "bcsr",
+            Box::new(BcsrKernel::new(BcsrMatrix::from_csr(&csr, 8, 8).unwrap())),
+        ),
+    ];
+    let mut kernel_times = Vec::new();
+    let mut t = Table::new(&["kernel", "time_ms"]);
+    for (name, k) in &kernels {
+        let ms = time_ms(reps, || {
+            k.run(&b).unwrap();
+        });
+        t.row(&[name.to_string(), fmt(ms)]);
+        kernel_times.push(KernelTime {
+            name: name.to_string(),
+            time_ms: ms,
+        });
+    }
+
+    // --- CELL: legacy engine vs pooled engine, p in {4, 16, 32} -------
+    let mut cell_rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut ct = Table::new(&["cell", "legacy_ms", "engine_ms", "speedup"]);
+    for p in [4usize, 16, 32] {
+        let k = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(p)).unwrap());
+        let legacy_ms = time_ms(reps, || {
+            k.run_legacy(&b).unwrap();
+        });
+        let engine_ms = time_ms(reps, || {
+            k.run(&b).unwrap();
+        });
+        let speedup = legacy_ms / engine_ms;
+        ct.row(&[
+            format!("p={p}"),
+            fmt(legacy_ms),
+            fmt(engine_ms),
+            fmt(speedup),
+        ]);
+        kernel_times.push(KernelTime {
+            name: format!("cell_p{p}"),
+            time_ms: engine_ms,
+        });
+        cell_rows.push(CellComparison {
+            partitions: p,
+            legacy_ms,
+            engine_ms,
+            speedup,
+        });
+        speedups.push(speedup);
+    }
+    let gm = geomean(&speedups).unwrap_or(0.0);
+
+    t.print();
+    println!();
+    ct.print();
+    println!(
+        "\ncell engine speedup geomean over p in {{4,16,32}}: {}x",
+        fmt(gm)
+    );
+
+    let artifact = Artifact {
+        mode: if quick { "quick" } else { "full" },
+        matrix,
+        reps,
+        kernels: kernel_times,
+        cell: cell_rows,
+        geomean_speedup: gm,
+    };
+    let dir = if quick {
+        PathBuf::from("target/bench-spmm")
+    } else {
+        std::env::var("LF_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"))
+    };
+    write_json(&dir, "bench_spmm", &artifact);
+
+    if quick && gm < 0.8 {
+        eprintln!("bench_spmm: FAIL — engine path catastrophically slower than legacy ({gm}x)");
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@ use crate::common::{b_row_tx, split_b_traffic, spmm_flops};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::{BcsrMatrix, DenseMatrix, Result, SparseError};
 
@@ -52,7 +52,9 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
         let slots = br * bc;
         let mut c = DenseMatrix::zeros(rows, j);
         {
-            let cells = T::as_cells(c.as_mut_slice());
+            // Block rows cover disjoint row ranges: accumulate straight
+            // into the output rows.
+            let out = DisjointSlice::new(c.as_mut_slice());
             let nbr = self.bcsr.num_block_rows();
             parallel_for(nbr, default_workers(), |blk_row| {
                 let ptr = self.bcsr.block_row_ptr();
@@ -64,6 +66,9 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
                         if r >= rows {
                             break;
                         }
+                        // SAFETY: each block row (hence each row) goes to
+                        // exactly one worker.
+                        let crow = unsafe { out.slice_mut(r * j, j) };
                         for lc in 0..bc {
                             let col = bcol * bc + lc;
                             if col >= cols {
@@ -74,8 +79,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
                                 continue;
                             }
                             let brow = b.row(col);
-                            for (jj, &bv) in brow.iter().enumerate() {
-                                T::atomic_add(&cells[r * j + jj], v * bv);
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += v * bv;
                             }
                         }
                     }

@@ -12,13 +12,23 @@
 //!   which may hold folded rows — Algorithm 2 line 9);
 //! * launches all buckets of all partitions as **one fused launch**,
 //!   mirroring the horizontal-fusion pass SparseTIR inserts (§6).
+//!
+//! The numeric path runs on the shared execution engine: all
+//! `(partition, bucket, row-chunk)` work items are flattened into **one**
+//! parallel region over the persistent worker pool (no per-bucket
+//! spawn/join barriers), each worker reuses one accumulator scratch for
+//! every row it processes (j-tiled to stay cache-resident), and buckets
+//! with single-writer rows (`needs_atomic == false`) flush with plain
+//! stores instead of CAS loops.
 
-use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
 use crate::SpmmKernel;
-use lf_cell::CellMatrix;
+use lf_cell::{Bucket, CellMatrix};
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{
+    default_workers, parallel_for_init, parallel_for_scoped, parallel_map_init,
+};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::ell::ELL_PAD;
 use lf_sparse::{DenseMatrix, Result, SparseError};
@@ -32,6 +42,43 @@ pub enum FusionMode {
     /// One launch per column partition (buckets within a partition are
     /// fused, partitions are not) — how the SparseTIR hyb baseline runs.
     PerPartition,
+}
+
+/// Accumulator tile width (elements of `C`'s row a worker carries at
+/// once). 128 doubles = 1 KiB — resident in L1 next to the streamed `B`
+/// rows, mirroring the register/j-tile budget of the GPU mapping.
+const J_TILE: usize = 128;
+
+/// Target slots (width × rows) per numeric work item: large enough to
+/// amortize scheduling, small enough that wide buckets still split for
+/// balance.
+const CHUNK_SLOTS: usize = 8192;
+
+/// One flattened numeric work item: a row range of one bucket.
+struct WorkItem<'m, T> {
+    bucket: &'m Bucket<T>,
+    lo: usize,
+    hi: usize,
+}
+
+/// One flattened analytic work item: a GPU block of one bucket.
+struct AnalyticItem<'m, T> {
+    bucket: &'m Bucket<T>,
+    part_idx: usize,
+    /// The partition's `B` working-set bytes (its column span only).
+    working_set: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Parallelize construction only when there is enough work to amortize a
+/// pool dispatch.
+fn construction_workers(items: usize) -> usize {
+    if items >= 256 {
+        default_workers()
+    } else {
+        1
+    }
 }
 
 /// LiteForm's CELL SpMM kernel.
@@ -58,18 +105,8 @@ impl<T: AtomicScalar> CellKernel<T> {
     pub fn cell(&self) -> &CellMatrix<T> {
         &self.cell
     }
-}
 
-impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
-    fn name(&self) -> &'static str {
-        "cell(liteform)"
-    }
-
-    fn shape(&self) -> (usize, usize) {
-        self.cell.shape()
-    }
-
-    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+    fn check_shape(&self, b: &DenseMatrix<T>) -> Result<()> {
         let (rows, cols) = self.cell.shape();
         if cols != b.rows() {
             return Err(SparseError::DimensionMismatch {
@@ -78,19 +115,147 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
                 rhs: b.shape(),
             });
         }
+        Ok(())
+    }
+
+    /// Flatten all `(partition, bucket)` pairs into row-chunk work items
+    /// — the CPU mirror of the paper's §6 horizontal fusion: one launch,
+    /// one parallel region, no barrier between buckets.
+    fn numeric_work_items(&self) -> Vec<WorkItem<'_, T>> {
+        let mut items = Vec::new();
+        for part in self.cell.partitions() {
+            for bucket in &part.buckets {
+                let rows = bucket.num_rows();
+                if rows == 0 {
+                    continue;
+                }
+                let rows_per_item = (CHUNK_SLOTS / bucket.width.max(1)).max(1);
+                let mut lo = 0;
+                while lo < rows {
+                    let hi = (lo + rows_per_item).min(rows);
+                    items.push(WorkItem { bucket, lo, hi });
+                    lo = hi;
+                }
+            }
+        }
+        items
+    }
+
+    /// Shared numeric path. `force_atomic` routes every flush through
+    /// `atomic_add` regardless of `needs_atomic` — the verification knob
+    /// the equivalence property tests exercise.
+    fn execute(&self, b: &DenseMatrix<T>, force_atomic: bool) -> Result<DenseMatrix<T>> {
+        self.check_shape(b)?;
+        let (rows, _) = self.cell.shape();
+        let j = b.cols();
+        let mut c = DenseMatrix::zeros(rows, j);
+        if j == 0 {
+            return Ok(c);
+        }
+        let items = self.numeric_work_items();
+        if items.is_empty() {
+            return Ok(c);
+        }
+        let workers = default_workers().min(items.len());
+        if workers == 1 && !force_atomic {
+            // Single-worker region: there is no concurrency, so even
+            // multi-writer (needs_atomic) buckets can accumulate straight
+            // into `C` — no CAS loops, no scratch, no flush pass.
+            let out = c.as_mut_slice();
+            for &WorkItem { bucket, lo, hi } in &items {
+                let w = bucket.width;
+                for bi in lo..hi {
+                    let base = bucket.row_ind[bi] as usize * j;
+                    let crow = &mut out[base..base + j];
+                    let cols = &bucket.col_ind[bi * w..(bi + 1) * w];
+                    let vals = &bucket.values[bi * w..(bi + 1) * w];
+                    for (&col, &a) in cols.iter().zip(vals) {
+                        if col == ELL_PAD {
+                            continue;
+                        }
+                        let brow = b.row(col as usize);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += a * bv;
+                        }
+                    }
+                }
+            }
+            return Ok(c);
+        }
+        {
+            let cells = T::as_cells(c.as_mut_slice());
+            parallel_for_init(
+                items.len(),
+                workers,
+                || vec![T::ZERO; J_TILE.min(j)],
+                |acc_buf, wi| {
+                    let WorkItem { bucket, lo, hi } = items[wi];
+                    let w = bucket.width;
+                    let atomic = force_atomic || bucket.needs_atomic;
+                    let mut tile_lo = 0;
+                    while tile_lo < j {
+                        let tile_hi = (tile_lo + J_TILE).min(j);
+                        let acc = &mut acc_buf[..tile_hi - tile_lo];
+                        for bi in lo..hi {
+                            acc.fill(T::ZERO);
+                            for k in 0..w {
+                                let col = bucket.col_ind[bi * w + k];
+                                if col == ELL_PAD {
+                                    continue;
+                                }
+                                let a = bucket.values[bi * w + k];
+                                let brow = &b.row(col as usize)[tile_lo..tile_hi];
+                                for (s, &bv) in brow.iter().enumerate() {
+                                    acc[s] += a * bv;
+                                }
+                            }
+                            let out = bucket.row_ind[bi] as usize * j + tile_lo;
+                            if atomic {
+                                // Folded fragments / sibling partitions may
+                                // write the same row (Algorithm 2 line 9).
+                                for (s, &v) in acc.iter().enumerate() {
+                                    T::atomic_add(&cells[out + s], v);
+                                }
+                            } else {
+                                // Single-writer row by construction: a
+                                // plain store, no CAS.
+                                for (s, &v) in acc.iter().enumerate() {
+                                    T::store_cell(&cells[out + s], v);
+                                }
+                            }
+                        }
+                        tile_lo = tile_hi;
+                    }
+                },
+            );
+        }
+        Ok(c)
+    }
+
+    /// Numeric path with every flush forced through atomics, bypassing
+    /// the single-writer fast path. Exists so tests can prove the two
+    /// flush modes produce identical results; `run` is always at least
+    /// as fast.
+    pub fn run_forced_atomic(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.execute(b, true)
+    }
+
+    /// The pre-engine numeric path: one scoped spawn/join parallel region
+    /// **per bucket**, a fresh `vec![T::ZERO; j]` accumulator per row,
+    /// and atomic accumulation for every output element. Kept as the
+    /// baseline the execution-engine benchmarks and equivalence tests
+    /// compare against (`results/bench_spmm.json`).
+    pub fn run_legacy(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.check_shape(b)?;
+        let (rows, _) = self.cell.shape();
         let j = b.cols();
         let mut c = DenseMatrix::zeros(rows, j);
         {
             let cells = T::as_cells(c.as_mut_slice());
-            // Flatten (partition, bucket) pairs and parallelize over the
-            // bucket rows of each, mirroring block-level parallelism.
-            // Atomic adds are always safe; buckets that the GPU would
-            // write non-atomically have single-writer rows by
-            // construction.
             for part in self.cell.partitions() {
                 for bucket in &part.buckets {
                     let w = bucket.width;
-                    parallel_for(bucket.num_rows(), default_workers(), |bi| {
+                    parallel_for_scoped(bucket.num_rows(), default_workers(), |bi| {
                         let out_row = bucket.row_ind[bi] as usize;
                         let mut acc = vec![T::ZERO; j];
                         for k in 0..w {
@@ -114,71 +279,115 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
         Ok(c)
     }
 
+    /// Flatten all `(partition, bucket, GPU-block)` triples for the
+    /// analytic path.
+    fn analytic_items(&self, j: usize) -> Vec<AnalyticItem<'_, T>> {
+        let elem = std::mem::size_of::<T>();
+        let mut items = Vec::new();
+        for (part_idx, part) in self.cell.partitions().iter().enumerate() {
+            let span = part.col_range.1 - part.col_range.0;
+            let working_set = span * j * elem;
+            for bucket in &part.buckets {
+                let rpb = bucket.rows_per_block.max(1);
+                let mut lo = 0;
+                while lo < bucket.num_rows() {
+                    let hi = (lo + rpb).min(bucket.num_rows());
+                    items.push(AnalyticItem {
+                        bucket,
+                        part_idx,
+                        working_set,
+                        lo,
+                        hi,
+                    });
+                    lo = hi;
+                }
+            }
+        }
+        items
+    }
+}
+
+impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
+    fn name(&self) -> &'static str {
+        "cell(liteform)"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        self.cell.shape()
+    }
+
+    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.execute(b, false)
+    }
+
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
         let elem = std::mem::size_of::<T>();
         let per_row = b_row_tx(j, elem, device);
         let j_tiles = j.div_ceil(device.warp_size);
-        let mut out = Vec::new();
-        let mut launch = LaunchSpec::new(self.name(), 256).with_grid_multiplier(j_tiles);
-        for part in self.cell.partitions() {
-            // The partition's B working set: only its column span.
-            let span = part.col_range.1 - part.col_range.0;
-            let ws = span * j * elem;
-            for bucket in &part.buckets {
+        let items = self.analytic_items(j);
+        // Per-block costs are independent: build them in one parallel
+        // region with per-worker scratch (no per-block allocation, no
+        // sort-dedup garbage), then stitch launches together in order.
+        let costs: Vec<BlockCost> = parallel_map_init(
+            items.len(),
+            construction_workers(items.len()),
+            BlockScratch::new,
+            |scratch, ii| {
+                let it = &items[ii];
+                let bucket = it.bucket;
                 let w = bucket.width;
-                let rpb = bucket.rows_per_block.max(1);
-                let mut r = 0;
-                while r < bucket.num_rows() {
-                    let hi = (r + rpb).min(bucket.num_rows());
-                    let rows_here = hi - r;
-                    let slot_lo = r * w;
-                    let slot_hi = hi * w;
-                    let slots = slot_hi - slot_lo;
-                    let block_cols: Vec<u32> = bucket.col_ind[slot_lo..slot_hi]
+                let rows_here = it.hi - it.lo;
+                let slots = rows_here * w;
+                let (nnz, unique_cols) = scratch.count_unique_iter(
+                    bucket.col_ind[it.lo * w..it.hi * w]
                         .iter()
                         .copied()
-                        .filter(|&c| c != ELL_PAD)
-                        .collect();
-                    let nnz = block_cols.len();
-                    let unique = count_unique(&block_cols) as u64 * per_row;
-                    let total = nnz as u64 * per_row;
-                    let (b_dram, b_l2) = split_b_traffic(unique, total - unique, ws, device);
-                    // row_ind + col_ind + values, all coalesced streams.
-                    let row_ind_tx = segment_transactions(rows_here, 4, device.transaction_bytes);
-                    let colval = 2 * segment_transactions(slots, 4, device.transaction_bytes);
-                    let out_rows = count_unique(&bucket.row_ind[r..hi]) as u64;
-                    let (c_store, c_atomic) = if bucket.needs_atomic {
-                        (0, out_rows * per_row)
+                        .filter(|&c| c != ELL_PAD),
+                );
+                let unique = unique_cols as u64 * per_row;
+                let total = nnz as u64 * per_row;
+                let (b_dram, b_l2) =
+                    split_b_traffic(unique, total - unique, it.working_set, device);
+                // row_ind + col_ind + values, all coalesced streams.
+                let row_ind_tx = segment_transactions(rows_here, 4, device.transaction_bytes);
+                let colval = 2 * segment_transactions(slots, 4, device.transaction_bytes);
+                let out_rows = scratch.count_unique(&bucket.row_ind[it.lo..it.hi]) as u64;
+                let (c_store, c_atomic) = if bucket.needs_atomic {
+                    (0, out_rows * per_row)
+                } else {
+                    (out_rows * per_row, 0)
+                };
+                BlockCost {
+                    dram_transactions: b_dram + row_ind_tx + colval + c_store,
+                    l2_transactions: b_l2,
+                    flops: spmm_flops(slots, j),
+                    atomic_transactions: c_atomic,
+                    lane_efficiency: if slots > 0 {
+                        (nnz as f64 / slots as f64).max(1e-3)
                     } else {
-                        (out_rows * per_row, 0)
-                    };
-                    launch.push(BlockCost {
-                        dram_transactions: b_dram + row_ind_tx + colval + c_store,
-                        l2_transactions: b_l2,
-                        flops: spmm_flops(slots, j),
-                        atomic_transactions: c_atomic,
-                        lane_efficiency: if slots > 0 {
-                            (nnz as f64 / slots as f64).max(1e-3)
-                        } else {
-                            1.0
-                        },
-                    });
-                    r = hi;
+                        1.0
+                    },
                 }
-            }
-            if self.fusion == FusionMode::PerPartition {
-                out.push(std::mem::replace(
-                    &mut launch,
-                    LaunchSpec::new(self.name(), 256).with_grid_multiplier(j_tiles),
-                ));
-            }
-        }
+            },
+        );
+        let new_launch = || LaunchSpec::new(self.name(), 256).with_grid_multiplier(j_tiles);
         match self.fusion {
-            FusionMode::Full => vec![launch],
+            FusionMode::Full => {
+                let mut launch = new_launch();
+                for cost in costs {
+                    launch.push(cost);
+                }
+                vec![launch]
+            }
             FusionMode::PerPartition => {
+                let num_parts = self.cell.partitions().len().max(1);
+                let mut out: Vec<LaunchSpec> = (0..num_parts).map(|_| new_launch()).collect();
+                for (item, cost) in items.iter().zip(costs) {
+                    out[item.part_idx].push(cost);
+                }
                 out.retain(|l| !l.blocks.is_empty());
                 if out.is_empty() {
-                    out.push(launch);
+                    out.push(new_launch());
                 }
                 out
             }
@@ -206,6 +415,9 @@ mod tests {
             let got = k.run(&b).unwrap();
             let want = csr.spmm_reference(&b).unwrap();
             assert!(got.approx_eq(&want, 1e-9), "cfg={cfg:?} J={j}");
+            // The pre-engine path stays equivalent.
+            let legacy = k.run_legacy(&b).unwrap();
+            assert!(legacy.approx_eq(&want, 1e-9), "legacy cfg={cfg:?} J={j}");
         }
     }
 
@@ -235,11 +447,48 @@ mod tests {
     }
 
     #[test]
+    fn numeric_correct_beyond_one_j_tile() {
+        // J > J_TILE exercises the accumulator tiling loop.
+        let mut rng = Pcg32::seed_from_u64(21);
+        let csr = CsrMatrix::from_coo(&uniform_random::<f64>(80, 90, 1200, &mut rng));
+        let k = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(2)).unwrap());
+        let j = J_TILE + 37;
+        let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+        let got = k.run(&b).unwrap();
+        let want = csr.spmm_reference(&b).unwrap();
+        assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn plain_store_path_matches_forced_atomics_bitwise() {
+        // Single partition, no folding: every bucket is single-writer, so
+        // `run` takes plain stores while `run_forced_atomic` CAS-loops.
+        // Both add the same partial sums in the same order, so the
+        // results must be bit-identical.
+        let mut rng = Pcg32::seed_from_u64(22);
+        let csr = CsrMatrix::from_coo(&uniform_random::<f64>(120, 100, 1800, &mut rng));
+        let k = CellKernel::new(build_cell(&csr, &CellConfig::default()).unwrap());
+        assert!(k
+            .cell()
+            .partitions()
+            .iter()
+            .flat_map(|p| &p.buckets)
+            .all(|b| !b.needs_atomic));
+        for j in [1, 7, 33] {
+            let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+            let fast = k.run(&b).unwrap();
+            let atomic = k.run_forced_atomic(&b).unwrap();
+            assert_eq!(fast.as_slice(), atomic.as_slice(), "J={j}");
+        }
+    }
+
+    #[test]
     fn dimension_mismatch_rejected() {
         let mut rng = Pcg32::seed_from_u64(3);
         let csr = CsrMatrix::from_coo(&uniform_random::<f64>(10, 10, 30, &mut rng));
         let k = CellKernel::new(build_cell(&csr, &CellConfig::default()).unwrap());
         assert!(k.run(&DenseMatrix::<f64>::zeros(7, 3)).is_err());
+        assert!(k.run_legacy(&DenseMatrix::<f64>::zeros(7, 3)).is_err());
     }
 
     #[test]
@@ -302,6 +551,25 @@ mod tests {
         // Multi-partition: atomics appear.
         let k2 = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(2)).unwrap());
         assert!(k2.profile(64, &d).atomic_transactions > 0);
+    }
+
+    #[test]
+    fn parallel_launch_construction_matches_sequential() {
+        // The same matrix profiled through the parallel construction path
+        // (many blocks) and block-by-block must agree exactly: launch
+        // assembly preserves block order.
+        let d = DeviceModel::v100();
+        let mut rng = Pcg32::seed_from_u64(8);
+        let csr = CsrMatrix::from_coo(&mixed_regions::<f64>(2048, 2048, 120_000, 4, &mut rng));
+        let cell = build_cell(&csr, &CellConfig::with_partitions(4)).unwrap();
+        let k = CellKernel::new(cell);
+        let a = k.launches(64, &d);
+        let b = k.launches(64, &d);
+        assert_eq!(a.len(), b.len());
+        for (la, lb) in a.iter().zip(&b) {
+            assert_eq!(la.blocks, lb.blocks);
+        }
+        assert!(a[0].blocks.len() >= 256, "expect parallel construction");
     }
 
     #[test]

@@ -33,11 +33,47 @@ pub fn split_b_traffic(
 }
 
 /// Count distinct values in a short slice (sorts a scratch copy).
+///
+/// Allocates per call; hot analytic paths should prefer a reusable
+/// [`BlockScratch`].
 pub fn count_unique(ids: &[u32]) -> usize {
-    let mut v = ids.to_vec();
-    v.sort_unstable();
-    v.dedup();
-    v.len()
+    BlockScratch::new().count_unique_iter(ids.iter().copied()).1
+}
+
+/// Reusable scratch for per-block analytic accounting.
+///
+/// `launches()` implementations walk thousands of blocks, and each block
+/// needs a "how many ids, how many distinct" answer over its column (and
+/// sometimes row) index stream. A `BlockScratch` keeps one buffer alive
+/// across all blocks a worker processes — zero allocations in steady
+/// state — and pairs with [`lf_sim::parallel::parallel_map_init`] when
+/// launch construction is parallelized.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    buf: Vec<u32>,
+}
+
+impl BlockScratch {
+    /// Fresh scratch (first use grows the buffer, later uses reuse it).
+    pub fn new() -> Self {
+        BlockScratch::default()
+    }
+
+    /// Count `(total, distinct)` ids produced by `ids` (e.g. a padded
+    /// index stream with pad slots already filtered out).
+    pub fn count_unique_iter(&mut self, ids: impl IntoIterator<Item = u32>) -> (usize, usize) {
+        self.buf.clear();
+        self.buf.extend(ids);
+        let total = self.buf.len();
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        (total, self.buf.len())
+    }
+
+    /// Distinct values in `ids`.
+    pub fn count_unique(&mut self, ids: &[u32]) -> usize {
+        self.count_unique_iter(ids.iter().copied()).1
+    }
 }
 
 /// Flops for multiplying `nnz` non-zeros against `j` dense columns
@@ -89,6 +125,16 @@ mod tests {
         assert_eq!(count_unique(&[3, 1, 3, 2, 1]), 3);
         assert_eq!(count_unique(&[]), 0);
         assert_eq!(count_unique(&[7]), 1);
+    }
+
+    #[test]
+    fn block_scratch_reusable_and_consistent() {
+        let mut s = BlockScratch::new();
+        assert_eq!(s.count_unique_iter([3, 1, 3, 2, 1]), (5, 3));
+        // Reuse after a larger stream must not leak previous contents.
+        assert_eq!(s.count_unique_iter([9, 9]), (2, 1));
+        assert_eq!(s.count_unique_iter(std::iter::empty()), (0, 0));
+        assert_eq!(s.count_unique(&[5, 5, 6]), 2);
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! CSR-based SpMM kernels: the four fixed-format baseline mappings
 //! (naive scalar, cuSPARSE-like vector, dgSPARSE/GE-SpMM, Sputnik).
 
-use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::{CsrMatrix, DenseMatrix, Result, SparseError};
 
-/// Shared numeric path: row-parallel CSR SpMM (each row has exactly one
-/// writer, so no atomics are needed; the GPU mappings differ only in how
-/// they schedule this same arithmetic).
+/// Shared numeric path: row-parallel CSR SpMM. Each output row has
+/// exactly one writer, so workers accumulate straight into their disjoint
+/// `C` rows — no atomics, no per-row scratch allocation.
 pub(crate) fn parallel_csr_spmm<T: AtomicScalar>(
     csr: &CsrMatrix<T>,
     b: &DenseMatrix<T>,
@@ -26,15 +26,15 @@ pub(crate) fn parallel_csr_spmm<T: AtomicScalar>(
     let j = b.cols();
     let mut c = DenseMatrix::zeros(csr.rows(), j);
     {
-        // Rows are disjoint, so plain stores would suffice; atomic adds are
-        // used for uniformity with the folding/multi-partition kernels and
-        // cost nothing extra on uncontended cells.
-        let cells = T::as_cells(c.as_mut_slice());
+        let out = DisjointSlice::new(c.as_mut_slice());
         parallel_for(csr.rows(), default_workers(), |i| {
+            // SAFETY: `parallel_for` hands each row index to exactly one
+            // worker, so the `i * j .. (i + 1) * j` windows never overlap.
+            let crow = unsafe { out.slice_mut(i * j, j) };
             for (&k, &a) in csr.row_cols(i).iter().zip(csr.row_values(i)) {
                 let brow = b.row(k as usize);
-                for (jj, &bv) in brow.iter().enumerate() {
-                    T::atomic_add(&cells[i * j + jj], a * bv);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += a * bv;
                 }
             }
         });
@@ -44,7 +44,9 @@ pub(crate) fn parallel_csr_spmm<T: AtomicScalar>(
 
 /// Per-block B-traffic accounting shared by the CSR kernels: given the
 /// column indices a block touches, split into (dram, l2) transactions.
+/// `scratch` is reused across blocks — no per-block allocation.
 fn block_b_traffic(
+    scratch: &mut BlockScratch,
     block_cols: &[u32],
     j: usize,
     elem: usize,
@@ -52,7 +54,7 @@ fn block_b_traffic(
     device: &DeviceModel,
 ) -> (u64, u64) {
     let per_row = b_row_tx(j, elem, device);
-    let unique = count_unique(block_cols) as u64 * per_row;
+    let unique = scratch.count_unique(block_cols) as u64 * per_row;
     let total = block_cols.len() as u64 * per_row;
     split_b_traffic(unique, total - unique, working_set, device)
 }
@@ -111,6 +113,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrScalarKernel<T> {
         let ws = full_b_working_set::<T>(self.csr.cols(), j);
         let mut launch =
             LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut scratch = BlockScratch::new();
         let mut r = 0;
         while r < self.csr.rows() {
             let hi = (r + rows_per_block).min(self.csr.rows());
@@ -118,7 +121,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrScalarKernel<T> {
             let hi_ptr = self.csr.row_ptr()[hi];
             let nnz = hi_ptr - lo_ptr;
             let block_cols = &self.csr.col_ind()[lo_ptr..hi_ptr];
-            let (b_dram, b_l2) = block_b_traffic(block_cols, j, elem, ws, device);
+            let (b_dram, b_l2) = block_b_traffic(&mut scratch, block_cols, j, elem, ws, device);
             // Scattered col/val: one sector per element per array.
             let colval = 2 * nnz as u64;
             let row_ptr_tx = segment_transactions(hi - r + 1, 4, device.transaction_bytes);
@@ -287,8 +290,10 @@ impl<T: AtomicScalar> SpmmKernel<T> for SputnikKernel<T> {
         }
         let mut launch =
             LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut scratch = BlockScratch::new();
+        let mut block_cols: Vec<u32> = Vec::new();
         for rows in blocks.iter().filter(|b| !b.is_empty()) {
-            let mut block_cols: Vec<u32> = Vec::new();
+            block_cols.clear();
             let mut nnz = 0usize;
             let mut colval = 0u64;
             for &r in rows {
@@ -297,7 +302,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for SputnikKernel<T> {
                 colval += 2 * segment_transactions(len, 4, device.transaction_bytes);
                 block_cols.extend_from_slice(self.csr.row_cols(r));
             }
-            let (b_dram, b_l2) = block_b_traffic(&block_cols, j, elem, ws, device);
+            let (b_dram, b_l2) = block_b_traffic(&mut scratch, &block_cols, j, elem, ws, device);
             // Swizzle metadata: one extra index load per row.
             let meta = segment_transactions(rows.len(), 4, device.transaction_bytes) + 1;
             let c_tx = rows.len() as u64 * b_row_tx(j, elem, device);
@@ -352,6 +357,7 @@ fn vector_style_launches<T: AtomicScalar>(
     let ws = full_b_working_set::<T>(csr.cols(), j);
     let rows_per_block = 8; // 8 warps × 1 row each, 256 threads
     let mut launch = LaunchSpec::new(name, 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+    let mut scratch = BlockScratch::new();
     let mut r = 0;
     while r < csr.rows() {
         let hi = (r + rows_per_block).min(csr.rows());
@@ -359,7 +365,7 @@ fn vector_style_launches<T: AtomicScalar>(
         let hi_ptr = csr.row_ptr()[hi];
         let nnz = hi_ptr - lo_ptr;
         let block_cols = &csr.col_ind()[lo_ptr..hi_ptr];
-        let (b_dram, b_l2) = block_b_traffic(block_cols, j, elem, ws, device);
+        let (b_dram, b_l2) = block_b_traffic(&mut scratch, block_cols, j, elem, ws, device);
         // Coalesced col/val streams, possibly re-read per j-tile.
         let mut colval = 0u64;
         for i in r..hi {

@@ -2,11 +2,11 @@
 //! both wasted lanes (divergence on the `ELL_PAD` check) and wasted
 //! compute/traffic — the inefficiency CELL's buckets remove.
 
-use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::ell::ELL_PAD;
 use lf_sparse::{DenseMatrix, EllMatrix, Result, SparseError};
@@ -50,16 +50,19 @@ impl<T: AtomicScalar> SpmmKernel<T> for EllKernel<T> {
         let width = self.ell.width();
         let mut c = DenseMatrix::zeros(rows, j);
         {
-            let cells = T::as_cells(c.as_mut_slice());
+            // Rows are disjoint: accumulate straight into the output row.
+            let out = DisjointSlice::new(c.as_mut_slice());
             parallel_for(rows, default_workers(), |i| {
+                // SAFETY: each row index goes to exactly one worker.
+                let crow = unsafe { out.slice_mut(i * j, j) };
                 for w in 0..width {
                     let (col, val) = self.ell.slot(i, w);
                     if col == ELL_PAD {
                         break;
                     }
                     let brow = b.row(col as usize);
-                    for (jj, &bv) in brow.iter().enumerate() {
-                        T::atomic_add(&cells[i * j + jj], val * bv);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += val * bv;
                     }
                 }
             });
@@ -75,20 +78,21 @@ impl<T: AtomicScalar> SpmmKernel<T> for EllKernel<T> {
         let rows_per_block = 8;
         let mut launch =
             LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut scratch = BlockScratch::new();
         let mut r = 0;
         while r < rows {
             let hi = (r + rows_per_block).min(rows);
             let slot_lo = r * width;
             let slot_hi = hi * width;
             let slots = slot_hi - slot_lo;
-            let block_cols: Vec<u32> = self.ell.col_ind()[slot_lo..slot_hi]
-                .iter()
-                .copied()
-                .filter(|&c| c != ELL_PAD)
-                .collect();
-            let nnz = block_cols.len();
+            let (nnz, unique_cols) = scratch.count_unique_iter(
+                self.ell.col_ind()[slot_lo..slot_hi]
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != ELL_PAD),
+            );
             let per_row = b_row_tx(j, elem, device);
-            let unique = count_unique(&block_cols) as u64 * per_row;
+            let unique = unique_cols as u64 * per_row;
             let total = nnz as u64 * per_row;
             let (b_dram, b_l2) = split_b_traffic(unique, total - unique, ws, device);
             // The padded grid is streamed in full (col + val arrays).

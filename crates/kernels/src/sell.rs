@@ -4,11 +4,11 @@
 //! padding, but slices follow the row order — they cannot group rows of
 //! similar length from across the matrix the way CELL buckets do.
 
-use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::ell::ELL_PAD;
 use lf_sparse::{DenseMatrix, Result, SellMatrix, SparseError};
@@ -51,12 +51,17 @@ impl<T: AtomicScalar> SpmmKernel<T> for SellKernel<T> {
         let j = b.cols();
         let mut c = DenseMatrix::zeros(rows, j);
         {
-            let cells = T::as_cells(c.as_mut_slice());
+            // Slices cover disjoint row ranges: accumulate straight into
+            // the slice's output rows.
+            let out = DisjointSlice::new(c.as_mut_slice());
             let slices = self.sell.slices();
             parallel_for(slices.len(), default_workers(), |si| {
                 let slice = &slices[si];
                 for local in 0..slice.height {
                     let row = slice.row_start + local;
+                    // SAFETY: each slice (hence each row) goes to exactly
+                    // one worker.
+                    let crow = unsafe { out.slice_mut(row * j, j) };
                     for k in 0..slice.width {
                         let col = slice.col_ind[local * slice.width + k];
                         if col == ELL_PAD {
@@ -64,8 +69,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for SellKernel<T> {
                         }
                         let a = slice.values[local * slice.width + k];
                         let brow = b.row(col as usize);
-                        for (jj, &bv) in brow.iter().enumerate() {
-                            T::atomic_add(&cells[row * j + jj], a * bv);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += a * bv;
                         }
                     }
                 }
@@ -81,16 +86,12 @@ impl<T: AtomicScalar> SpmmKernel<T> for SellKernel<T> {
         let per_row = b_row_tx(j, elem, device);
         let mut launch =
             LaunchSpec::new(self.name(), 256).with_grid_multiplier(j.div_ceil(device.warp_size));
+        let mut scratch = BlockScratch::new();
         for slice in self.sell.slices() {
             let slots = slice.height * slice.width;
-            let cols: Vec<u32> = slice
-                .col_ind
-                .iter()
-                .copied()
-                .filter(|&c| c != ELL_PAD)
-                .collect();
-            let nnz = cols.len();
-            let unique = count_unique(&cols) as u64 * per_row;
+            let (nnz, unique_cols) =
+                scratch.count_unique_iter(slice.col_ind.iter().copied().filter(|&c| c != ELL_PAD));
+            let unique = unique_cols as u64 * per_row;
             let total = nnz as u64 * per_row;
             let (b_dram, b_l2) = split_b_traffic(unique, total - unique, ws, device);
             let colval = 2 * segment_transactions(slots, 4, device.transaction_bytes);

@@ -3,11 +3,11 @@
 //! the price of atomics wherever a row straddles a segment boundary. The
 //! paper sweeps 6 × 6 schedules and keeps the fastest (§7.1).
 
-use crate::common::{b_row_tx, count_unique, split_b_traffic, spmm_flops};
+use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
-use lf_sim::parallel::{default_workers, parallel_for};
+use lf_sim::parallel::{default_workers, parallel_for_init};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::{CsrMatrix, DenseMatrix, Result, SparseError};
 
@@ -127,37 +127,56 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
             let cells = T::as_cells(c.as_mut_slice());
             let cols = self.csr.col_ind();
             let vals = self.csr.values();
-            // Each task owns one nnz segment; rows at the boundaries are
-            // shared between segments, hence the atomic accumulation —
-            // exactly the GPU mapping's write pattern.
-            parallel_for(num_segs, default_workers(), |s| {
-                let lo = s * seg;
-                let hi = ((s + 1) * seg).min(nnz);
-                let mut acc = vec![T::ZERO; j];
-                let mut cur_row = u32::MAX;
-                for p in lo..hi {
-                    let r = self.row_of_nnz[p];
-                    if r != cur_row {
-                        if cur_row != u32::MAX {
-                            for (jj, &v) in acc.iter().enumerate() {
-                                T::atomic_add(&cells[cur_row as usize * j + jj], v);
-                            }
-                        }
-                        acc.fill(T::ZERO);
-                        cur_row = r;
-                    }
-                    let brow = b.row(cols[p] as usize);
-                    let a = vals[p];
-                    for (jj, &bv) in brow.iter().enumerate() {
-                        acc[jj] += a * bv;
-                    }
-                }
-                if cur_row != u32::MAX {
+            let row_ptr = self.csr.row_ptr();
+            // A row fully contained in the segment has this segment as its
+            // only writer — flush with a plain store. Rows straddling a
+            // boundary are shared between segments and keep the atomic
+            // accumulation, exactly the GPU mapping's write pattern.
+            let flush = |cells: &[T::Cell], r: u32, acc: &[T], lo: usize, hi: usize| {
+                let r = r as usize;
+                let interior = row_ptr[r] >= lo && row_ptr[r + 1] <= hi;
+                let base = r * j;
+                if interior {
                     for (jj, &v) in acc.iter().enumerate() {
-                        T::atomic_add(&cells[cur_row as usize * j + jj], v);
+                        T::store_cell(&cells[base + jj], v);
+                    }
+                } else {
+                    for (jj, &v) in acc.iter().enumerate() {
+                        T::atomic_add(&cells[base + jj], v);
                     }
                 }
-            });
+            };
+            // Each task owns one nnz segment; the per-worker accumulator
+            // is reused across every segment the worker processes.
+            parallel_for_init(
+                num_segs,
+                default_workers(),
+                || vec![T::ZERO; j],
+                |acc, s| {
+                    let lo = s * seg;
+                    let hi = ((s + 1) * seg).min(nnz);
+                    let mut cur_row = u32::MAX;
+                    for p in lo..hi {
+                        let r = self.row_of_nnz[p];
+                        if r != cur_row {
+                            if cur_row != u32::MAX {
+                                flush(cells, cur_row, acc, lo, hi);
+                            }
+                            acc.fill(T::ZERO);
+                            cur_row = r;
+                        }
+                        let brow = b.row(cols[p] as usize);
+                        let a = vals[p];
+                        for (jj, &bv) in brow.iter().enumerate() {
+                            acc[jj] += a * bv;
+                        }
+                    }
+                    if cur_row != u32::MAX {
+                        flush(cells, cur_row, acc, lo, hi);
+                        acc.fill(T::ZERO);
+                    }
+                },
+            );
         }
         Ok(c)
     }
@@ -170,11 +189,12 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
         let block_nnz = self.schedule.nnz_per_block().max(1);
         let threads = (self.schedule.warps_per_block * device.warp_size).clamp(32, 1024);
         let mut launch = LaunchSpec::new(self.name(), threads);
+        let mut scratch = BlockScratch::new();
         let mut lo = 0usize;
         while lo < nnz {
             let hi = (lo + block_nnz).min(nnz);
             let block_cols = &self.csr.col_ind()[lo..hi];
-            let unique = count_unique(block_cols) as u64 * per_row * B_UNCOALESCED_FACTOR;
+            let unique = scratch.count_unique(block_cols) as u64 * per_row * B_UNCOALESCED_FACTOR;
             let total = (hi - lo) as u64 * per_row * B_UNCOALESCED_FACTOR;
             let (b_dram, b_l2) = split_b_traffic(unique, total - unique, ws, device);
             // col/val coalesced, but TACO's generated loop re-reads them
@@ -183,7 +203,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
             let colval = 2 * segment_transactions(hi - lo, 4, device.transaction_bytes) * passes;
             // Output rows in this block; boundary rows straddling warp
             // segments are written atomically.
-            let rows_here = count_unique(&self.row_of_nnz[lo..hi]) as u64;
+            let rows_here = scratch.count_unique(&self.row_of_nnz[lo..hi]) as u64;
             let seg = self.schedule.nnz_per_warp.max(1);
             let mut boundary = 0u64;
             let mut p = lo;

@@ -1,0 +1,165 @@
+//! Edge-case and equivalence suite for the shared SpMM execution engine.
+//!
+//! Every kernel now runs on the persistent-pool engine with direct
+//! (non-atomic) output writes wherever rows have a single writer, so this
+//! suite pins down the behaviors that rewrite could have silently broken:
+//!
+//! * numeric agreement with the sequential CSR reference for every kernel
+//!   across degenerate and tiling-boundary dense widths
+//!   (`J ∈ {0, 1, 7, 33, 256}` — 256 crosses the engine's accumulator
+//!   tile);
+//! * empty buckets / empty partitions / empty matrices;
+//! * bitwise run-to-run determinism of the atomic-free paths;
+//! * the CELL single-writer fast path being bit-identical to the
+//!   forced-atomic path (the Algorithm 2 `needs_atomic` contract).
+
+use lf_cell::{build_cell, CellConfig};
+use lf_kernels::cell::{CellKernel, FusionMode};
+use lf_kernels::{
+    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
+    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+};
+use lf_sparse::gen::{mixed_regions, uniform_random, uniform_with_long_rows};
+use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
+use proptest::prelude::*;
+
+/// Every kernel in the repo, bound to the same operand.
+fn all_kernels(csr: &CsrMatrix<f64>) -> Vec<Box<dyn SpmmKernel<f64>>> {
+    vec![
+        Box::new(CsrScalarKernel::new(csr.clone())),
+        Box::new(CsrVectorKernel::new(csr.clone())),
+        Box::new(DgSparseKernel::new(csr.clone())),
+        Box::new(SputnikKernel::new(csr.clone())),
+        Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default())),
+        Box::new(EllKernel::new(EllMatrix::from_csr(csr))),
+        Box::new(SellKernel::new(SellMatrix::from_csr(csr, 16).unwrap())),
+        Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 4, 4).unwrap())),
+        Box::new(CellKernel::new(
+            build_cell(csr, &CellConfig::with_partitions(3)).unwrap(),
+        )),
+    ]
+}
+
+#[test]
+fn every_kernel_matches_reference_at_edge_widths() {
+    let mut rng = Pcg32::seed_from_u64(0xE1);
+    let csr = CsrMatrix::from_coo(&uniform_with_long_rows::<f64>(
+        160, 140, 2200, 3, 120, &mut rng,
+    ));
+    for j in [0usize, 1, 7, 33, 256] {
+        let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+        let want = csr.spmm_reference(&b).unwrap();
+        for k in all_kernels(&csr) {
+            let got = k.run(&b).unwrap();
+            assert_eq!(got.shape(), (csr.rows(), j), "{} J={j}", k.name());
+            assert!(got.approx_eq(&want, 1e-9), "{} J={j}", k.name());
+        }
+    }
+}
+
+#[test]
+fn empty_matrix_all_kernels() {
+    let csr = CsrMatrix::<f64>::empty(12, 8);
+    for j in [0usize, 1, 5] {
+        let b = DenseMatrix::zeros(8, j);
+        for k in all_kernels(&csr) {
+            let c = k.run(&b).unwrap();
+            assert_eq!(c.shape(), (12, j), "{} J={j}", k.name());
+            assert!(c.as_slice().iter().all(|&v| v == 0.0), "{}", k.name());
+        }
+    }
+}
+
+#[test]
+fn cell_handles_empty_partitions_and_buckets() {
+    // All non-zeros live in the first few columns, so with 8 column
+    // partitions most partitions hold no blocks at all.
+    let trips: Vec<(usize, usize, f64)> =
+        (0..64).map(|r| (r, r % 4, 1.0 + r as f64 * 0.25)).collect();
+    let csr = CsrMatrix::from_coo(&lf_sparse::CooMatrix::from_triplets(64, 512, trips).unwrap());
+    for fusion in [FusionMode::Full, FusionMode::PerPartition] {
+        let cell = build_cell(&csr, &CellConfig::with_partitions(8)).unwrap();
+        let k = CellKernel::with_fusion(cell, fusion);
+        let mut rng = Pcg32::seed_from_u64(0xE2);
+        let b = DenseMatrix::random(512, 9, &mut rng);
+        let got = k.run(&b).unwrap();
+        let want = csr.spmm_reference(&b).unwrap();
+        assert!(got.approx_eq(&want, 1e-9), "{fusion:?}");
+        // The analytic path also tolerates the empty partitions.
+        let launches = k.launches(9, &lf_sim::DeviceModel::v100());
+        assert!(!launches.is_empty());
+    }
+}
+
+#[test]
+fn atomic_free_paths_are_bitwise_deterministic() {
+    // Kernels whose engine path uses no atomics (single-writer rows, or
+    // single-partition unfolded CELL) must produce bit-identical results
+    // on every run, no matter how the pool interleaves workers.
+    let mut rng = Pcg32::seed_from_u64(0xE3);
+    let csr = CsrMatrix::from_coo(&uniform_random::<f64>(300, 280, 6000, &mut rng));
+    let b = DenseMatrix::random(csr.cols(), 33, &mut rng);
+    let kernels: Vec<Box<dyn SpmmKernel<f64>>> = vec![
+        Box::new(CsrScalarKernel::new(csr.clone())),
+        Box::new(CsrVectorKernel::new(csr.clone())),
+        Box::new(DgSparseKernel::new(csr.clone())),
+        Box::new(SputnikKernel::new(csr.clone())),
+        Box::new(EllKernel::new(EllMatrix::from_csr(&csr))),
+        Box::new(SellKernel::new(SellMatrix::from_csr(&csr, 32).unwrap())),
+        Box::new(BcsrKernel::new(BcsrMatrix::from_csr(&csr, 8, 8).unwrap())),
+        Box::new(CellKernel::new(
+            build_cell(&csr, &CellConfig::default()).unwrap(),
+        )),
+    ];
+    for k in kernels {
+        let first = k.run(&b).unwrap();
+        for rep in 0..3 {
+            let again = k.run(&b).unwrap();
+            assert_eq!(first.as_slice(), again.as_slice(), "{} rep={rep}", k.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Algorithm 2's `needs_atomic` contract: routing every flush through
+    /// `atomic_add` instead of honoring the single-writer fast path never
+    /// changes a single bit of the output, and both agree with the
+    /// reference. (Single-writer accumulators start at +0.0 and add onto
+    /// zero-initialized cells, so `0.0 + acc` is bitwise `acc`.)
+    #[test]
+    fn cell_plain_store_equals_forced_atomic(
+        seed in 0u64..1_000_000u64,
+        dims in (20usize..150, 20usize..150),
+        nnz in 30usize..2500,
+        p in 1usize..5,
+        j in 1usize..40,
+    ) {
+        let (rows, cols) = dims;
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let csr = CsrMatrix::from_coo(&mixed_regions::<f64>(rows, cols, nnz, 3, &mut rng));
+        let cell = build_cell(&csr, &CellConfig::with_partitions(p)).unwrap();
+        let k = CellKernel::new(cell);
+        let b = DenseMatrix::random(cols, j, &mut rng);
+        let fast = k.run(&b).unwrap();
+        let forced = k.run_forced_atomic(&b).unwrap();
+        let single_writer = k
+            .cell()
+            .partitions()
+            .iter()
+            .flat_map(|part| &part.buckets)
+            .all(|bk| !bk.needs_atomic);
+        if single_writer {
+            // No contention anywhere: the two flush modes must agree
+            // bitwise, run to run.
+            prop_assert_eq!(fast.as_slice(), forced.as_slice());
+        }
+        let want = csr.spmm_reference(&b).unwrap();
+        prop_assert!(fast.approx_eq(&want, 1e-9));
+        prop_assert!(forced.approx_eq(&want, 1e-9));
+        // The legacy engine is a third independent oracle.
+        let legacy = k.run_legacy(&b).unwrap();
+        prop_assert!(legacy.approx_eq(&want, 1e-9));
+    }
+}

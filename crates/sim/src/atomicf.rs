@@ -22,6 +22,12 @@ pub trait AtomicScalar: Scalar {
     /// Atomic `cell += v` (CAS loop).
     fn atomic_add(cell: &Self::Cell, v: Self);
 
+    /// Plain (relaxed) `cell = v` — the single-writer fast path. On
+    /// mainstream ISAs a relaxed atomic store compiles to an ordinary
+    /// store, so kernels whose output rows have exactly one writer
+    /// (`needs_atomic == false`) skip the CAS loop entirely.
+    fn store_cell(cell: &Self::Cell, v: Self);
+
     /// Read a cell (safe once writers have joined).
     fn load_cell(cell: &Self::Cell) -> Self;
 }
@@ -49,6 +55,11 @@ impl AtomicScalar for f64 {
     }
 
     #[inline]
+    fn store_cell(cell: &AtomicU64, v: f64) {
+        cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
     fn load_cell(cell: &AtomicU64) -> f64 {
         f64::from_bits(cell.load(Ordering::Relaxed))
     }
@@ -73,6 +84,11 @@ impl AtomicScalar for f32 {
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    #[inline]
+    fn store_cell(cell: &AtomicU32, v: f32) {
+        cell.store(v.to_bits(), Ordering::Relaxed);
     }
 
     #[inline]

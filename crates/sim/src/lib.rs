@@ -26,10 +26,14 @@
 //! costed by the same device, so relative results emerge from the format
 //! and mapping each system chooses.
 //!
-//! The crate also provides parallel CPU execution helpers
-//! ([`parallel::parallel_for`], [`atomicf::AtomicF64Slice`],
-//! [`atomicf::AtomicF32Slice`]) used by the kernels' *numeric* path, which
-//! computes bit-for-bit checkable results independent of the cost model.
+//! The crate also hosts the kernels' CPU **execution engine**: a
+//! persistent worker [`pool`] (spawned once per process, reused by every
+//! parallel region) underneath the [`parallel`] primitives
+//! ([`parallel::parallel_for`], [`parallel::parallel_for_init`],
+//! [`parallel::DisjointSlice`]) and the atomic accumulation buffers
+//! ([`atomicf::AtomicF64Slice`], [`atomicf::AtomicF32Slice`]). The
+//! numeric path built on these computes bit-for-bit checkable results
+//! independent of the cost model.
 
 pub mod alloc;
 pub mod atomicf;
@@ -37,6 +41,7 @@ pub mod coalesce;
 pub mod cost;
 pub mod device;
 pub mod parallel;
+pub mod pool;
 pub mod profile;
 
 pub use atomicf::AtomicScalar;

@@ -1,11 +1,28 @@
-//! Minimal data-parallel helpers on std scoped threads.
+//! Data-parallel primitives for the kernels' numeric path.
 //!
-//! The kernels' numeric path uses these instead of pulling in a full
-//! work-stealing runtime: an atomic-counter dynamic scheduler is enough
-//! for the flat, independent loops SpMM produces, and it keeps the
-//! dependency set to the crates allowed for this reproduction.
+//! All entry points dispatch onto the persistent [`crate::pool`] worker
+//! pool (spawned once per process) with atomic-counter dynamic chunked
+//! self-scheduling; the original scoped-thread path survives as an
+//! explicit fallback ([`parallel_for_scoped`], or `LF_POOL=off`) and as
+//! the baseline the execution-engine benchmarks compare against.
+//!
+//! The primitives:
+//!
+//! * [`parallel_for`] — run `body(i)` for `i in 0..n`;
+//! * [`parallel_for_init`] — like `parallel_for`, but each participating
+//!   worker first builds a private mutable state (scratch buffers,
+//!   accumulators) that is reused across all chunks it processes, which
+//!   is how kernels keep their inner loops allocation-free;
+//! * [`parallel_map`] / [`parallel_map_init`] — collect `f(i)` in index
+//!   order through disjoint in-place writes (no per-slot locks);
+//! * [`DisjointSlice`] — a shared view of a `&mut [T]` that hands out
+//!   non-overlapping `&mut` subslices to concurrent writers, the safe
+//!   alternative to per-element atomics for single-writer outputs.
 
+use crate::pool;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Default worker count: one per available core, at least 1.
 pub fn default_workers() -> usize {
@@ -14,62 +31,224 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Run `body(i)` for every `i in 0..n` using `workers` threads with
-/// dynamic (atomic-counter) chunked self-scheduling. `body` must be safe
-/// to call concurrently for distinct `i`.
+/// Whether dispatch uses the persistent pool (default) or falls back to
+/// scoped threads (`LF_POOL=off|0|scoped`).
+fn pool_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("LF_POOL").as_deref(),
+            Ok("off") | Ok("0") | Ok("scoped")
+        )
+    })
+}
+
+/// Chunk size for dynamic self-scheduling: ~16 chunks per worker keeps
+/// scheduling overhead low while preserving balance.
+fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / (workers * 16)).max(1)
+}
+
+/// Run `body(i)` for every `i in 0..n` using up to `workers` concurrent
+/// executors. `body` must be safe to call concurrently for distinct `i`.
 pub fn parallel_for<F>(n: usize, workers: usize, body: F)
 where
     F: Fn(usize) + Sync,
 {
-    let workers = workers.max(1).min(n.max(1));
+    parallel_for_init(n, workers, || (), |(), i| body(i));
+}
+
+/// Run `body(&mut state, i)` for every `i in 0..n`, where each
+/// participating executor builds one private `state = init()` lazily on
+/// its first chunk and reuses it for all subsequent chunks.
+///
+/// This is the engine's allocation-amortization primitive: a kernel pays
+/// for its scratch buffers once per worker per region instead of once
+/// per row.
+pub fn parallel_for_init<S, I, F>(n: usize, workers: usize, init: I, body: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
     if n == 0 {
         return;
     }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        let mut state = init();
+        for i in 0..n {
+            body(&mut state, i);
+        }
+        return;
+    }
+    let chunk = chunk_size(n, workers);
+    let counter = AtomicUsize::new(0);
+    let executor = || {
+        // Lazy init: an executor that never wins a chunk never pays.
+        let mut state: Option<S> = None;
+        loop {
+            let start = counter.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let state = state.get_or_insert_with(&init);
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                body(state, i);
+            }
+        }
+    };
+    if pool_enabled() {
+        pool::global().broadcast(workers - 1, &executor);
+    } else {
+        scoped_broadcast(workers, &executor);
+    }
+}
+
+/// The pre-pool execution path: run `f` on the calling thread plus
+/// `workers - 1` freshly spawned scoped threads. Kept as a fallback and
+/// as the baseline engine for benchmark comparisons.
+pub fn parallel_for_scoped<F>(n: usize, workers: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
     if workers == 1 {
         for i in 0..n {
             body(i);
         }
         return;
     }
-    // Chunk size balances scheduling overhead against balance: aim for
-    // ~16 chunks per worker.
-    let chunk = (n / (workers * 16)).max(1);
+    let chunk = chunk_size(n, workers);
     let counter = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    body(i);
-                }
-            });
+    scoped_broadcast(workers, &|| loop {
+        let start = counter.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            body(i);
         }
     });
 }
 
+fn scoped_broadcast(workers: usize, f: &(dyn Fn() + Sync)) {
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(f);
+        }
+        f();
+    });
+}
+
 /// Parallel map over `0..n` collecting results in index order.
+///
+/// Results are written straight into the output buffer through disjoint
+/// raw-pointer writes — each index is produced by exactly one executor —
+/// replacing the earlier `Mutex`-per-slot workaround (uncontended, but a
+/// lock plus a cache-line bounce per element).
 pub fn parallel_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
-    T: Send + Default + Clone,
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut out = vec![T::default(); n];
-    {
-        let slots: Vec<std::sync::Mutex<&mut T>> =
-            out.iter_mut().map(std::sync::Mutex::new).collect();
-        // Each index is touched by exactly one task, so the mutexes are
-        // uncontended; they exist only to satisfy the borrow checker for
-        // disjoint writes through a shared reference.
-        parallel_for(n, workers, |i| {
-            let mut guard = slots[i].lock().expect("uncontended slot");
-            **guard = f(i);
-        });
-    }
+    parallel_map_init(n, workers, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker reusable state (see
+/// [`parallel_for_init`]).
+pub fn parallel_map_init<S, T, I, F>(n: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let base = SendPtr(out.as_mut_ptr());
+    parallel_for_init(n, workers, init, |state, i| {
+        // SAFETY: `i` is produced exactly once by the parallel_for
+        // contract, and `i < n <= capacity`, so writes are in-bounds and
+        // disjoint. Written slots are only exposed via `set_len` below,
+        // after all writers joined. A panic mid-region leaks (never
+        // drops) partially written elements — safe, just not tidy.
+        unsafe { base.write_at(i, f(state, i)) };
+    });
+    // SAFETY: all n slots were initialized above.
+    unsafe { out.set_len(n) };
     out
+}
+
+/// Raw-pointer wrapper so disjoint writers can share one output buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `i` must be in-bounds and written by exactly one thread.
+    unsafe fn write_at(&self, i: usize, value: T) {
+        self.0.add(i).write(value);
+    }
+}
+
+/// A shared view over a `&mut [T]` that concurrent workers carve
+/// **non-overlapping** mutable subslices out of.
+///
+/// This is the plain-store fast path for kernels whose output rows have
+/// a single writer (CSR/ELL/SELL rows, non-atomic CELL buckets): instead
+/// of routing every scalar through an atomic CAS, a worker takes its
+/// row's subslice once and uses ordinary loads/stores.
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is only through `slice_mut`, whose contract requires
+// callers to hand out disjoint ranges; T: Send makes cross-thread
+// mutation of disjoint elements sound.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wrap an exclusively borrowed slice.
+    pub fn new(data: &'a mut [T]) -> Self {
+        DisjointSlice {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Total length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow `[start, start + len)` mutably.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no two concurrently live calls
+    /// overlap. The range itself is bounds-checked.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start <= self.len && len <= self.len - start,
+            "disjoint slice range {start}+{len} out of bounds (len {})",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +267,19 @@ mod tests {
     }
 
     #[test]
+    fn scoped_fallback_covers_every_index() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_scoped(n, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn zero_iterations() {
         parallel_for(0, 8, |_| panic!("must not run"));
+        parallel_for_scoped(0, 8, |_| panic!("must not run"));
     }
 
     #[test]
@@ -110,6 +300,50 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_non_default_types() {
+        // The old implementation required Default + Clone; the disjoint
+        // write path must not.
+        struct NoDefault(String);
+        let v = parallel_map(100, 4, |i| NoDefault(format!("x{i}")));
+        assert_eq!(v[42].0, "x42");
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn parallel_map_init_reuses_state() {
+        // Each worker's scratch grows monotonically: states are reused,
+        // never rebuilt per item.
+        let v = parallel_map_init(500, 4, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i);
+            (i, scratch.len())
+        });
+        assert_eq!(v.len(), 500);
+        for (i, &(idx, uses)) in v.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert!(uses >= 1);
+        }
+        // Total scratch uses across items equals n, and at least one
+        // state must have served many items (chunks are reused).
+        let max_uses = v.iter().map(|&(_, u)| u).max().unwrap();
+        assert!(max_uses > 1, "scratch must be reused across items");
+    }
+
+    #[test]
+    fn parallel_for_init_builds_at_most_one_state_per_worker() {
+        let inits = AtomicU64::new(0);
+        parallel_for_init(
+            10_000,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _| {},
+        );
+        let built = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&built), "states built: {built}");
+    }
+
+    #[test]
     fn workers_clamped_to_n() {
         // More workers than items must not deadlock or double-run.
         let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
@@ -122,5 +356,46 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn disjoint_slice_concurrent_row_writes() {
+        let rows = 64;
+        let width = 33;
+        let mut data = vec![0u64; rows * width];
+        {
+            let view = DisjointSlice::new(&mut data);
+            parallel_for(rows, 8, |r| {
+                // SAFETY: each r is visited once; rows are disjoint.
+                let row = unsafe { view.slice_mut(r * width, width) };
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = (r * width + c) as u64;
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slice_bounds_checked() {
+        let mut data = vec![0u8; 8];
+        let view = DisjointSlice::new(&mut data);
+        let _ = unsafe { view.slice_mut(6, 4) };
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        // A body that itself opens a parallel region must not deadlock
+        // the pool.
+        let total = AtomicU64::new(0);
+        parallel_for(8, 4, |_| {
+            parallel_for(8, 4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
     }
 }

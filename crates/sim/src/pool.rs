@@ -1,0 +1,311 @@
+//! A persistent worker-thread pool for the kernels' numeric path.
+//!
+//! The original execution layer spawned and joined fresh OS threads on
+//! every `parallel_for` call — `CellKernel::run` paid that cost once per
+//! bucket, so a p=32 CELL build crossed hundreds of spawn/join barriers
+//! per multiply. This pool spawns its workers once (lazily, on first
+//! use) and reuses them for every subsequent parallel region: a dispatch
+//! is a mutex-protected slot publish plus a condvar wake, two orders of
+//! magnitude cheaper than thread creation.
+//!
+//! Design:
+//!
+//! * [`ThreadPool::broadcast`] runs one closure on the calling thread
+//!   *and* on up to `helpers` pool workers; every participant pulls
+//!   chunks from the caller's shared atomic counter, so work distribution
+//!   stays the same dynamic self-scheduling the scoped path used.
+//! * The job slot holds a type-erased pointer to the caller's closure.
+//!   The caller never returns before every joined worker has exited the
+//!   closure (a per-job active-count latch), which is what makes the
+//!   borrowed, non-`'static` closure sound.
+//! * Concurrent or nested `broadcast` calls are permitted: a new job
+//!   simply replaces the slot. A job that loses the slot before workers
+//!   joined still completes — the submitting thread always executes the
+//!   closure itself, so progress never depends on a pool worker.
+//! * The global pool ([`global`]) lives for the process. Locally
+//!   constructed pools (tests) shut their workers down on drop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to a caller-owned `dyn Fn() + Sync` closure.
+///
+/// Sound to send across threads because the submitting thread keeps the
+/// closure alive until the job's active-count latch reaches zero.
+struct RawFn(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the pointer
+// is only dereferenced while the owning `broadcast` frame is blocked in
+// `wait_idle`, so the borrow outlives every use.
+unsafe impl Send for RawFn {}
+unsafe impl Sync for RawFn {}
+
+/// One published parallel region.
+struct Job {
+    body: RawFn,
+    /// Worker slots left; a worker joins only after winning one.
+    slots: AtomicUsize,
+    /// Workers currently inside `body` (latch for the submitter).
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Job {
+    fn wait_idle(&self) {
+        let mut active = self.active.lock().expect("pool latch poisoned");
+        while *active > 0 {
+            active = self.idle.wait(active).expect("pool latch poisoned");
+        }
+    }
+}
+
+struct PoolState {
+    /// Bumped on every publish so parked workers can tell jobs apart.
+    epoch: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A pool of parked worker threads executing broadcast parallel regions.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` parked workers (0 is allowed: every
+    /// broadcast then runs entirely on the calling thread).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("lf-pool-worker".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of pool worker threads (excluding callers).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `body` on the calling thread and on up to `helpers` pool
+    /// workers, returning once every participant has exited `body`.
+    ///
+    /// `body` must be safe to execute concurrently with itself; callers
+    /// coordinate actual work division (typically via a shared atomic
+    /// chunk counter).
+    pub fn broadcast(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        let helpers = helpers.min(self.handles.len());
+        if helpers == 0 {
+            body();
+            return;
+        }
+        // Erase the borrow's lifetime so the job can live in the slot;
+        // `wait_idle` below keeps the pointee alive for every use.
+        let body_ptr: *const (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn() + Sync)) };
+        let job = Arc::new(Job {
+            body: RawFn(body_ptr),
+            slots: AtomicUsize::new(helpers),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.epoch += 1;
+            st.job = Some(Arc::clone(&job));
+        }
+        self.shared.work_ready.notify_all();
+        // The submitter always participates, so the region completes even
+        // if every worker is busy elsewhere.
+        body();
+        {
+            // Unpublish so late-waking workers cannot join, then wait for
+            // the ones that did join to leave the closure.
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            if st
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, &job))
+            {
+                st.job = None;
+            }
+        }
+        job.wait_idle();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    if let Some(job) = st.job.as_ref() {
+                        // Win a helper slot; losers keep waiting for the
+                        // next epoch.
+                        if job
+                            .slots
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                                s.checked_sub(1)
+                            })
+                            .is_ok()
+                        {
+                            let job = Arc::clone(job);
+                            // Count in while still holding the pool lock:
+                            // the submitter unpublishes under this lock,
+                            // so it cannot observe the latch before this
+                            // increment.
+                            *job.active.lock().expect("pool latch poisoned") += 1;
+                            break job;
+                        }
+                    }
+                }
+                st = shared.work_ready.wait(st).expect("pool state poisoned");
+            }
+        };
+        // SAFETY: the submitter blocks in `wait_idle` until our decrement
+        // below, so the pointee is alive for the whole call.
+        unsafe { (&*job.body.0)() };
+        let mut active = job.active.lock().expect("pool latch poisoned");
+        *active -= 1;
+        if *active == 0 {
+            job.idle.notify_all();
+        }
+    }
+}
+
+/// Worker count for the process-wide pool: one per available core beyond
+/// the caller, but at least 3 so concurrency paths (atomics, disjoint
+/// writes) are genuinely exercised even on single-core hosts.
+/// Overridable with `LF_POOL_WORKERS`.
+fn global_pool_threads() -> usize {
+    if let Ok(v) = std::env::var("LF_POOL_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .saturating_sub(1)
+        .max(3)
+}
+
+/// The process-wide pool, spawned on first use and never torn down.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(global_pool_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_on_caller_and_helpers() {
+        let pool = ThreadPool::new(3);
+        let runs = AtomicU64::new(0);
+        pool.broadcast(3, &|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        let r = runs.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&r), "runs={r}");
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let runs = AtomicU64::new(0);
+        pool.broadcast(8, &|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_workers() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..100 {
+            let counter = AtomicUsize::new(0);
+            let total = 1000usize;
+            pool.broadcast(2, &|| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+            });
+            assert!(counter.load(Ordering::Relaxed) >= total);
+        }
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn nested_broadcast_completes() {
+        let pool = ThreadPool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.broadcast(2, &|| {
+            // A nested region must complete even with all workers busy.
+            let inner = AtomicU64::new(0);
+            global().broadcast(1, &|| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(inner.load(Ordering::Relaxed) >= 1);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        pool.broadcast(4, &|| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 3);
+    }
+}

@@ -3,8 +3,20 @@
 #
 # Run from the repo root. Fails fast on the first broken stage so CI and
 # pre-commit hooks get a single unambiguous exit code.
+#
+# Optional: `scripts/verify.sh --bench` appends a seconds-scale benchmark
+# smoke (bench_spmm --quick at reduced sizes) that fails if the pooled
+# SpMM engine catastrophically regresses against the legacy path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -17,5 +29,10 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$RUN_BENCH" == "1" ]]; then
+  echo "==> bench smoke (bench_spmm --quick)"
+  cargo run --release -p lf-bench --bin bench_spmm -- --quick
+fi
 
 echo "verify: OK"
