@@ -387,6 +387,26 @@ mod tests {
     }
 
     #[test]
+    fn body_panic_propagates_instead_of_hanging() {
+        // An assert/index panic inside a region body must become a test
+        // failure on the submitting thread — not a pool hang or UB — and
+        // the engine must stay usable afterwards.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for(1000, 4, |i| {
+                if i == 567 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "body panic must propagate");
+        let hits = AtomicU64::new(0);
+        parallel_for(100, 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
     fn nested_parallel_for_completes() {
         // A body that itself opens a parallel region must not deadlock
         // the pool.

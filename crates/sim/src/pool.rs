@@ -22,12 +22,25 @@
 //!   simply replaces the slot. A job that loses the slot before workers
 //!   joined still completes — the submitting thread always executes the
 //!   closure itself, so progress never depends on a pool worker.
+//! * Panics are contained: a worker catches an unwinding body and hands
+//!   the payload to the submitter (re-raised after the region joins), and
+//!   the submitter's own unwind still unpublishes the job and waits for
+//!   joined workers via a drop guard, so the borrowed closure can never
+//!   dangle and the pool keeps all its threads.
 //! * The global pool ([`global`]) lives for the process. Locally
 //!   constructed pools (tests) shut their workers down on drop.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+
+/// Lock a mutex, ignoring poison: pool state stays consistent across
+/// panics by construction (no invariants are broken mid-update), and the
+/// cleanup paths below must not double-panic while already unwinding.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Type-erased pointer to a caller-owned `dyn Fn() + Sync` closure.
 ///
@@ -49,13 +62,57 @@ struct Job {
     /// Workers currently inside `body` (latch for the submitter).
     active: Mutex<usize>,
     idle: Condvar,
+    /// First panic payload caught on a worker, re-raised by the submitter
+    /// once the region has joined.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Job {
     fn wait_idle(&self) {
-        let mut active = self.active.lock().expect("pool latch poisoned");
+        let mut active = lock_unpoisoned(&self.active);
         while *active > 0 {
-            active = self.idle.wait(active).expect("pool latch poisoned");
+            active = self
+                .idle
+                .wait(active)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Panic-safe completion of a published broadcast.
+///
+/// Runs the unpublish + `wait_idle` steps on drop, so they execute even
+/// while the submitter's closure is unwinding — otherwise a late-waking
+/// worker could dereference the lifetime-erased body pointer after the
+/// submitting stack frame (closure, chunk counter) is dead.
+struct BroadcastGuard<'a> {
+    shared: &'a Shared,
+    job: &'a Arc<Job>,
+}
+
+impl Drop for BroadcastGuard<'_> {
+    fn drop(&mut self) {
+        {
+            // Unpublish so late-waking workers cannot join, then wait for
+            // the ones that did join to leave the closure.
+            let mut st = lock_unpoisoned(&self.shared.state);
+            if st
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, self.job))
+            {
+                st.job = None;
+            }
+        }
+        self.job.wait_idle();
+        // Re-raise a worker-side panic on the submitting thread — unless
+        // the submitter's own body already panicked, in which case that
+        // unwind (currently in flight) takes precedence.
+        if !std::thread::panicking() {
+            let payload = lock_unpoisoned(&self.job.panic).take();
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 }
@@ -128,36 +185,32 @@ impl ThreadPool {
             slots: AtomicUsize::new(helpers),
             active: Mutex::new(0),
             idle: Condvar::new(),
+            panic: Mutex::new(None),
         });
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_unpoisoned(&self.shared.state);
             st.epoch += 1;
             st.job = Some(Arc::clone(&job));
         }
         self.shared.work_ready.notify_all();
+        // From here on the cleanup (unpublish + wait_idle) must run even
+        // if `body` unwinds, so it lives in a drop guard.
+        let guard = BroadcastGuard {
+            shared: &self.shared,
+            job: &job,
+        };
         // The submitter always participates, so the region completes even
         // if every worker is busy elsewhere.
         body();
-        {
-            // Unpublish so late-waking workers cannot join, then wait for
-            // the ones that did join to leave the closure.
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
-            if st
-                .job
-                .as_ref()
-                .is_some_and(|current| Arc::ptr_eq(current, &job))
-            {
-                st.job = None;
-            }
-        }
-        job.wait_idle();
+        // Unpublish, wait for joined workers, re-raise any worker panic.
+        drop(guard);
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_unpoisoned(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -171,7 +224,7 @@ fn worker_loop(shared: &Shared) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_unpoisoned(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -193,18 +246,29 @@ fn worker_loop(shared: &Shared) {
                             // the submitter unpublishes under this lock,
                             // so it cannot observe the latch before this
                             // increment.
-                            *job.active.lock().expect("pool latch poisoned") += 1;
+                            *lock_unpoisoned(&job.active) += 1;
                             break job;
                         }
                     }
                 }
-                st = shared.work_ready.wait(st).expect("pool state poisoned");
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the submitter blocks in `wait_idle` until our decrement
-        // below, so the pointee is alive for the whole call.
-        unsafe { (&*job.body.0)() };
-        let mut active = job.active.lock().expect("pool latch poisoned");
+        // below (its drop guard runs that wait even while the submitter's
+        // own body call unwinds), so the pointee is alive for the whole
+        // call. An unwinding body is caught here: skipping the decrement
+        // would hang the submitter forever and kill this worker thread.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (&*job.body.0)() }));
+        if let Err(payload) = result {
+            // First panic wins; the submitter re-raises it after joining.
+            lock_unpoisoned(&job.panic).get_or_insert(payload);
+        }
+        let mut active = lock_unpoisoned(&job.active);
         *active -= 1;
         if *active == 0 {
             job.idle.notify_all();
@@ -292,6 +356,62 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn submitter_panic_unwinds_cleanly_and_pool_survives() {
+        // A panicking body on the submitting thread must still unpublish
+        // the job and wait for joined workers (the drop guard), so no
+        // worker can dereference the dead stack frame. Iterate to stress
+        // the late-waking-worker window.
+        let pool = ThreadPool::new(2);
+        for _ in 0..50 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.broadcast(2, &|| {
+                    if std::thread::current().name() != Some("lf-pool-worker") {
+                        panic!("submitter body panic");
+                    }
+                });
+            }));
+            assert!(caught.is_err(), "submitter panic must propagate");
+        }
+        let runs = AtomicU64::new(0);
+        pool.broadcast(2, &|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(runs.load(Ordering::Relaxed) >= 1);
+        drop(pool); // must still join cleanly
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let entered = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(2, &|| {
+                if std::thread::current().name() == Some("lf-pool-worker") {
+                    entered.fetch_add(1, Ordering::Relaxed);
+                    panic!("worker body panic");
+                }
+                // Submitter: hold the region open until a worker joined,
+                // so the panic deterministically lands inside this job.
+                while entered.load(Ordering::Relaxed) == 0 {
+                    std::thread::yield_now();
+                }
+            });
+        }));
+        assert!(
+            caught.is_err(),
+            "worker panic must surface to the submitter"
+        );
+        // The worker caught the unwind and keeps serving jobs; the
+        // submitter is not hung in wait_idle.
+        let runs = AtomicU64::new(0);
+        pool.broadcast(2, &|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(runs.load(Ordering::Relaxed) >= 1);
+        drop(pool); // must still join cleanly
     }
 
     #[test]
