@@ -1,0 +1,110 @@
+//! Degenerate-input regression suite for column spans and `build_cell`.
+//!
+//! The contract under test: a requested partition count of `0` is a
+//! *documented error* (`CellConfig::validate`), while every other
+//! degenerate input — partitions exceeding the column count, zero-row /
+//! zero-column / empty matrices — produces a **valid clamped plan**, not
+//! a panic. The span module is the single source of truth for clamping,
+//! so its edge behavior is pinned here explicitly.
+
+use lf_cell::{
+    build_cell, build_cell_reference, effective_partitions, partition_spans, CellConfig, SpanMap,
+};
+use lf_sparse::gen::mixed_regions;
+use lf_sparse::{CsrMatrix, Pcg32, SparseError};
+
+#[test]
+fn effective_partitions_clamps_both_ends() {
+    // p=0 floors at 1; p>cols caps at cols; cols=0 still yields 1.
+    assert_eq!(effective_partitions(10, 0), 1);
+    assert_eq!(effective_partitions(10, 3), 3);
+    assert_eq!(effective_partitions(10, 10), 10);
+    assert_eq!(effective_partitions(10, 11), 10);
+    assert_eq!(effective_partitions(10, usize::MAX), 10);
+    assert_eq!(effective_partitions(0, 0), 1);
+    assert_eq!(effective_partitions(0, 5), 1);
+    assert_eq!(effective_partitions(1, 64), 1);
+}
+
+#[test]
+fn partition_spans_cover_columns_exactly() {
+    for cols in [0usize, 1, 2, 7, 10, 64] {
+        for p in [0usize, 1, 2, 5, 10, 100] {
+            let spans = partition_spans(cols, p);
+            assert_eq!(spans.len(), effective_partitions(cols, p));
+            // Spans tile [0, cols) contiguously with no gaps.
+            assert_eq!(spans[0].0, 0, "cols={cols} p={p}");
+            assert_eq!(spans.last().unwrap().1, cols, "cols={cols} p={p}");
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "cols={cols} p={p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn span_map_agrees_with_spans_on_degenerate_counts() {
+    for cols in [1usize, 3, 17] {
+        for p in [0usize, 1, cols, cols + 1, 10 * cols] {
+            let map = SpanMap::new(cols, p);
+            let spans = partition_spans(cols, p);
+            assert_eq!(map.num_partitions(), spans.len());
+            for col in 0..cols {
+                let pi = map.of_col(col);
+                let (lo, hi) = spans[pi];
+                assert!(
+                    (lo..hi).contains(&col),
+                    "cols={cols} p={p} col={col} mapped to [{lo},{hi})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_partitions_is_a_documented_error_not_a_panic() {
+    let mut rng = Pcg32::seed_from_u64(1);
+    let csr: CsrMatrix<f64> = CsrMatrix::from_coo(&mixed_regions(40, 40, 300, 4, &mut rng));
+    let err = build_cell(&csr, &CellConfig::with_partitions(0)).unwrap_err();
+    assert!(
+        matches!(err, SparseError::InvalidConfig(_)),
+        "expected InvalidConfig, got {err:?}"
+    );
+    let err = build_cell_reference(&csr, &CellConfig::with_partitions(0)).unwrap_err();
+    assert!(matches!(err, SparseError::InvalidConfig(_)));
+}
+
+#[test]
+fn partitions_beyond_columns_clamp_to_a_valid_plan() {
+    let mut rng = Pcg32::seed_from_u64(2);
+    let cols = 12;
+    let csr: CsrMatrix<f64> = CsrMatrix::from_coo(&mixed_regions(50, cols, 250, 3, &mut rng));
+    for p in [cols, cols + 1, 64, 10_000] {
+        let cell = build_cell(&csr, &CellConfig::with_partitions(p)).unwrap();
+        assert_eq!(cell.partitions().len(), cols, "p={p} must clamp to cols");
+        assert_eq!(cell.nnz(), csr.nnz(), "p={p}");
+        // The clamped layout still stores exactly the original matrix.
+        let back = cell.to_csr();
+        assert_eq!(back.row_ptr(), csr.row_ptr(), "p={p}");
+        assert_eq!(back.col_ind(), csr.col_ind(), "p={p}");
+        assert_eq!(back.values(), csr.values(), "p={p}");
+    }
+}
+
+#[test]
+fn empty_and_zero_dimension_matrices_build_degenerate_plans() {
+    for (rows, cols) in [(0usize, 0usize), (0, 9), (9, 0), (16, 16)] {
+        let csr = CsrMatrix::<f64>::empty(rows, cols);
+        for p in [1usize, 3, 8] {
+            let cell = build_cell(&csr, &CellConfig::with_partitions(p)).unwrap();
+            assert_eq!(cell.shape(), (rows, cols), "{rows}x{cols} p={p}");
+            assert_eq!(cell.nnz(), 0);
+            assert_eq!(cell.partitions().len(), effective_partitions(cols, p));
+            assert!(
+                cell.partitions().iter().all(|part| part.buckets.is_empty()),
+                "{rows}x{cols} p={p}: empty matrix must have no buckets"
+            );
+            assert_eq!(cell.to_csr().nnz(), 0);
+        }
+    }
+}

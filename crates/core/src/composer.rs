@@ -70,6 +70,142 @@ impl<T> CompositionPlan<T> {
     }
 }
 
+impl<T: AtomicScalar> CompositionPlan<T> {
+    /// Finish the plan into its executable form: bind the chosen kernel
+    /// to its operand so the plan can run against any number of dense
+    /// operands without re-running selection, width search, or
+    /// construction. `csr` is only cloned on the fixed-CSR path (the
+    /// CELL path moves the already-built buckets into the kernel).
+    pub fn into_prepared(self, csr: &CsrMatrix<T>, tuned_j: usize) -> PreparedPlan<T> {
+        let kernel = match self.kind {
+            PlanKind::Cell { config, cell } => PreparedKernel::Cell {
+                config,
+                kernel: CellKernel::new(cell),
+            },
+            PlanKind::FixedCsr => PreparedKernel::FixedCsr(CsrVectorKernel::new(csr.clone())),
+        };
+        PreparedPlan {
+            kernel,
+            tuned_j,
+            overhead: self.overhead,
+            profile: self.profile,
+        }
+    }
+}
+
+enum PreparedKernel<T: AtomicScalar> {
+    Cell {
+        config: CellConfig,
+        kernel: CellKernel<T>,
+    },
+    FixedCsr(CsrVectorKernel<T>),
+}
+
+/// The executable half of a composition: the chosen kernel with its
+/// operand already materialized in the chosen format.
+///
+/// This is the unit the serving layer (`lf-serve`) caches and reuses:
+/// building one pays the full Figure-2 pipeline once (recorded in
+/// [`PreparedPlan::overhead`] / [`PreparedPlan::profile`]); every
+/// subsequent [`PreparedPlan::run`] is a pure kernel execution with no
+/// re-validation, feature extraction, or construction cost.
+pub struct PreparedPlan<T: AtomicScalar> {
+    kernel: PreparedKernel<T>,
+    /// Dense-operand width the plan was tuned for (Algorithm 3's `j`).
+    /// The plan stays *correct* for any width, but bucket widths are only
+    /// optimal near `tuned_j`.
+    pub tuned_j: usize,
+    /// Wall-clock overhead breakdown of the one-off construction.
+    pub overhead: OverheadBreakdown,
+    /// Per-stage wall clock and allocation counters of the construction.
+    pub profile: PreprocessProfile,
+}
+
+impl<T: AtomicScalar> PreparedPlan<T> {
+    /// Wrap an already-built CELL matrix (used by planners that bypass
+    /// the trained pipeline, e.g. fixed-configuration serving).
+    pub fn from_cell(config: CellConfig, cell: CellMatrix<T>, profile: PreprocessProfile) -> Self {
+        PreparedPlan {
+            kernel: PreparedKernel::Cell {
+                config,
+                kernel: CellKernel::new(cell),
+            },
+            tuned_j: 0,
+            overhead: profile.overhead(),
+            profile,
+        }
+    }
+
+    /// Wrap a fixed-CSR execution (no composition).
+    pub fn from_csr(csr: CsrMatrix<T>, profile: PreprocessProfile) -> Self {
+        PreparedPlan {
+            kernel: PreparedKernel::FixedCsr(CsrVectorKernel::new(csr)),
+            tuned_j: 0,
+            overhead: profile.overhead(),
+            profile,
+        }
+    }
+
+    /// Set the width the plan was tuned for (builder style).
+    pub fn with_tuned_j(mut self, j: usize) -> Self {
+        self.tuned_j = j;
+        self
+    }
+
+    /// The bound kernel as a trait object (name, shape, launches, ...).
+    pub fn kernel(&self) -> &dyn SpmmKernel<T> {
+        match &self.kernel {
+            PreparedKernel::Cell { kernel, .. } => kernel,
+            PreparedKernel::FixedCsr(kernel) => kernel,
+        }
+    }
+
+    /// `true` when the plan composes CELL.
+    pub fn uses_cell(&self) -> bool {
+        matches!(self.kernel, PreparedKernel::Cell { .. })
+    }
+
+    /// The CELL configuration, when the plan composes CELL.
+    pub fn cell_config(&self) -> Option<&CellConfig> {
+        match &self.kernel {
+            PreparedKernel::Cell { config, .. } => Some(config),
+            PreparedKernel::FixedCsr(_) => None,
+        }
+    }
+
+    /// Shape `(rows, cols)` of the sparse operand.
+    pub fn shape(&self) -> (usize, usize) {
+        self.kernel().shape()
+    }
+
+    /// Device bytes retained by the plan's sparse operand in its chosen
+    /// format — the quantity the serving layer's byte budget charges.
+    pub fn format_bytes(&self) -> usize {
+        self.kernel().format_bytes()
+    }
+
+    /// Execute `C = A · B` with the prebuilt kernel.
+    pub fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.kernel().run(b)
+    }
+
+    /// Simulated kernel profile for a dense operand of `j` columns.
+    pub fn kernel_profile(&self, j: usize, device: &DeviceModel) -> KernelProfile {
+        self.kernel().profile(j, device)
+    }
+}
+
+impl<T: AtomicScalar> std::fmt::Debug for PreparedPlan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedPlan")
+            .field("kernel", &self.kernel().name())
+            .field("shape", &self.shape())
+            .field("tuned_j", &self.tuned_j)
+            .field("format_bytes", &self.format_bytes())
+            .finish()
+    }
+}
+
 /// The assembled LiteForm pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LiteForm {
@@ -152,6 +288,14 @@ impl LiteForm {
         }
     }
 
+    /// Run the Figure-2 pipeline and bind the result to its kernel: the
+    /// plan-build half of the build/execute split. The returned
+    /// [`PreparedPlan`] can run against any conforming `B` without
+    /// re-paying composition (the serving layer caches exactly this).
+    pub fn prepare<T: AtomicScalar>(&self, csr: &CsrMatrix<T>, j: usize) -> PreparedPlan<T> {
+        self.compose(csr, j).into_prepared(csr, j)
+    }
+
     /// Compose and execute `C = A · B`, returning the result, the
     /// simulated kernel profile, and the plan's overhead accounting.
     pub fn spmm<T: AtomicScalar>(
@@ -159,35 +303,16 @@ impl LiteForm {
         csr: &CsrMatrix<T>,
         b: &DenseMatrix<T>,
     ) -> Result<(DenseMatrix<T>, KernelProfile, OverheadBreakdown)> {
-        let plan = self.compose(csr, b.cols());
-        match plan.kind {
-            PlanKind::Cell { cell, .. } => {
-                let kernel = CellKernel::new(cell);
-                let c = kernel.run(b)?;
-                let profile = kernel.profile(b.cols(), &self.device);
-                Ok((c, profile, plan.overhead))
-            }
-            PlanKind::FixedCsr => {
-                let kernel = CsrVectorKernel::new(csr.clone());
-                let c = kernel.run(b)?;
-                let profile = kernel.profile(b.cols(), &self.device);
-                Ok((c, profile, plan.overhead))
-            }
-        }
+        let plan = self.prepare(csr, b.cols());
+        let c = plan.run(b)?;
+        let profile = plan.kernel_profile(b.cols(), &self.device);
+        Ok((c, profile, plan.overhead))
     }
 
     /// Simulated kernel time of whatever the pipeline picks (no numeric
     /// execution) — the quantity the evaluation harnesses sweep.
     pub fn simulated_time_ms<T: AtomicScalar>(&self, csr: &CsrMatrix<T>, j: usize) -> f64 {
-        let plan = self.compose(csr, j);
-        match plan.kind {
-            PlanKind::Cell { cell, .. } => CellKernel::new(cell).profile(j, &self.device).time_ms,
-            PlanKind::FixedCsr => {
-                CsrVectorKernel::new(csr.clone())
-                    .profile(j, &self.device)
-                    .time_ms
-            }
-        }
+        self.prepare(csr, j).kernel_profile(j, &self.device).time_ms
     }
 }
 
@@ -295,6 +420,29 @@ mod tests {
             assert!(plan.profile.build.alloc_bytes > 0);
             assert!(plan.profile.width_search.alloc_calls >= 1);
         }
+    }
+
+    #[test]
+    fn prepared_plan_reuses_across_operands() {
+        // The build/execute split: one prepare, many runs, each matching
+        // the reference — and the prepared kernel mirrors the plan the
+        // composer would have made.
+        let lf = tiny_pipeline();
+        let mut rng = Pcg32::seed_from_u64(21);
+        let csr: CsrMatrix<f32> =
+            CsrMatrix::from_coo(&lf_sparse::gen::mixed_regions(350, 350, 7000, 4, &mut rng));
+        let plan = lf.prepare(&csr, 64);
+        assert_eq!(plan.tuned_j, 64);
+        assert_eq!(plan.shape(), csr.shape());
+        assert!(plan.format_bytes() > 0);
+        assert_eq!(plan.uses_cell(), lf.compose(&csr, 64).uses_cell());
+        for j in [3usize, 64, 100] {
+            let b = DenseMatrix::random(350, j, &mut rng);
+            let c = plan.run(&b).unwrap();
+            let want = csr.spmm_reference(&b).unwrap();
+            assert!(c.approx_eq(&want, 1e-3), "j={j}");
+        }
+        assert!(plan.kernel_profile(64, &lf.device).time_ms > 0.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod profile;
 pub mod selector;
 pub mod training;
 
-pub use composer::{CompositionPlan, LiteForm, OverheadBreakdown, PlanKind};
+pub use composer::{CompositionPlan, LiteForm, OverheadBreakdown, PlanKind, PreparedPlan};
 pub use predictor::PartitionPredictor;
 pub use pretrained::ModelBundle;
 pub use profile::{PreprocessProfile, StageStats};

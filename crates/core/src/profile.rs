@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn measure_counts_time_and_allocations() {
         let (len, stats) = StageStats::measure(|| {
-            let v: Vec<u64> = (0..50_000).collect();
+            // black_box keeps the optimizer from eliding the allocation
+            // in release builds.
+            let v: Vec<u64> = std::hint::black_box((0..50_000).collect());
             v.len()
         });
         assert_eq!(len, 50_000);

@@ -1,0 +1,87 @@
+//! Differential fuzzing: every kernel vs. the sequential CSR reference.
+//!
+//! Each iteration draws one structure-aware [`fuzz_case`] — the
+//! [`PatternFamily`] corpus shapes plus degenerate geometry (zero rows,
+//! zero columns, empty matrices, mostly-empty rows, one dense row,
+//! duplicate-heavy streams, extreme aspect ratios) — builds **all nine**
+//! kernels on it, and requires every result to match
+//! `CsrMatrix::spmm_reference` within the engine suite's 1e-9 bound.
+//!
+//! Run with `cargo test -p lf-kernels fuzz_differential`. The default
+//! iteration count is CI-sized but covers every structural class
+//! (classes rotate with the seed); `LF_FUZZ_ITERS=2000` (see
+//! `scripts/verify.sh --stress`) widens the sweep. Every failure message
+//! carries the seed, which reproduces the case exactly.
+
+use lf_cell::{build_cell, CellConfig};
+use lf_kernels::cell::CellKernel;
+use lf_kernels::{
+    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
+    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+};
+use lf_sparse::gen::{fuzz_case, FUZZ_CLASSES};
+use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
+
+/// Every kernel in the repo, bound to the same operand.
+fn all_kernels(csr: &CsrMatrix<f64>) -> Vec<Box<dyn SpmmKernel<f64>>> {
+    vec![
+        Box::new(CsrScalarKernel::new(csr.clone())),
+        Box::new(CsrVectorKernel::new(csr.clone())),
+        Box::new(DgSparseKernel::new(csr.clone())),
+        Box::new(SputnikKernel::new(csr.clone())),
+        Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default())),
+        Box::new(EllKernel::new(EllMatrix::from_csr(csr))),
+        Box::new(SellKernel::new(SellMatrix::from_csr(csr, 16).unwrap())),
+        Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 4, 4).unwrap())),
+        Box::new(CellKernel::new(
+            build_cell(csr, &CellConfig::with_partitions(3)).unwrap(),
+        )),
+    ]
+}
+
+fn iters() -> u64 {
+    std::env::var("LF_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        // 4 full rotations through the structural classes by default.
+        .unwrap_or(4 * FUZZ_CLASSES)
+}
+
+#[test]
+fn fuzz_differential_all_kernels_match_reference() {
+    for seed in 0..iters() {
+        let case = fuzz_case::<f64>(seed);
+        let (csr, j) = (&case.csr, case.j);
+        let mut rng = Pcg32::new(seed, 0xB0B);
+        let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+        let want = csr.spmm_reference(&b).unwrap();
+        for k in all_kernels(csr) {
+            let got = k.run(&b).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} [{}] {}x{} nnz={} J={j}: {} failed: {e}",
+                    case.label,
+                    csr.rows(),
+                    csr.cols(),
+                    csr.nnz(),
+                    k.name()
+                )
+            });
+            assert_eq!(
+                got.shape(),
+                (csr.rows(), j),
+                "seed {seed} [{}]: {} shape",
+                case.label,
+                k.name()
+            );
+            assert!(
+                got.approx_eq(&want, 1e-9),
+                "seed {seed} [{}] {}x{} nnz={} J={j}: {} diverges from reference",
+                case.label,
+                csr.rows(),
+                csr.cols(),
+                csr.nnz(),
+                k.name()
+            );
+        }
+    }
+}

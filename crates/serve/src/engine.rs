@@ -1,0 +1,524 @@
+//! The concurrent serving engine: a sharded, byte-budgeted LRU of
+//! prepared composition plans.
+//!
+//! Request path (`serve` / `serve_handle`):
+//!
+//! 1. fingerprint the matrix (skipped for handles, which carry theirs);
+//! 2. look the `(fingerprint, j)` key up in the shard the fingerprint
+//!    maps to — a **hit** returns the cached [`PreparedPlan`] and pays
+//!    only the kernel execution;
+//! 3. on a **miss**, the planner composes outside any lock (other
+//!    requests — including other misses — proceed concurrently), the
+//!    plan is admitted under the shard's byte budget (evicting whole
+//!    least-recently-used plans), and the request executes it.
+//!
+//! Execution itself runs on the process-wide `lf_sim` worker pool —
+//! every request shares the one pool the kernels already dispatch to, so
+//! serving N concurrent requests spawns no threads beyond the pool's
+//! (asserted by the stress suite via
+//! `lf_sim::pool::workers_spawned_total`).
+//!
+//! Two requests that miss on the same key simultaneously both compose
+//! (no cross-request blocking); the first insert wins and the loser's
+//! plan serves only its own request, then drops. This trades a bounded
+//! amount of duplicate cold work for a lock-free compose path.
+
+use crate::fingerprint::Fingerprint;
+use crate::planner::Planner;
+use lf_sim::atomicf::AtomicScalar;
+use lf_sparse::{CsrMatrix, DenseMatrix, Result, Scalar, SparseError};
+use liteform_core::{PreprocessProfile, StageStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of independent cache shards (lock granularity). Clamped to
+    /// ≥ 1.
+    pub shards: usize,
+    /// Whole-cache byte budget for retained plan memory
+    /// ([`PreparedPlan::format_bytes`](liteform_core::PreparedPlan::format_bytes)).
+    /// Split evenly across shards; a plan larger than its shard's slice
+    /// is served but never admitted.
+    pub byte_budget: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            byte_budget: 256 << 20,
+        }
+    }
+}
+
+/// A registered matrix: fingerprint computed once, payload retained so
+/// the engine can re-compose after an eviction without resubmission.
+#[derive(Debug, Clone)]
+pub struct MatrixHandle<T> {
+    fingerprint: Fingerprint,
+    csr: Arc<CsrMatrix<T>>,
+}
+
+impl<T: Scalar> MatrixHandle<T> {
+    /// Register a matrix: fingerprints it (one O(nnz) pass) and wraps the
+    /// payload for cheap sharing across requests.
+    pub fn new(csr: CsrMatrix<T>) -> Self {
+        MatrixHandle {
+            fingerprint: Fingerprint::of_csr(&csr),
+            csr: Arc::new(csr),
+        }
+    }
+
+    /// The handle's fingerprint.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// The underlying matrix.
+    pub fn csr(&self) -> &CsrMatrix<T> {
+        &self.csr
+    }
+}
+
+/// One served request's result and accounting.
+#[derive(Debug)]
+pub struct ServeOutcome<T> {
+    /// The product `C = A · B`.
+    pub result: DenseMatrix<T>,
+    /// Whether the plan came from the cache.
+    pub hit: bool,
+    /// The request's cache key fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Composition instrumentation — `Some` exactly on misses.
+    pub compose: Option<PreprocessProfile>,
+    /// End-to-end wall seconds for this request (lookup + compose if
+    /// cold + execution).
+    pub serve_wall_s: f64,
+}
+
+/// Counter snapshot, [`StageStats`]-style: wall clock plus allocation
+/// counters where the engine measures them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that composed a plan.
+    pub misses: u64,
+    /// Plans evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Plans too large for their shard's budget slice (served, never
+    /// admitted).
+    pub rejected: u64,
+    /// Accumulated cold-compose cost across all misses (wall + allocs,
+    /// via the `lf-sim` counting allocator).
+    pub cold_compose: StageStats,
+    /// Accumulated end-to-end serve wall time across all requests
+    /// (allocation fields unused).
+    pub serve: StageStats,
+    /// Plans currently cached.
+    pub cached_plans: usize,
+    /// Bytes currently charged against the budget.
+    pub cached_bytes: usize,
+}
+
+impl ServeStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.requests() as f64
+    }
+}
+
+struct Entry<T: AtomicScalar> {
+    plan: Arc<liteform_core::PreparedPlan<T>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Shard<T: AtomicScalar> {
+    map: HashMap<(Fingerprint, usize), Entry<T>>,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+    cold_wall_ns: AtomicU64,
+    cold_alloc_calls: AtomicU64,
+    cold_alloc_bytes: AtomicU64,
+    serve_wall_ns: AtomicU64,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A thread-safe SpMM server: plans composed once per `(matrix, j)`,
+/// cached under a byte budget, executed on the shared worker pool.
+pub struct ServeEngine<T: AtomicScalar, P> {
+    planner: P,
+    config: ServeConfig,
+    shards: Vec<Mutex<Shard<T>>>,
+    /// Logical clock for LRU recency; bumped on every touch.
+    tick: AtomicU64,
+    counters: Counters,
+}
+
+impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
+    /// Build an engine over a planner.
+    pub fn new(planner: P, config: ServeConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    bytes: 0,
+                })
+            })
+            .collect();
+        ServeEngine {
+            planner,
+            config,
+            shards,
+            tick: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The planner behind the engine.
+    pub fn planner(&self) -> &P {
+        &self.planner
+    }
+
+    /// Serve a raw CSR payload: fingerprints the matrix, then runs the
+    /// cached or freshly composed plan against `b`.
+    pub fn serve(&self, csr: &CsrMatrix<T>, b: &DenseMatrix<T>) -> Result<ServeOutcome<T>> {
+        let fp = Fingerprint::of_csr(csr);
+        self.serve_keyed(&fp, csr, b)
+    }
+
+    /// Serve a registered handle: skips fingerprinting entirely.
+    pub fn serve_handle(&self, h: &MatrixHandle<T>, b: &DenseMatrix<T>) -> Result<ServeOutcome<T>> {
+        self.serve_keyed(h.fingerprint(), h.csr(), b)
+    }
+
+    /// Pre-compose a handle's plan for width `j` (admission-warming).
+    /// Returns `true` if a plan was composed, `false` on an existing
+    /// cached plan.
+    pub fn warm(&self, h: &MatrixHandle<T>, j: usize) -> bool {
+        let key = (*h.fingerprint(), j);
+        if self.lookup(&key).is_some() {
+            return false;
+        }
+        let plan = self.compose_counted(h.csr(), j);
+        self.admit(key, plan);
+        true
+    }
+
+    fn serve_keyed(
+        &self,
+        fp: &Fingerprint,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+    ) -> Result<ServeOutcome<T>> {
+        if csr.cols() != b.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "serve",
+                lhs: csr.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let t0 = Instant::now();
+        let j = b.cols();
+        let key = (*fp, j);
+        let (plan, hit, compose) = match self.lookup(&key) {
+            Some(plan) => (plan, true, None),
+            None => {
+                let plan = self.compose_counted(csr, j);
+                let profile = plan.profile;
+                self.admit(key, Arc::clone(&plan));
+                (plan, false, Some(profile))
+            }
+        };
+        let result = plan.run(b)?;
+        let serve_wall_s = t0.elapsed().as_secs_f64();
+        let bump = if hit {
+            &self.counters.hits
+        } else {
+            &self.counters.misses
+        };
+        bump.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .serve_wall_ns
+            .fetch_add((serve_wall_s * 1e9) as u64, Ordering::Relaxed);
+        Ok(ServeOutcome {
+            result,
+            hit,
+            fingerprint: *fp,
+            compose,
+            serve_wall_s,
+        })
+    }
+
+    /// Compose on the calling thread (no locks held) and record the cold
+    /// cost. Allocation counters are process-wide, so concurrent misses
+    /// attribute each other's traffic to both — the totals stay an upper
+    /// bound per request and exact in aggregate intent (see `lf-sim`'s
+    /// allocator docs).
+    fn compose_counted(&self, csr: &CsrMatrix<T>, j: usize) -> Arc<liteform_core::PreparedPlan<T>> {
+        let (plan, stats) = StageStats::measure(|| self.planner.prepare(csr, j));
+        self.counters
+            .cold_wall_ns
+            .fetch_add((stats.wall_s * 1e9) as u64, Ordering::Relaxed);
+        self.counters
+            .cold_alloc_calls
+            .fetch_add(stats.alloc_calls, Ordering::Relaxed);
+        self.counters
+            .cold_alloc_bytes
+            .fetch_add(stats.alloc_bytes, Ordering::Relaxed);
+        Arc::new(plan)
+    }
+
+    fn lookup(&self, key: &(Fingerprint, usize)) -> Option<Arc<liteform_core::PreparedPlan<T>>> {
+        let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Admit a freshly composed plan under the shard's byte budget,
+    /// evicting whole least-recently-used plans to make room. A plan
+    /// bigger than the whole slice is rejected (served, not cached); a
+    /// concurrent insert of the same key wins and this plan just drops.
+    fn admit(&self, key: (Fingerprint, usize), plan: Arc<liteform_core::PreparedPlan<T>>) {
+        let bytes = plan.format_bytes();
+        let per_shard = (self.config.byte_budget / self.shards.len()).max(1);
+        if bytes > per_shard {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
+        if shard.map.contains_key(&key) {
+            return;
+        }
+        while shard.bytes + bytes > per_shard {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("bytes > 0 implies a cached entry");
+            let evicted = shard.map.remove(&victim).expect("victim exists");
+            shard.bytes -= evicted.bytes;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.bytes += bytes;
+        shard.map.insert(
+            key,
+            Entry {
+                plan,
+                bytes,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+    }
+
+    /// Drop every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = lock_unpoisoned(shard);
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Counter snapshot plus current cache occupancy.
+    pub fn stats(&self) -> ServeStats {
+        let (mut plans, mut bytes) = (0usize, 0usize);
+        for shard in &self.shards {
+            let shard = lock_unpoisoned(shard);
+            plans += shard.map.len();
+            bytes += shard.bytes;
+        }
+        let c = &self.counters;
+        ServeStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cold_compose: StageStats {
+                wall_s: c.cold_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                alloc_calls: c.cold_alloc_calls.load(Ordering::Relaxed),
+                alloc_bytes: c.cold_alloc_bytes.load(Ordering::Relaxed),
+            },
+            serve: StageStats {
+                wall_s: c.serve_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                alloc_calls: 0,
+                alloc_bytes: 0,
+            },
+            cached_plans: plans,
+            cached_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::FixedCellPlanner;
+    use lf_sparse::gen::mixed_regions;
+    use lf_sparse::Pcg32;
+
+    fn matrix(seed: u64) -> CsrMatrix<f64> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        CsrMatrix::from_coo(&mixed_regions(128, 128, 2500, 4, &mut rng))
+    }
+
+    fn engine() -> ServeEngine<f64, FixedCellPlanner> {
+        ServeEngine::new(FixedCellPlanner::tuned(4), ServeConfig::default())
+    }
+
+    #[test]
+    fn miss_then_hit_with_correct_results() {
+        let e = engine();
+        let a = matrix(1);
+        let mut rng = Pcg32::seed_from_u64(99);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        let want = a.spmm_reference(&b).unwrap();
+
+        let cold = e.serve(&a, &b).unwrap();
+        assert!(!cold.hit);
+        assert!(cold.compose.is_some());
+        assert!(cold.result.approx_eq(&want, 1e-9));
+
+        let warm = e.serve(&a, &b).unwrap();
+        assert!(warm.hit);
+        assert!(warm.compose.is_none());
+        assert!(warm.result.approx_eq(&want, 1e-9));
+
+        let s = e.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.cached_plans, 1);
+        assert!(s.cached_bytes > 0);
+        assert!(s.cold_compose.wall_s >= 0.0);
+        assert!(s.cold_compose.alloc_bytes > 0);
+    }
+
+    #[test]
+    fn distinct_j_widths_are_distinct_plans() {
+        let e = engine();
+        let a = matrix(2);
+        let mut rng = Pcg32::seed_from_u64(98);
+        let b8 = DenseMatrix::random(128, 8, &mut rng);
+        let b16 = DenseMatrix::random(128, 16, &mut rng);
+        assert!(!e.serve(&a, &b8).unwrap().hit);
+        assert!(!e.serve(&a, &b16).unwrap().hit, "j is part of the key");
+        assert!(e.serve(&a, &b8).unwrap().hit);
+        assert_eq!(e.stats().cached_plans, 2);
+    }
+
+    #[test]
+    fn handle_skips_fingerprinting_and_hits() {
+        let e = engine();
+        let h = MatrixHandle::new(matrix(3));
+        let mut rng = Pcg32::seed_from_u64(97);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        assert!(e.warm(&h, 8), "first warm composes");
+        assert!(!e.warm(&h, 8), "second warm is a no-op");
+        let out = e.serve_handle(&h, &b).unwrap();
+        assert!(out.hit, "warmed handle must hit");
+        // Payload and handle share the cache entry.
+        assert!(e.serve(h.csr(), &b).unwrap().hit);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_whole_plans() {
+        // One shard, budget sized for ~1 plan: every new matrix evicts
+        // the previous one.
+        let probe = engine();
+        let mut rng = Pcg32::seed_from_u64(96);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        let one = probe.serve(&matrix(10), &b).unwrap();
+        drop(one);
+        let plan_bytes = probe.stats().cached_bytes;
+        assert!(plan_bytes > 0);
+
+        let e = ServeEngine::new(
+            FixedCellPlanner::tuned(4),
+            ServeConfig {
+                shards: 1,
+                byte_budget: plan_bytes + plan_bytes / 2,
+            },
+        );
+        for seed in [20u64, 21, 22] {
+            assert!(!e.serve(&matrix(seed), &b).unwrap().hit);
+        }
+        let s = e.stats();
+        assert_eq!(s.misses, 3);
+        assert!(s.evictions >= 2, "evictions: {}", s.evictions);
+        assert_eq!(s.cached_plans, 1, "whole plans are evicted");
+        assert!(s.cached_bytes <= s.cached_bytes.max(plan_bytes * 3 / 2));
+    }
+
+    #[test]
+    fn oversized_plans_are_served_but_rejected() {
+        let e = ServeEngine::new(
+            FixedCellPlanner::tuned(4),
+            ServeConfig {
+                shards: 1,
+                byte_budget: 16,
+            },
+        );
+        let mut rng = Pcg32::seed_from_u64(95);
+        let a = matrix(30);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        let want = a.spmm_reference(&b).unwrap();
+        let out = e.serve(&a, &b).unwrap();
+        assert!(out.result.approx_eq(&want, 1e-9));
+        let s = e.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.cached_plans, 0);
+        // The same request misses again: nothing was cached.
+        assert!(!e.serve(&a, &b).unwrap().hit);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_cache_entry() {
+        let e = engine();
+        let a = matrix(40);
+        let b = DenseMatrix::<f64>::zeros(64, 8); // wrong inner dim
+        assert!(e.serve(&a, &b).is_err());
+        let s = e.stats();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.cached_plans, 0);
+    }
+
+    #[test]
+    fn clear_resets_cache_but_not_counters() {
+        let e = engine();
+        let mut rng = Pcg32::seed_from_u64(94);
+        let a = matrix(50);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        e.serve(&a, &b).unwrap();
+        e.clear();
+        let s = e.stats();
+        assert_eq!(s.cached_plans, 0);
+        assert_eq!(s.cached_bytes, 0);
+        assert_eq!(s.misses, 1);
+        assert!(!e.serve(&a, &b).unwrap().hit, "cleared cache misses again");
+    }
+}

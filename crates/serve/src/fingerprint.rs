@@ -1,0 +1,172 @@
+//! Matrix fingerprinting: the cache key of the serving layer.
+//!
+//! A fingerprint is cheap (one O(nnz) pass, no allocation) and binds the
+//! cached plan to the *exact* matrix it was composed for:
+//!
+//! * dimensions and non-zero count (checked verbatim, not hashed);
+//! * a 64-bit hash of the row-pointer array (row structure);
+//! * a 64-bit hash of the column-index array (column structure);
+//! * a 64-bit hash of the value bits.
+//!
+//! The value hash matters because a cached plan carries the matrix's
+//! *values* inside its CELL buckets (or CSR clone): two matrices with
+//! identical structure but different values must never share a plan, or
+//! a cache hit would silently return the wrong product.
+
+use lf_sparse::{CsrMatrix, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// 64-bit FNV-1a over a stream of words, finished with a splitmix64
+/// avalanche so short inputs still diffuse into all output bits.
+#[derive(Clone, Copy)]
+struct WordHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl WordHasher {
+    fn new() -> Self {
+        WordHasher(FNV_OFFSET)
+    }
+
+    #[inline]
+    fn write(&mut self, word: u64) {
+        // FNV-1a one byte at a time is slow; word-at-a-time with the same
+        // xor/multiply structure keeps the distribution and runs at
+        // memory speed.
+        self.0 = (self.0 ^ word).wrapping_mul(FNV_PRIME);
+    }
+
+    fn finish(self) -> u64 {
+        // splitmix64 finalizer.
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Identity of a sparse matrix for plan caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Hash of the CSR row-pointer array.
+    pub row_structure: u64,
+    /// Hash of the CSR column-index array.
+    pub col_structure: u64,
+    /// Hash of the non-zero value bits.
+    pub values: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint a CSR matrix (one pass over `row_ptr`, `col_ind`,
+    /// `values`; no allocation).
+    pub fn of_csr<T: Scalar>(csr: &CsrMatrix<T>) -> Self {
+        let mut rh = WordHasher::new();
+        for &p in csr.row_ptr() {
+            rh.write(p as u64);
+        }
+        let mut ch = WordHasher::new();
+        for &c in csr.col_ind() {
+            ch.write(c as u64);
+        }
+        let mut vh = WordHasher::new();
+        for &v in csr.values() {
+            vh.write(v.to_f64().to_bits());
+        }
+        Fingerprint {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+            row_structure: rh.finish(),
+            col_structure: ch.finish(),
+            values: vh.finish(),
+        }
+    }
+
+    /// The shard a fingerprint maps to, for `n` shards.
+    pub(crate) fn shard(&self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        // The structure hashes are already avalanched; fold them so
+        // matrices differing in either field spread across shards.
+        ((self.row_structure ^ self.col_structure.rotate_left(32) ^ self.values) % n as u64)
+            as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::{gen::uniform_random, CooMatrix, Pcg32};
+
+    fn matrix(seed: u64) -> CsrMatrix<f64> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        CsrMatrix::from_coo(&uniform_random(64, 48, 400, &mut rng))
+    }
+
+    #[test]
+    fn identical_matrices_share_a_fingerprint() {
+        assert_eq!(
+            Fingerprint::of_csr(&matrix(1)),
+            Fingerprint::of_csr(&matrix(1))
+        );
+    }
+
+    #[test]
+    fn different_structure_diverges() {
+        assert_ne!(
+            Fingerprint::of_csr(&matrix(1)),
+            Fingerprint::of_csr(&matrix(2))
+        );
+    }
+
+    #[test]
+    fn same_structure_different_values_diverges() {
+        let a = matrix(3);
+        let triplets: Vec<(usize, usize, f64)> =
+            a.iter().map(|(r, c, v)| (r, c, v + 1.0)).collect();
+        let b =
+            CsrMatrix::from_coo(&CooMatrix::from_triplets(a.rows(), a.cols(), triplets).unwrap());
+        let fa = Fingerprint::of_csr(&a);
+        let fb = Fingerprint::of_csr(&b);
+        assert_eq!(fa.row_structure, fb.row_structure);
+        assert_eq!(fa.col_structure, fb.col_structure);
+        assert_ne!(fa.values, fb.values, "value hash must bind the plan");
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes_are_distinct() {
+        let shapes = [(0usize, 0usize), (0, 5), (5, 0), (5, 5)];
+        let fps: Vec<Fingerprint> = shapes
+            .iter()
+            .map(|&(r, c)| Fingerprint::of_csr(&CsrMatrix::<f32>::empty(r, c)))
+            .collect();
+        for i in 0..fps.len() {
+            for j in 0..fps.len() {
+                assert_eq!(i == j, fps[i] == fps[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_spreads_and_stays_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let fp = Fingerprint::of_csr(&matrix(seed));
+            let s = fp.shard(8);
+            assert!(s < 8);
+            seen.insert(s);
+        }
+        assert!(
+            seen.len() >= 4,
+            "64 matrices landed on {} shards",
+            seen.len()
+        );
+    }
+}

@@ -129,6 +129,19 @@ struct Shared {
     work_ready: Condvar,
 }
 
+/// Process-wide count of pool worker threads ever spawned (all pools).
+///
+/// Observability hook for the serving layer: a correctly shared pool
+/// spawns its workers once, so this counter must stay flat while a
+/// `ServeEngine` handles arbitrarily many concurrent requests. The
+/// stress suite asserts exactly that (no pool-per-request churn).
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total pool worker threads spawned since process start.
+pub fn workers_spawned_total() -> usize {
+    WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
 /// A pool of parked worker threads executing broadcast parallel regions.
 pub struct ThreadPool {
     shared: Arc<Shared>,
@@ -147,6 +160,7 @@ impl ThreadPool {
             }),
             work_ready: Condvar::new(),
         });
+        WORKERS_SPAWNED.fetch_add(threads, Ordering::Relaxed);
         let handles = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -419,6 +433,17 @@ mod tests {
         let pool = ThreadPool::new(4);
         pool.broadcast(4, &|| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn spawn_counter_tracks_new_pools() {
+        let before = workers_spawned_total();
+        let pool = ThreadPool::new(2);
+        assert_eq!(workers_spawned_total(), before + 2);
+        // Reusing the pool spawns nothing.
+        pool.broadcast(2, &|| {});
+        pool.broadcast(2, &|| {});
+        assert_eq!(workers_spawned_total(), before + 2);
     }
 
     #[test]

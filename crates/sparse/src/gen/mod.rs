@@ -7,6 +7,7 @@
 
 mod banded;
 mod block;
+mod fuzz;
 mod mixed;
 mod powerlaw;
 mod rmat;
@@ -14,6 +15,7 @@ mod uniform;
 
 pub use banded::banded;
 pub use block::block_sparse;
+pub use fuzz::{fuzz_case, FuzzCase, FUZZ_CLASSES};
 pub use mixed::mixed_regions;
 pub use powerlaw::{power_law, PowerLawConfig};
 pub use rmat::{rmat, RmatConfig};

@@ -4,16 +4,23 @@
 # Run from the repo root. Fails fast on the first broken stage so CI and
 # pre-commit hooks get a single unambiguous exit code.
 #
-# Optional: `scripts/verify.sh --bench` appends a seconds-scale benchmark
-# smoke (bench_spmm --quick at reduced sizes) that fails if the pooled
-# SpMM engine catastrophically regresses against the legacy path.
+# Optional tiers:
+#   --bench   appends a seconds-scale benchmark smoke (bench_spmm --quick
+#             and bench_serve --quick at reduced sizes) that fails on
+#             catastrophic engine or serving-cache regressions;
+#   --stress  appends the heavy differential/concurrency tier: the
+#             structure-aware kernel fuzzer at raised iteration counts
+#             and the serving-engine stress suite at raised thread and
+#             iteration counts, both in release mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_STRESS=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
+    --stress) RUN_STRESS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,6 +40,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "$RUN_BENCH" == "1" ]]; then
   echo "==> bench smoke (bench_spmm --quick)"
   cargo run --release -p lf-bench --bin bench_spmm -- --quick
+  echo "==> bench smoke (bench_serve --quick)"
+  cargo run --release -p lf-bench --bin bench_serve -- --quick
+fi
+
+if [[ "$RUN_STRESS" == "1" ]]; then
+  echo "==> differential fuzz (LF_FUZZ_ITERS=2000)"
+  LF_FUZZ_ITERS=2000 cargo test --release -p lf-kernels --test fuzz_differential -q
+  echo "==> serve stress (LF_STRESS_THREADS=16 LF_STRESS_ITERS=120)"
+  LF_STRESS_THREADS=16 LF_STRESS_ITERS=120 \
+    cargo test --release -p lf-serve --test stress -q
+  echo "==> serve cache properties (release)"
+  cargo test --release -p lf-serve --test cache_properties -q
 fi
 
 echo "verify: OK"

@@ -14,6 +14,7 @@
 //! * [`ml`] — the ten-classifier zoo behind Tables 5–6;
 //! * [`cost`] — the Eq. 5–7 cost model and Algorithm 3;
 //! * [`core`] — the LiteForm pipeline (selector → partitions → widths);
+//! * [`serve`] — the concurrent serving engine (fingerprinted plan cache);
 //! * [`baselines`] — cuSPARSE/Triton/Sputnik/dgSPARSE/TACO/SparseTIR/STile;
 //! * [`bench_harness`] — the experiment harness regenerating every table/figure.
 //!
@@ -50,6 +51,7 @@ pub use lf_cost as cost;
 pub use lf_data as data;
 pub use lf_kernels as kernels;
 pub use lf_ml as ml;
+pub use lf_serve as serve;
 pub use lf_sim as sim;
 pub use lf_sparse as sparse;
 pub use liteform_core as core;
