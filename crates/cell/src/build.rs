@@ -510,6 +510,10 @@ fn materialize_bucket<T: Scalar>(
         }
         out += width;
     }
+    // SAFETY: the fragment loop above wrote all `total` slots — each of
+    // the `frags.len()` fragments initialized exactly `width` slots
+    // (payload plus padding) at its own distinct offset, and `total`
+    // was reserved as `frags.len() * width`.
     unsafe {
         col_ind.set_len(total);
         values.set_len(total);

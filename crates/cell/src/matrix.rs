@@ -108,6 +108,34 @@ pub struct CellMatrix<T> {
 }
 
 impl<T: Scalar> CellMatrix<T> {
+    /// Assemble a CELL matrix from explicit partitions, bypassing
+    /// [`build_cell`](crate::build::build_cell).
+    ///
+    /// For tests and advanced composition experiments that need precise
+    /// control over bucket layout (e.g. deliberately mislabeled
+    /// `needs_atomic` flags to exercise the shadow race detector).
+    ///
+    /// The caller is responsible for the format invariants the builder
+    /// normally guarantees: in-bounds indices, `nnz` matching the stored
+    /// non-padding slots, buckets sorted by increasing width within each
+    /// partition, and truthful `needs_atomic` / `has_folded` flags —
+    /// kernels trust these flags to pick plain-store fast paths.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        partitions: Vec<Partition<T>>,
+        config: CellConfig,
+    ) -> Self {
+        CellMatrix {
+            rows,
+            cols,
+            nnz,
+            partitions,
+            config,
+        }
+    }
+
     /// Shape `(rows, cols)`.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)

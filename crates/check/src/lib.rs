@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # lf-check
+//!
+//! The repo's verification toolkit. The engine's correctness rests on
+//! hand-argued invariants — Algorithm 2's per-bucket `needs_atomic`
+//! decision is what lets kernels use plain stores, and the
+//! pool/`DisjointSlice`/`SendPtr` machinery in `lf-sim` is what makes
+//! that safe under the worker pool. This crate machine-checks those
+//! invariants in three layers:
+//!
+//! 1. **A deterministic concurrency model checker** ([`sched`], in the
+//!    style of loom/CHESS): [`model`] runs a closure repeatedly, once
+//!    per thread interleaving, serializing all threads that use the
+//!    [`sync`] primitives onto a single logical timeline and exploring
+//!    every schedule up to a preemption bound. A schedule that panics,
+//!    deadlocks, or diverges is reported with its full decision trace.
+//!    `lf-sim` builds its pool against these primitives under
+//!    `--features check` (they transparently fall back to `std` outside
+//!    a model run, so regular tests still pass with the feature on).
+//!
+//! 2. **A shadow-memory race detector** ([`shadow`]): debug builds
+//!    register every claimed output range of the kernels' single-writer
+//!    fast paths (`DisjointSlice::slice_mut`, `SendPtr` vec-fills, CELL
+//!    plain-store buckets) in a [`ShadowRegion`] interval map and panic
+//!    on overlap or out-of-bounds — so every ordinary test run doubles
+//!    as a race check. Release builds compile it to a no-op ZST.
+//!
+//! 3. **Source-invariant lints** (`src/bin/lint.rs`, run by
+//!    `scripts/verify.sh`): every `unsafe` site must carry a
+//!    `// SAFETY:` (or `# Safety`) justification, and atomic memory
+//!    `Ordering`s outside the engine's sync layer must come from a
+//!    whitelist.
+
+pub mod sched;
+pub mod shadow;
+pub mod sync;
+
+pub use sched::{model, Model, Report};
+pub use shadow::ShadowRegion;

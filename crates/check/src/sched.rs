@@ -1,0 +1,567 @@
+//! The bounded exhaustive-interleaving scheduler.
+//!
+//! [`Model::check`] runs a closure once per thread schedule. Inside a
+//! run, every thread built on [`crate::sync`] hands a *baton* back to
+//! the scheduler at each synchronization operation (lock, condvar
+//! wait/notify, atomic access, spawn, join): exactly one thread runs at
+//! a time, and whenever more than one thread *could* run, the scheduler
+//! records a decision. The first execution takes the leftmost branch
+//! everywhere (stay with the current thread); subsequent executions
+//! replay a recorded prefix and branch differently at its last decision
+//! — a depth-first enumeration of the schedule tree.
+//!
+//! Exhaustive interleaving is exponential, so exploration is bounded the
+//! way CHESS bounds it: a *preemption* (switching away from a thread
+//! that could have continued) is only allowed [`Model::max_preemptions`]
+//! times per schedule. Forced switches (the current thread blocked) are
+//! always free. Empirically, protocol bugs — including the pool's
+//! historical submitter-panic use-after-free — surface within two
+//! preemptions.
+//!
+//! What counts as a failure:
+//!
+//! * any model thread panicking out of its body (assertion failures,
+//!   protocol `assert!`s inside `lf-sim`),
+//! * a deadlock: no thread runnable while some are blocked,
+//! * a wedged execution (a thread blocked outside the model's
+//!   primitives) after [`Model::wedge_timeout`].
+//!
+//! On failure the whole `check` call panics with the failing schedule's
+//! decision trace. On success it returns a [`Report`] with the number of
+//! schedules explored.
+//!
+//! The model is *sequentially consistent*: it explores thread
+//! interleavings, not hardware memory reordering. That matches the
+//! pool's protocol, which is mutex/condvar-based (the `Relaxed` atomics
+//! it uses are guarded by lock acquisitions on every protocol-relevant
+//! path).
+//!
+//! Scope notes: model bodies must do all cross-thread communication
+//! through [`crate::sync`] primitives, must be deterministic (no
+//! wall-clock, no OS randomness), must not spin-wait (use condvars), and
+//! must not touch process-global singletons that outlive the closure
+//! (e.g. `lf_sim::pool::global()`), since their threads would never
+//! finish the execution.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{Once, PoisonError};
+use std::time::Duration;
+
+/// What a model thread is currently able to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    /// Can be scheduled.
+    Runnable,
+    /// Parked until the mutex with this identity is released.
+    BlockedOnMutex(usize),
+    /// Parked in a condvar wait on the condvar with this identity.
+    WaitingOnCondvar(usize),
+    /// Parked in `join` on the thread with this index.
+    BlockedOnJoin(usize),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    /// Index chosen within the runnable list at this point.
+    chosen: usize,
+    /// How many threads were runnable.
+    runnable: usize,
+    /// Whether the yielding thread itself was still runnable (so that
+    /// choosing another thread counts as a preemption).
+    current_runnable: bool,
+    /// Preemptions already spent before this decision.
+    preemptions_before: usize,
+}
+
+struct ExecInner {
+    states: Vec<ThreadState>,
+    /// The thread currently holding the baton.
+    current: usize,
+    /// Decision prefix to replay (from the previous execution).
+    replay: Vec<usize>,
+    /// Decisions taken so far in this execution.
+    trace: Vec<Decision>,
+    preemptions: usize,
+    /// Once set, the model dissolves: every primitive reverts to plain
+    /// `std` behavior so all threads can drain without coordination.
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// Shared state of one model execution.
+pub(crate) struct ExecShared {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    /// Lock-free mirror of `ExecInner::abort` for the primitives' fast
+    /// "has the model dissolved" check.
+    aborted: AtomicBool,
+}
+
+fn lock_inner(exec: &ExecShared) -> StdMutexGuard<'_, ExecInner> {
+    exec.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ExecShared {
+    fn new(replay: Vec<usize>) -> Self {
+        ExecShared {
+            inner: StdMutex::new(ExecInner {
+                // Thread 0 is the execution's main thread.
+                states: vec![ThreadState::Runnable],
+                current: 0,
+                replay,
+                trace: Vec::new(),
+                preemptions: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` once the execution has dissolved to free-running `std`
+    /// semantics (after a failure was recorded).
+    pub(crate) fn free_running(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn set_abort(&self, inner: &mut ExecInner) {
+        inner.abort = true;
+        self.aborted.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn record_failure(&self, inner: &mut ExecInner, msg: String) {
+        inner.failure.get_or_insert(msg);
+        self.set_abort(inner);
+    }
+
+    /// Pick the next thread after `prev` yielded/blocked/finished.
+    /// Called with the inner lock held and `prev`'s state up to date.
+    fn reschedule(&self, inner: &mut ExecInner, prev: usize) {
+        let prev_runnable = inner.states[prev] == ThreadState::Runnable;
+        let mut runnable: Vec<usize> = Vec::with_capacity(inner.states.len());
+        // "Stay with the current thread" is always choice 0 when legal,
+        // so the default (leftmost) path never spends a preemption.
+        if prev_runnable {
+            runnable.push(prev);
+        }
+        for (i, s) in inner.states.iter().enumerate() {
+            if i != prev && *s == ThreadState::Runnable {
+                runnable.push(i);
+            }
+        }
+        if runnable.is_empty() {
+            if inner.states.iter().any(|s| *s != ThreadState::Finished) {
+                let msg = format!(
+                    "deadlock: every live thread is blocked (states: {:?})",
+                    inner.states
+                );
+                self.record_failure(inner, msg);
+            }
+            return;
+        }
+        let step = inner.trace.len();
+        let chosen = if step < inner.replay.len() {
+            let c = inner.replay[step];
+            if c >= runnable.len() {
+                let msg = format!(
+                    "schedule replay diverged at step {step} (choice {c} of {}): \
+                     model bodies must be deterministic",
+                    runnable.len()
+                );
+                self.record_failure(inner, msg);
+                return;
+            }
+            c
+        } else {
+            0
+        };
+        inner.trace.push(Decision {
+            chosen,
+            runnable: runnable.len(),
+            current_runnable: prev_runnable,
+            preemptions_before: inner.preemptions,
+        });
+        if prev_runnable && chosen != 0 {
+            inner.preemptions += 1;
+        }
+        inner.current = runnable[chosen];
+    }
+
+    /// Park until this thread holds the baton again (or the model
+    /// dissolved, in which case it free-runs).
+    fn park_until_current(&self, mut inner: StdMutexGuard<'_, ExecInner>, me: usize) {
+        self.cv.notify_all();
+        while !inner.abort && inner.current != me {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A synchronization point where the thread stays runnable: the
+    /// scheduler may switch to any runnable thread here.
+    pub(crate) fn yield_point(&self, me: usize) {
+        if self.free_running() {
+            return;
+        }
+        let inner = lock_inner(self);
+        if inner.abort {
+            return;
+        }
+        let mut inner = inner;
+        debug_assert_eq!(inner.current, me, "yield from a thread without the baton");
+        self.reschedule(&mut inner, me);
+        self.park_until_current(inner, me);
+    }
+
+    /// Block this thread with the given reason and hand the baton away.
+    /// Returns when a waker made it runnable and the scheduler picked it
+    /// — or when the model dissolved (callers then fall back to `std`).
+    pub(crate) fn block(&self, me: usize, state: ThreadState) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        if inner.abort {
+            return;
+        }
+        debug_assert_eq!(inner.current, me, "block from a thread without the baton");
+        inner.states[me] = state;
+        self.reschedule(&mut inner, me);
+        self.park_until_current(inner, me);
+    }
+
+    /// Mark this thread as waiting on `cv_id` *without* rescheduling:
+    /// the caller still holds the baton and will release the associated
+    /// mutex before committing the wait, making release-and-park atomic
+    /// under the serialized schedule.
+    pub(crate) fn prepare_condvar_wait(&self, me: usize, cv_id: usize) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        if inner.abort {
+            return;
+        }
+        debug_assert_eq!(inner.current, me);
+        inner.states[me] = ThreadState::WaitingOnCondvar(cv_id);
+    }
+
+    /// Second half of [`Self::prepare_condvar_wait`]: give up the baton
+    /// and park until notified and rescheduled.
+    pub(crate) fn commit_condvar_wait(&self, me: usize) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        if inner.abort {
+            return;
+        }
+        // If a dissolve raced in between prepare and commit we would have
+        // returned above; otherwise our state is still WaitingOnCondvar.
+        self.reschedule(&mut inner, me);
+        self.park_until_current(inner, me);
+    }
+
+    /// Make every thread blocked on mutex `mx_id` runnable again (they
+    /// re-contend for the lock when scheduled).
+    pub(crate) fn wake_mutex_waiters(&self, mx_id: usize) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        for s in inner.states.iter_mut() {
+            if *s == ThreadState::BlockedOnMutex(mx_id) {
+                *s = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Make threads waiting on condvar `cv_id` runnable (all of them, or
+    /// just the lowest-index one for `notify_one`).
+    pub(crate) fn wake_condvar_waiters(&self, cv_id: usize, all: bool) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        for s in inner.states.iter_mut() {
+            if *s == ThreadState::WaitingOnCondvar(cv_id) {
+                *s = ThreadState::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Register a newly spawned model thread; returns its index.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = lock_inner(self);
+        inner.states.push(ThreadState::Runnable);
+        inner.states.len() - 1
+    }
+
+    /// Park a fresh thread until the scheduler runs it the first time.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        if self.free_running() {
+            return;
+        }
+        let mut inner = lock_inner(self);
+        while !inner.abort && inner.current != me {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until thread `child` has finished. Never panics (it runs on
+    /// unwind/drop paths); under a dissolved model it waits for the
+    /// child to drain on its own.
+    pub(crate) fn join_wait(&self, me: usize, child: usize) {
+        let mut inner = lock_inner(self);
+        loop {
+            let child_done = inner.states[child] == ThreadState::Finished;
+            if inner.abort {
+                if child_done {
+                    return;
+                }
+            } else if child_done {
+                if inner.current == me {
+                    return;
+                }
+            } else if inner.current == me && inner.states[me] == ThreadState::Runnable {
+                inner.states[me] = ThreadState::BlockedOnJoin(child);
+                self.reschedule(&mut inner, me);
+                self.cv.notify_all();
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Record an uncaught panic escaping a model thread as a failure.
+    pub(crate) fn record_panic(&self, me: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut inner = lock_inner(self);
+        let msg = format!("model thread {me} panicked: {msg}");
+        self.record_failure(&mut inner, msg);
+    }
+
+    /// Mark this thread finished, wake its joiners, pass the baton on.
+    pub(crate) fn thread_finished(&self, me: usize) {
+        let mut inner = lock_inner(self);
+        inner.states[me] = ThreadState::Finished;
+        for s in inner.states.iter_mut() {
+            if *s == ThreadState::BlockedOnJoin(me) {
+                *s = ThreadState::Runnable;
+            }
+        }
+        if !inner.abort && inner.current == me {
+            self.reschedule(&mut inner, me);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// How many `model()`/`Model::check` calls are currently exploring.
+/// While non-zero, the process panic hook stays silent: exploration
+/// panics (expected-failure probes, dissolving executions) would
+/// otherwise print thousands of backtraces.
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET_DEPTH.load(Ordering::SeqCst) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct QuietGuard;
+
+impl QuietGuard {
+    fn new() -> Self {
+        install_quiet_hook();
+        QUIET_DEPTH.fetch_add(1, Ordering::SeqCst);
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Exploration bounds for [`Model::check`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Maximum voluntary context switches away from a runnable thread
+    /// per schedule (CHESS-style preemption bounding). Forced switches
+    /// are always free.
+    pub max_preemptions: usize,
+    /// Hard cap on explored schedules; exceeding it fails the check (the
+    /// scenario is too big, not proven).
+    pub max_schedules: usize,
+    /// How long a single execution may stay un-finished before it is
+    /// declared wedged (a real deadlock after dissolving, or a thread
+    /// blocked outside the model's primitives).
+    pub wedge_timeout: Duration,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            max_preemptions: 2,
+            max_schedules: 500_000,
+            wedge_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Result of a successful exhaustive check.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules explored.
+    pub schedules: usize,
+}
+
+/// [`Model::check`] with default bounds.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Model::default().check(f)
+}
+
+impl Model {
+    /// Run `f` once per schedule until the bounded schedule space is
+    /// exhausted. Panics (with the decision trace) on the first failing
+    /// schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let outcome = {
+            let _quiet = QuietGuard::new();
+            loop {
+                schedules += 1;
+                if schedules > self.max_schedules {
+                    break Some(format!(
+                        "exceeded max_schedules={}: shrink the scenario or raise the bound",
+                        self.max_schedules
+                    ));
+                }
+                let exec = Arc::new(ExecShared::new(replay.clone()));
+                let (trace, failure) = self.run_one(&exec, Arc::clone(&f));
+                if let Some(msg) = failure {
+                    let choices: Vec<usize> = trace.iter().map(|d| d.chosen).collect();
+                    break Some(format!(
+                        "failing schedule found after {schedules} executions: {msg}\n\
+                         schedule choices: {choices:?}"
+                    ));
+                }
+                match next_prefix(trace, self.max_preemptions) {
+                    Some(p) => replay = p,
+                    None => break None,
+                }
+            }
+        };
+        match outcome {
+            Some(msg) => panic!("model check failed: {msg}"),
+            None => Report { schedules },
+        }
+    }
+
+    /// Run one execution; returns its decision trace and failure.
+    fn run_one<F>(&self, exec: &Arc<ExecShared>, f: Arc<F>) -> (Vec<Decision>, Option<String>)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let texec = Arc::clone(exec);
+        let main = std::thread::Builder::new()
+            .name("lf-model-main".into())
+            .spawn(move || {
+                crate::sync::enter_model(Arc::clone(&texec), 0);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f()));
+                if let Err(payload) = result {
+                    texec.record_panic(0, payload.as_ref());
+                }
+                texec.thread_finished(0);
+                crate::sync::exit_model();
+            })
+            .expect("spawn model main thread");
+        // Wait for every model thread to finish, with a wedge timeout.
+        let tick = Duration::from_millis(50);
+        let mut waited = Duration::ZERO;
+        let mut inner = lock_inner(exec);
+        let finished = loop {
+            if inner.states.iter().all(|s| *s == ThreadState::Finished) {
+                break true;
+            }
+            if waited >= self.wedge_timeout {
+                let msg = format!(
+                    "execution wedged after {:?} (thread states: {:?}); \
+                     a thread is blocked outside the model's primitives",
+                    self.wedge_timeout, inner.states
+                );
+                inner.failure.get_or_insert(msg);
+                exec.set_abort(&mut inner);
+                break false;
+            }
+            let (g, timeout) = exec
+                .cv
+                .wait_timeout(inner, tick)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = g;
+            if timeout.timed_out() {
+                waited += tick;
+            }
+        };
+        let trace = inner.trace.clone();
+        let failure = inner.failure.clone();
+        drop(inner);
+        if finished {
+            let _ = main.join();
+        }
+        // On a wedge the stuck OS threads are deliberately leaked (the
+        // check is about to fail anyway); joining would hang forever.
+        (trace, failure)
+    }
+}
+
+/// Depth-first successor of a completed schedule: bump the deepest
+/// decision that still has an unexplored, preemption-budget-respecting
+/// sibling, truncating everything after it.
+fn next_prefix(mut trace: Vec<Decision>, max_preemptions: usize) -> Option<Vec<usize>> {
+    while let Some(d) = trace.pop() {
+        let next = d.chosen + 1;
+        if next < d.runnable {
+            // Switching away from a runnable current thread costs a
+            // preemption — only explore it if budget remains. Moving
+            // between non-current choices (chosen >= 1) stays at one
+            // preemption for this decision.
+            let allowed =
+                !d.current_runnable || d.chosen >= 1 || d.preemptions_before < max_preemptions;
+            if allowed {
+                let mut prefix: Vec<usize> = trace.iter().map(|x| x.chosen).collect();
+                prefix.push(next);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}

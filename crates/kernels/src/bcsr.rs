@@ -58,17 +58,19 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
             let nbr = self.bcsr.num_block_rows();
             parallel_for(nbr, default_workers(), |blk_row| {
                 let ptr = self.bcsr.block_row_ptr();
-                for k in ptr[blk_row]..ptr[blk_row + 1] {
-                    let bcol = self.bcsr.block_col_ind()[k] as usize;
-                    let tile = &self.bcsr.block_values()[k * slots..(k + 1) * slots];
-                    for lr in 0..br {
-                        let r = blk_row * br + lr;
-                        if r >= rows {
-                            break;
-                        }
-                        // SAFETY: each block row (hence each row) goes to
-                        // exactly one worker.
-                        let crow = unsafe { out.slice_mut(r * j, j) };
+                for lr in 0..br {
+                    let r = blk_row * br + lr;
+                    if r >= rows {
+                        break;
+                    }
+                    // SAFETY: each block row (hence each row) goes to
+                    // exactly one worker, and each row is carved exactly
+                    // once (the shadow race detector enforces this in
+                    // debug builds).
+                    let crow = unsafe { out.slice_mut(r * j, j) };
+                    for k in ptr[blk_row]..ptr[blk_row + 1] {
+                        let bcol = self.bcsr.block_col_ind()[k] as usize;
+                        let tile = &self.bcsr.block_values()[k * slots..(k + 1) * slots];
                         for lc in 0..bc {
                             let col = bcol * bc + lc;
                             if col >= cols {

@@ -29,6 +29,7 @@ use lf_sim::coalesce::segment_transactions;
 use lf_sim::parallel::{
     default_workers, parallel_for_init, parallel_for_scoped, parallel_map_init,
 };
+use lf_sim::shadow::ShadowRegion;
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::ell::ELL_PAD;
 use lf_sparse::{DenseMatrix, Result, SparseError};
@@ -156,16 +157,31 @@ impl<T: AtomicScalar> CellKernel<T> {
         if items.is_empty() {
             return Ok(c);
         }
+        // Debug builds check the bucket labeling through the shadow race
+        // detector: rows of `needs_atomic == false` buckets must be
+        // claimed exactly once (exclusive), rows flushed through atomics
+        // register shared claims. A mislabeled bucket — a plain-store
+        // row that another bucket also writes — panics at the claim.
+        let shadow = ShadowRegion::new(rows * j);
         let workers = default_workers().min(items.len());
         if workers == 1 && !force_atomic {
             // Single-worker region: there is no concurrency, so even
             // multi-writer (needs_atomic) buckets can accumulate straight
-            // into `C` — no CAS loops, no scratch, no flush pass.
+            // into `C` — no CAS loops, no scratch, no flush pass. The
+            // claim discipline still applies: the single-writer invariant
+            // is about *ownership* (a plain-store row with two writers is
+            // a correctness bug even sequentially, since the parallel
+            // path would overwrite rather than accumulate it).
             let out = c.as_mut_slice();
             for &WorkItem { bucket, lo, hi } in &items {
                 let w = bucket.width;
                 for bi in lo..hi {
                     let base = bucket.row_ind[bi] as usize * j;
+                    if bucket.needs_atomic {
+                        shadow.claim_shared(base, j);
+                    } else {
+                        shadow.claim_exclusive(base, j);
+                    }
                     let crow = &mut out[base..base + j];
                     let cols = &bucket.col_ind[bi * w..(bi + 1) * w];
                     let vals = &bucket.values[bi * w..(bi + 1) * w];
@@ -213,12 +229,15 @@ impl<T: AtomicScalar> CellKernel<T> {
                             if atomic {
                                 // Folded fragments / sibling partitions may
                                 // write the same row (Algorithm 2 line 9).
+                                shadow.claim_shared(out, tile_hi - tile_lo);
                                 for (s, &v) in acc.iter().enumerate() {
                                     T::atomic_add(&cells[out + s], v);
                                 }
                             } else {
                                 // Single-writer row by construction: a
-                                // plain store, no CAS.
+                                // plain store, no CAS — and the claim
+                                // proves no other bucket writes it.
+                                shadow.claim_exclusive(out, tile_hi - tile_lo);
                                 for (s, &v) in acc.iter().enumerate() {
                                     T::store_cell(&cells[out + s], v);
                                 }
@@ -402,7 +421,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lf_cell::{build_cell, CellConfig};
+    use lf_cell::{build_cell, CellConfig, Partition};
     use lf_sparse::gen::{mixed_regions, uniform_random, uniform_with_long_rows};
     use lf_sparse::{CsrMatrix, Pcg32};
 
@@ -480,6 +499,33 @@ mod tests {
             let atomic = k.run_forced_atomic(&b).unwrap();
             assert_eq!(fast.as_slice(), atomic.as_slice(), "J={j}");
         }
+    }
+
+    /// Seeded bug: two buckets both flagged atomic-free (`needs_atomic ==
+    /// false`) writing the same output row. The shadow race detector must
+    /// reject the second exclusive claim — in debug builds a mislabeled
+    /// bucket panics at the write site instead of silently clobbering the
+    /// other bucket's row.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "single-writer")]
+    fn mislabeled_atomic_free_bucket_detected() {
+        let mk_bucket = |col: lf_sparse::Index| Bucket {
+            width: 1,
+            row_ind: vec![0],
+            col_ind: vec![col],
+            values: vec![1.0f64],
+            rows_per_block: 1,
+            needs_atomic: false,
+            has_folded: false,
+        };
+        let part = Partition {
+            col_range: (0, 4),
+            buckets: vec![mk_bucket(0), mk_bucket(1)],
+        };
+        let cell = CellMatrix::from_parts(2, 4, 2, vec![part], CellConfig::default());
+        let k = CellKernel::new(cell);
+        let _ = k.run(&DenseMatrix::<f64>::zeros(4, 2));
     }
 
     #[test]

@@ -3,9 +3,15 @@
 //! Each iteration draws one structure-aware [`fuzz_case`] — the
 //! [`PatternFamily`] corpus shapes plus degenerate geometry (zero rows,
 //! zero columns, empty matrices, mostly-empty rows, one dense row,
-//! duplicate-heavy streams, extreme aspect ratios) — builds **all nine**
-//! kernels on it, and requires every result to match
-//! `CsrMatrix::spmm_reference` within the engine suite's 1e-9 bound.
+//! duplicate-heavy streams, extreme aspect ratios, folded-row-heavy
+//! profiles) — builds **all ten** kernel configurations on it, and
+//! requires every result to match `CsrMatrix::spmm_reference` within the
+//! engine suite's 1e-9 bound.
+//!
+//! In debug builds the shadow race detector is live underneath every
+//! kernel: each run also proves the disjoint-write claims (plain-store
+//! rows single-writer, atomic rows shared) hold for the generated
+//! structure.
 //!
 //! Run with `cargo test -p lf-kernels fuzz_differential`. The default
 //! iteration count is CI-sized but covers every structural class
@@ -35,6 +41,12 @@ fn all_kernels(csr: &CsrMatrix<f64>) -> Vec<Box<dyn SpmmKernel<f64>>> {
         Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 4, 4).unwrap())),
         Box::new(CellKernel::new(
             build_cell(csr, &CellConfig::with_partitions(3)).unwrap(),
+        )),
+        // Width-capped build: long rows fold into fragments of the
+        // maximum bucket, exercising the atomic flush path (and its
+        // shared shadow claims) on every structural class.
+        Box::new(CellKernel::new(
+            build_cell(csr, &CellConfig::default().with_max_widths(vec![8])).unwrap(),
         )),
     ]
 }

@@ -1,0 +1,170 @@
+//! Model-checked verification of the plan cache's miss-path protocol.
+//!
+//! `ServeEngine` deliberately composes plans *outside* the shard lock:
+//! two threads missing the same key may both compose, and the first
+//! `admit` wins while the loser's plan just drops (engine.rs documents
+//! this as the chosen trade-off — duplicate compose work over holding a
+//! lock across an expensive compose). This test re-states that protocol
+//! over `lf-check`'s instrumented primitives and explores every bounded
+//! interleaving of two concurrent misses, proving the invariants the
+//! stress suite can only sample:
+//!
+//! * the cache ends with exactly one entry for the key, held bytes match
+//!   the entries exactly, and every thread returns a usable plan;
+//! * compose runs once or twice — never zero, never more;
+//! * a seeded broken variant (insert without the still-absent check,
+//!   i.e. `admit` minus its `contains_key` guard) is caught: there is a
+//!   schedule where both misses insert and the byte accounting diverges
+//!   from the map contents — the leak the guard exists to prevent.
+
+use lf_check::sync::thread::spawn_named;
+use lf_check::sync::Mutex;
+use lf_check::{model, Model};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A stand-in for `PreparedPlan`: identity-distinguishable via `Arc`.
+type Plan = Arc<usize>;
+
+/// Bytes charged per cached plan (all plans equal-sized in the model).
+const PLAN_BYTES: usize = 100;
+
+struct State {
+    map: HashMap<u64, Plan>,
+    /// Bytes charged against the budget — must always equal
+    /// `map.len() * PLAN_BYTES`.
+    bytes: usize,
+}
+
+struct Cache {
+    state: Mutex<State>,
+    composed: AtomicUsize,
+}
+
+impl Cache {
+    fn new() -> Self {
+        Cache {
+            state: Mutex::new(State {
+                map: HashMap::new(),
+                bytes: 0,
+            }),
+            composed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine's miss path: lookup under the lock, compose outside
+    /// it, re-lock and insert only if still absent (first insert wins;
+    /// the loser serves its own compose result and drops it).
+    // The two-step contains_key + insert deliberately mirrors
+    // `ServeEngine::admit`'s shape — the guard under test.
+    #[allow(clippy::map_entry)]
+    fn serve(&self, key: u64) -> Plan {
+        if let Some(plan) = self.state.lock().unwrap().map.get(&key) {
+            return Arc::clone(plan);
+        }
+        // Compose outside the lock (the expensive step).
+        let plan: Plan = Arc::new(self.composed.fetch_add(1, Relaxed));
+        let mut st = self.state.lock().unwrap();
+        if !st.map.contains_key(&key) {
+            st.map.insert(key, Arc::clone(&plan));
+            st.bytes += PLAN_BYTES;
+        }
+        plan
+    }
+
+    /// Seeded bug: `admit` without its still-absent check. A losing
+    /// insert replaces the winner's entry and charges the budget again.
+    fn serve_unguarded(&self, key: u64) -> Plan {
+        if let Some(plan) = self.state.lock().unwrap().map.get(&key) {
+            return Arc::clone(plan);
+        }
+        let plan: Plan = Arc::new(self.composed.fetch_add(1, Relaxed));
+        let mut st = self.state.lock().unwrap();
+        st.map.insert(key, Arc::clone(&plan));
+        st.bytes += PLAN_BYTES;
+        plan
+    }
+
+    fn check_accounting(&self) {
+        let st = self.state.lock().unwrap();
+        assert_eq!(
+            st.bytes,
+            st.map.len() * PLAN_BYTES,
+            "cache byte accounting diverged from contents"
+        );
+    }
+}
+
+#[test]
+fn two_concurrent_misses_converge_to_one_entry() {
+    let report = model(|| {
+        let cache = Arc::new(Cache::new());
+        let t = {
+            let cache = Arc::clone(&cache);
+            spawn_named("miss-b", move || cache.serve(42)).expect("spawn model thread")
+        };
+        let plan_a = cache.serve(42);
+        let plan_b = t.join().unwrap();
+        // Compose ran at least once and at most twice.
+        let composed = cache.composed.load(Relaxed);
+        assert!((1..=2).contains(&composed), "composed {composed}");
+        // Both requests got a plan that compose actually produced.
+        assert!(*plan_a < composed && *plan_b < composed);
+        cache.check_accounting();
+        {
+            // Exactly one entry survives, and it is one of the two plans.
+            let st = cache.state.lock().unwrap();
+            assert_eq!(st.map.len(), 1);
+            let cached = st.map.get(&42).expect("entry must exist");
+            assert!(
+                Arc::ptr_eq(cached, &plan_a) || Arc::ptr_eq(cached, &plan_b),
+                "cached plan is neither thread's"
+            );
+        }
+        // A subsequent request hits and returns the cached identity.
+        let again = cache.serve(42);
+        let st = cache.state.lock().unwrap();
+        assert!(Arc::ptr_eq(&again, st.map.get(&42).unwrap()));
+        assert_eq!(
+            cache.composed.load(Relaxed),
+            composed,
+            "hit must not compose"
+        );
+    });
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+#[test]
+fn unguarded_insert_breaks_accounting_and_is_caught() {
+    let checker = Model {
+        wedge_timeout: Duration::from_secs(2),
+        ..Model::default()
+    };
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        checker.check(|| {
+            let cache = Arc::new(Cache::new());
+            let t = {
+                let cache = Arc::clone(&cache);
+                spawn_named("miss-b", move || cache.serve_unguarded(7)).expect("spawn model thread")
+            };
+            let _mine = cache.serve_unguarded(7);
+            let _other = t.join().unwrap();
+            // In the schedule where both threads miss before either
+            // inserts, both inserts land: one map entry, two plans'
+            // bytes charged — the budget leak `admit`'s guard prevents.
+            cache.check_accounting();
+        });
+    }));
+    let msg = match result {
+        Ok(()) => panic!("the checker must catch the unguarded insert"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default(),
+    };
+    assert!(msg.contains("accounting"), "unexpected failure: {msg}");
+}

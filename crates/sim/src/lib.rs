@@ -43,6 +43,12 @@ pub mod device;
 pub mod parallel;
 pub mod pool;
 pub mod profile;
+pub mod sync;
+
+/// The shadow-memory race detector backing [`parallel::DisjointSlice`]
+/// and the kernels' single-writer fast paths (re-exported from
+/// `lf-check`; a no-op in release builds).
+pub use lf_check::shadow;
 
 pub use atomicf::AtomicScalar;
 pub use coalesce::{segment_transactions, warp_transactions};

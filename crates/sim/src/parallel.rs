@@ -20,6 +20,7 @@
 //!   alternative to per-element atomics for single-writer outputs.
 
 use crate::pool;
+use crate::shadow::ShadowRegion;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -169,12 +170,17 @@ where
 {
     let mut out: Vec<T> = Vec::with_capacity(n);
     let base = SendPtr(out.as_mut_ptr());
+    // Debug builds verify the exactly-once claim per slot through the
+    // shadow interval map (release: no-op ZST).
+    let shadow = ShadowRegion::new(n);
     parallel_for_init(n, workers, init, |state, i| {
+        shadow.claim_exclusive(i, 1);
         // SAFETY: `i` is produced exactly once by the parallel_for
-        // contract, and `i < n <= capacity`, so writes are in-bounds and
-        // disjoint. Written slots are only exposed via `set_len` below,
-        // after all writers joined. A panic mid-region leaks (never
-        // drops) partially written elements — safe, just not tidy.
+        // contract (checked by the shadow claim above in debug builds),
+        // and `i < n <= capacity`, so writes are in-bounds and disjoint.
+        // Written slots are only exposed via `set_len` below, after all
+        // writers joined. A panic mid-region leaks (never drops)
+        // partially written elements — safe, just not tidy.
         unsafe { base.write_at(i, f(state, i)) };
     });
     // SAFETY: all n slots were initialized above.
@@ -184,7 +190,13 @@ where
 
 /// Raw-pointer wrapper so disjoint writers can share one output buffer.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only used through `write_at`, whose contract
+// requires in-bounds, exactly-once-per-slot writes; with `T: Send` such
+// disjoint cross-thread writes are sound, and the buffer owner outlives
+// the region (the pool's broadcast joins before `set_len`).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` exposes no aliasing reads — shared access only
+// forwards to the disjoint `write_at` writes justified above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -202,9 +214,14 @@ impl<T> SendPtr<T> {
 /// a single writer (CSR/ELL/SELL rows, non-atomic CELL buckets): instead
 /// of routing every scalar through an atomic CAS, a worker takes its
 /// row's subslice once and uses ordinary loads/stores.
+///
+/// Debug builds register every `slice_mut` range in a [`ShadowRegion`]:
+/// two overlapping carves — the race `unsafe` callers promise away —
+/// panic at the second claim instead of corrupting the output.
 pub struct DisjointSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    shadow: ShadowRegion,
     _borrow: PhantomData<&'a mut [T]>,
 }
 
@@ -220,6 +237,7 @@ impl<'a, T> DisjointSlice<'a, T> {
         DisjointSlice {
             ptr: data.as_mut_ptr(),
             len: data.len(),
+            shadow: ShadowRegion::new(data.len()),
             _borrow: PhantomData,
         }
     }
@@ -238,8 +256,10 @@ impl<'a, T> DisjointSlice<'a, T> {
     ///
     /// # Safety
     ///
-    /// The caller must guarantee that no two concurrently live calls
-    /// overlap. The range itself is bounds-checked.
+    /// The caller must guarantee that no two calls for overlapping
+    /// ranges are made over this view's lifetime (debug builds enforce
+    /// this through the shadow map, treating every carve as live until
+    /// the view drops). The range itself is bounds-checked.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         assert!(
@@ -247,6 +267,10 @@ impl<'a, T> DisjointSlice<'a, T> {
             "disjoint slice range {start}+{len} out of bounds (len {})",
             self.len
         );
+        // Register the carve before creating the aliasing-sensitive
+        // reference: an overlapping claim panics here (debug builds),
+        // before any store can race.
+        self.shadow.claim_exclusive(start, len);
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)
     }
 }
@@ -384,6 +408,30 @@ mod tests {
         let mut data = vec![0u8; 8];
         let view = DisjointSlice::new(&mut data);
         let _ = unsafe { view.slice_mut(6, 4) };
+    }
+
+    /// Seeded bug: a split whose halves overlap by two elements. The
+    /// shadow race detector must reject the second carve before any
+    /// aliasing write happens.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "single-writer")]
+    fn disjoint_slice_overlapping_split_detected() {
+        let mut data = vec![0u32; 16];
+        let view = DisjointSlice::new(&mut data);
+        let _lo = unsafe { view.slice_mut(0, 10) };
+        let _hi = unsafe { view.slice_mut(8, 8) }; // [8,10) double-claimed
+    }
+
+    /// Seeded bug: an out-of-bounds claim against the shadow region
+    /// directly (the `SendPtr`-style raw-write path has no slice bounds
+    /// check of its own — the shadow map is the safety net).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn shadow_claim_out_of_bounds_detected() {
+        let region = crate::shadow::ShadowRegion::new(8);
+        region.claim_exclusive(6, 4);
     }
 
     #[test]

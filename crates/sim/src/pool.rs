@@ -29,11 +29,20 @@
 //!   dangle and the pool keeps all its threads.
 //! * The global pool ([`global`]) lives for the process. Locally
 //!   constructed pools (tests) shut their workers down on drop.
+//!
+//! The broadcast protocol (publish / slot win / latch / unpublish /
+//! `wait_idle` / panic re-raise) is built on [`crate::sync`], so a
+//! `--features check` build runs it under the `lf-check` model checker:
+//! `tests/model_pool.rs` explores its thread interleavings exhaustively
+//! (bounded), including panicking bodies, and proves the [`Job::alive`]
+//! liveness witness is never violated. [`ThreadPool::broadcast_reverted`]
+//! (feature-gated) re-creates the pre-review protocol without the drop
+//! guard, whose submitter-panic use-after-free the checker re-discovers.
 
+use crate::sync::{thread, AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// Lock a mutex, ignoring poison: pool state stays consistent across
 /// panics by construction (no invariants are broken mid-update), and the
@@ -65,9 +74,28 @@ struct Job {
     /// First panic payload caught on a worker, re-raised by the submitter
     /// once the region has joined.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Liveness witness for the borrowed closure: `true` while the
+    /// submitting frame guarantees the `body` pointee is alive. The
+    /// fixed protocol clears it only *after* unpublish + `wait_idle`, so
+    /// a worker can assert it right before dereferencing `body` — under
+    /// the model checker this turns the use-after-free of a broken
+    /// protocol (e.g. [`ThreadPool::broadcast_reverted`]) into a
+    /// deterministic failure instead of silent UB.
+    alive: AtomicBool,
 }
 
 impl Job {
+    fn new(body: RawFn, helpers: usize) -> Arc<Job> {
+        Arc::new(Job {
+            body,
+            slots: AtomicUsize::new(helpers),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+            panic: Mutex::new(None),
+            alive: AtomicBool::new(true),
+        })
+    }
+
     fn wait_idle(&self) {
         let mut active = lock_unpoisoned(&self.active);
         while *active > 0 {
@@ -105,6 +133,9 @@ impl Drop for BroadcastGuard<'_> {
             }
         }
         self.job.wait_idle();
+        // Only now is the borrowed closure allowed to die: no worker can
+        // join (unpublished) and none is inside the body (idle latch).
+        self.job.alive.store(false, Ordering::Release);
         // Re-raise a worker-side panic on the submitting thread — unless
         // the submitter's own body already panicked, in which case that
         // unwind (currently in flight) takes precedence.
@@ -135,7 +166,7 @@ struct Shared {
 /// spawns its workers once, so this counter must stay flat while a
 /// `ServeEngine` handles arbitrarily many concurrent requests. The
 /// stress suite asserts exactly that (no pool-per-request churn).
-static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+static WORKERS_SPAWNED: StdAtomicUsize = StdAtomicUsize::new(0);
 
 /// Total pool worker threads spawned since process start.
 pub fn workers_spawned_total() -> usize {
@@ -145,7 +176,7 @@ pub fn workers_spawned_total() -> usize {
 /// A pool of parked worker threads executing broadcast parallel regions.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -164,9 +195,7 @@ impl ThreadPool {
         let handles = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name("lf-pool-worker".into())
-                    .spawn(move || worker_loop(&shared))
+                thread::spawn_named("lf-pool-worker", move || worker_loop(&shared))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -176,6 +205,15 @@ impl ThreadPool {
     /// Number of pool worker threads (excluding callers).
     pub fn threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Publish `job` as the pool's current work and wake the workers.
+    fn publish(&self, job: &Arc<Job>) {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        st.epoch += 1;
+        st.job = Some(Arc::clone(job));
+        drop(st);
+        self.shared.work_ready.notify_all();
     }
 
     /// Run `body` on the calling thread and on up to `helpers` pool
@@ -190,23 +228,15 @@ impl ThreadPool {
             body();
             return;
         }
-        // Erase the borrow's lifetime so the job can live in the slot;
-        // `wait_idle` below keeps the pointee alive for every use.
+        // SAFETY: the transmute only erases the borrow's lifetime so the
+        // job can live in the slot; it is sound because `BroadcastGuard`
+        // (dropped before this frame returns or finishes unwinding)
+        // unpublishes the job and drains the active latch, so no worker
+        // holds or can acquire the pointer once the borrow ends.
         let body_ptr: *const (dyn Fn() + Sync) =
             unsafe { std::mem::transmute(body as *const (dyn Fn() + Sync)) };
-        let job = Arc::new(Job {
-            body: RawFn(body_ptr),
-            slots: AtomicUsize::new(helpers),
-            active: Mutex::new(0),
-            idle: Condvar::new(),
-            panic: Mutex::new(None),
-        });
-        {
-            let mut st = lock_unpoisoned(&self.shared.state);
-            st.epoch += 1;
-            st.job = Some(Arc::clone(&job));
-        }
-        self.shared.work_ready.notify_all();
+        let job = Job::new(RawFn(body_ptr), helpers);
+        self.publish(&job);
         // From here on the cleanup (unpublish + wait_idle) must run even
         // if `body` unwinds, so it lives in a drop guard.
         let guard = BroadcastGuard {
@@ -218,6 +248,64 @@ impl ThreadPool {
         body();
         // Unpublish, wait for joined workers, re-raise any worker panic.
         drop(guard);
+    }
+
+    /// The pre-review broadcast protocol, kept (feature-gated) as the
+    /// model checker's seeded bug: the unpublish + `wait_idle` epilogue
+    /// runs straight-line after `body()` instead of in a drop guard, so
+    /// a submitter-side panic skips both and a late-waking worker
+    /// dereferences the dead frame's closure — the exact use-after-free
+    /// the PR-2 review caught. `tests/model_pool.rs` asserts the checker
+    /// re-discovers it.
+    #[cfg(feature = "check")]
+    pub fn broadcast_reverted(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        let helpers = helpers.min(self.handles.len());
+        if helpers == 0 {
+            body();
+            return;
+        }
+        // SAFETY: same lifetime erasure as `broadcast` — except the
+        // reverted protocol does NOT keep the promise on the panic path,
+        // which is precisely the bug the model checker must find (the
+        // `alive` witness turns the dangling dereference into an
+        // assertion failure instead of UB).
+        let body_ptr: *const (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn() + Sync)) };
+        let job = Job::new(RawFn(body_ptr), helpers);
+        self.publish(&job);
+        // Models the submitting stack frame dying on unwind: after this
+        // drop runs during a panic, the body pointer dangles — without
+        // the job having been unpublished or drained.
+        struct FrameSentinel<'a> {
+            job: &'a Arc<Job>,
+        }
+        impl Drop for FrameSentinel<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.job.alive.store(false, Ordering::Release);
+                }
+            }
+        }
+        let sentinel = FrameSentinel { job: &job };
+        body();
+        drop(sentinel);
+        // Buggy epilogue: correct on the happy path, skipped on unwind.
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            if st
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, &job))
+            {
+                st.job = None;
+            }
+        }
+        job.wait_idle();
+        job.alive.store(false, Ordering::Release);
+        let payload = lock_unpoisoned(&job.panic).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -271,6 +359,16 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // The liveness witness must hold between the slot win above and
+        // the dereference below; a violation means the protocol let the
+        // submitting frame die first. Deliberately outside the
+        // catch_unwind: this is a worker-loop invariant, not a body
+        // panic, and must propagate (the model checker records it).
+        assert!(
+            job.alive.load(Ordering::Acquire),
+            "pool protocol use-after-free: worker joined a job whose submitting \
+             frame already died (the body pointer would dangle)"
+        );
         // SAFETY: the submitter blocks in `wait_idle` until our decrement
         // below (its drop guard runs that wait even while the submitter's
         // own body call unwinds), so the pointee is alive for the whole
@@ -343,7 +441,7 @@ mod tests {
     fn sequential_broadcasts_reuse_workers() {
         let pool = ThreadPool::new(2);
         for _ in 0..100 {
-            let counter = AtomicUsize::new(0);
+            let counter = StdAtomicUsize::new(0);
             let total = 1000usize;
             pool.broadcast(2, &|| loop {
                 let i = counter.fetch_add(1, Ordering::Relaxed);
@@ -400,7 +498,7 @@ mod tests {
     #[test]
     fn worker_panic_propagates_and_pool_survives() {
         let pool = ThreadPool::new(2);
-        let entered = AtomicUsize::new(0);
+        let entered = StdAtomicUsize::new(0);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.broadcast(2, &|| {
                 if std::thread::current().name() == Some("lf-pool-worker") {

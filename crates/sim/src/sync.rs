@@ -1,0 +1,43 @@
+//! The execution engine's synchronization primitives, switchable to the
+//! `lf-check` model-checked versions.
+//!
+//! Default build: zero-cost re-exports of `std::sync`, so the pool pays
+//! nothing for checkability. With `--features check`: `lf-check`'s
+//! instrumented primitives, which hand the model checker a scheduling
+//! decision at every operation *inside a model run* and transparently
+//! delegate to `std` outside one — a `check`-featured build still runs
+//! the whole ordinary test suite.
+//!
+//! Only protocol-relevant state goes through this module (the pool's
+//! state mutex/condvar, the job latch, slot and liveness atomics). Hot
+//! numeric-path atomics (`atomicf`, chunk counters) intentionally stay
+//! on `std`: they are data-plane, their correctness is covered by the
+//! shadow race detector and differential tests, and modeling them would
+//! blow up the schedule space.
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{AtomicBool, AtomicUsize};
+#[cfg(not(feature = "check"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "check")]
+pub use lf_check::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "check")]
+pub use lf_check::sync::thread;
+
+/// Thread spawning with a name, mirroring the `lf_check::sync::thread`
+/// surface so pool code is identical under both builds.
+#[cfg(not(feature = "check"))]
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a named OS thread.
+    pub fn spawn_named<F, T>(name: &str, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::Builder::new().name(name.to_string()).spawn(f)
+    }
+}

@@ -1,0 +1,177 @@
+//! Model-checked verification of the worker pool's broadcast protocol.
+//!
+//! Only compiled with `--features check`: the pool's sync primitives then
+//! come from `lf-check`, and every scenario below is explored over all
+//! bounded thread interleavings (preemption-bounded DFS) instead of the
+//! one schedule the OS happens to pick.
+//!
+//! Proven here:
+//!
+//! * the publish / slot-win / latch / unpublish / `wait_idle` protocol
+//!   never lets a worker touch a job whose submitting frame died
+//!   (the `Job::alive` liveness witness), across two workers and two
+//!   consecutive regions, and no body runs after `broadcast` returns;
+//! * a panicking submitter body still unpublishes and drains the region
+//!   (the PR-2 fix), leaving the pool reusable, in *every* schedule;
+//! * a panicking worker body propagates to the submitter in every
+//!   schedule;
+//! * with the fix reverted (`broadcast_reverted`), the checker
+//!   re-discovers the original submitter-panic use-after-free.
+
+#![cfg(feature = "check")]
+
+use lf_check::{model, Model};
+use lf_sim::pool::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn failure_message<T>(result: std::thread::Result<T>) -> String {
+    let payload = match result {
+        Ok(_) => panic!("the model must find the seeded bug"),
+        Err(p) => p,
+    };
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+fn on_worker() -> bool {
+    std::thread::current().name() == Some("lf-pool-worker")
+}
+
+/// The core protocol proof: two workers, two consecutive regions. In
+/// every explored schedule each region's body runs at least once (the
+/// submitter always participates), no body call is observed after its
+/// `broadcast` returned, and the liveness witness never fires.
+///
+/// Bodies use plain `std` atomics (unmodeled): the checker only branches
+/// on the pool's own sync operations, which is exactly the protocol
+/// under test and keeps the schedule space tractable.
+#[test]
+fn pool_protocol_two_workers_two_regions() {
+    let report = model(|| {
+        let pool = ThreadPool::new(2);
+        for _region in 0..2 {
+            let runs = Arc::new(AtomicUsize::new(0));
+            let done = Arc::new(AtomicBool::new(false));
+            {
+                let (runs, done) = (Arc::clone(&runs), Arc::clone(&done));
+                pool.broadcast(2, &move || {
+                    assert!(!done.load(Relaxed), "body ran after broadcast returned");
+                    runs.fetch_add(1, Relaxed);
+                });
+            }
+            done.store(true, Relaxed);
+            let r = runs.load(Relaxed);
+            assert!((1..=3).contains(&r), "region ran {r} bodies");
+        }
+        drop(pool); // must join both workers in every schedule
+    });
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+/// A submitter-side body panic must, in every schedule, unpublish the
+/// job, drain joined workers, and leave the pool fully reusable — the
+/// protocol obligation whose absence is re-discovered by
+/// [`reverted_fix_use_after_free_is_rediscovered`].
+#[test]
+fn submitter_panic_is_safe_in_all_schedules() {
+    let report = model(|| {
+        let pool = ThreadPool::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(1, &|| {
+                if !on_worker() {
+                    panic!("submitter body panic");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "submitter panic must propagate");
+        // The pool must still work: the dead job was unpublished, the
+        // worker is parked again, nothing dangles.
+        let runs = AtomicUsize::new(0);
+        pool.broadcast(1, &|| {
+            runs.fetch_add(1, Relaxed);
+        });
+        assert!(runs.load(Relaxed) >= 1);
+        drop(pool);
+    });
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+/// A worker-side body panic must reach the submitter in every schedule.
+/// The bodies handshake over the model's own mutex/condvar so the worker
+/// provably joins the region (no spin-waits: those would unboundedly
+/// grow the schedule space).
+#[test]
+fn worker_panic_propagates_in_all_schedules() {
+    let report = model(|| {
+        let pool = ThreadPool::new(1);
+        let entered = Arc::new((
+            lf_check::sync::Mutex::new(false),
+            lf_check::sync::Condvar::new(),
+        ));
+        let caught = {
+            let entered = Arc::clone(&entered);
+            catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast(1, &move || {
+                    let (flag, cv) = &*entered;
+                    if on_worker() {
+                        *flag.lock().unwrap() = true;
+                        cv.notify_all();
+                        panic!("worker body panic");
+                    }
+                    // Submitter: hold the region open until the worker
+                    // joined, so the panic lands inside this job.
+                    let mut g = flag.lock().unwrap();
+                    while !*g {
+                        g = cv.wait(g).unwrap();
+                    }
+                });
+            }))
+        };
+        let msg = failure_message(caught.map_err(|p| -> Box<dyn std::any::Any + Send> { p }));
+        assert!(msg.contains("worker body panic"), "got: {msg}");
+        // The worker caught its own unwind and keeps serving.
+        let runs = AtomicUsize::new(0);
+        pool.broadcast(1, &|| {
+            runs.fetch_add(1, Relaxed);
+        });
+        assert!(runs.load(Relaxed) >= 1);
+        drop(pool);
+    });
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+/// Revert the PR-2 fix and the checker must find the bug again: with the
+/// unpublish + `wait_idle` epilogue in straight-line code instead of a
+/// drop guard, a submitter panic skips it, and the schedule where the
+/// worker wins the job slot *after* the submitting frame died trips the
+/// `Job::alive` use-after-free witness.
+#[test]
+fn reverted_fix_use_after_free_is_rediscovered() {
+    let checker = Model {
+        // The failing schedule leaves a really-dead worker behind; keep
+        // the post-failure drain window short.
+        wedge_timeout: Duration::from_secs(5),
+        ..Model::default()
+    };
+    let msg = failure_message(catch_unwind(AssertUnwindSafe(move || {
+        checker.check(|| {
+            let pool = ThreadPool::new(1);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast_reverted(1, &|| {
+                    if !on_worker() {
+                        panic!("submitter body panic");
+                    }
+                });
+            }));
+            assert!(caught.is_err(), "submitter panic must propagate");
+            drop(pool);
+        });
+    })));
+    assert!(msg.contains("use-after-free"), "unexpected failure: {msg}");
+}

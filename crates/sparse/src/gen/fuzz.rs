@@ -21,7 +21,7 @@ use crate::rng::Pcg32;
 use crate::scalar::Scalar;
 
 /// Number of structural classes [`fuzz_case`] rotates through.
-pub const FUZZ_CLASSES: u64 = 10;
+pub const FUZZ_CLASSES: u64 = 11;
 
 /// One generated differential-testing case.
 #[derive(Debug, Clone)]
@@ -76,6 +76,7 @@ fn generate_structure<T: Scalar>(class: u64, rng: &mut Pcg32) -> (&'static str, 
             let nnz = rng.usize_in(cols / 2, cols * 2);
             ("wide-flat", super::uniform_random(rows, cols, nnz, rng))
         }
+        9 => ("folded-row-heavy", folded_row_heavy(rng)),
         _ => {
             let fam = PatternFamily::ALL[rng.usize_in(0, PatternFamily::ALL.len())];
             let rows = rng.usize_in(8, 180);
@@ -114,6 +115,31 @@ fn single_dense_row<T: Scalar>(rng: &mut Pcg32) -> CooMatrix<T> {
     for r in 0..rows {
         if r != dense_row && rng.bernoulli(0.4) {
             trips.push((r, rng.usize_in(0, cols), nz_value::<T>(rng)));
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, trips).expect("in-bounds by construction")
+}
+
+/// Every third row is long (at least half the column space), the rest
+/// carry at most a few entries. Under a width-capped CELL build most
+/// rows fold into multiple fragments of the maximum bucket, which is the
+/// configuration where the atomic flush path and the shadow detector's
+/// shared claims carry the load — the row-length profile the other
+/// classes rarely produce.
+fn folded_row_heavy<T: Scalar>(rng: &mut Pcg32) -> CooMatrix<T> {
+    let rows = rng.usize_in(16, 64);
+    let cols = rng.usize_in(64, 256);
+    let mut trips = Vec::new();
+    for r in 0..rows {
+        if r % 3 == 0 {
+            let long = rng.usize_in(cols / 2, cols);
+            for c in rng.sample_distinct(cols, long) {
+                trips.push((r, c, nz_value::<T>(rng)));
+            }
+        } else {
+            for _ in 0..rng.usize_in(0, 4) {
+                trips.push((r, rng.usize_in(0, cols), nz_value::<T>(rng)));
+            }
         }
     }
     CooMatrix::from_triplets(rows, cols, trips).expect("in-bounds by construction")
@@ -170,6 +196,15 @@ mod tests {
                 2 => assert_eq!(c.csr.shape(), (0, 0)),
                 3 => assert_eq!(c.csr.nnz(), 0),
                 6 => assert!(c.csr.rows() <= 60 && c.csr.cols() <= 60),
+                9 => {
+                    // At least one long row: folding fodder under a
+                    // width-capped CELL build.
+                    let longest = (0..c.csr.rows())
+                        .map(|r| c.csr.row_ptr()[r + 1] - c.csr.row_ptr()[r])
+                        .max()
+                        .unwrap_or(0);
+                    assert!(longest >= 32, "longest row {longest}");
+                }
                 _ => {}
             }
         }

@@ -11,16 +11,25 @@
 #   --stress  appends the heavy differential/concurrency tier: the
 #             structure-aware kernel fuzzer at raised iteration counts
 #             and the serving-engine stress suite at raised thread and
-#             iteration counts, both in release mode.
+#             iteration counts, both in release mode;
+#   --check   appends the verification tier (lf-check): the model
+#             checker's self-tests, the model-checked pool-protocol and
+#             plan-cache scenarios (including the reverted-fix
+#             use-after-free rediscovery), the shadow race detector's
+#             seeded-bug proofs in debug mode, the differential fuzzer
+#             with the detector live, and the release-mode hot-path
+#             allocation-discipline test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_STRESS=0
+RUN_CHECK=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
     --stress) RUN_STRESS=1 ;;
+    --check) RUN_CHECK=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,6 +46,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> unsafe/ordering lint (lf-check)"
+cargo run -q -p lf-check --bin lint
+
 if [[ "$RUN_BENCH" == "1" ]]; then
   echo "==> bench smoke (bench_spmm --quick)"
   cargo run --release -p lf-bench --bin bench_spmm -- --quick
@@ -52,6 +64,23 @@ if [[ "$RUN_STRESS" == "1" ]]; then
     cargo test --release -p lf-serve --test stress -q
   echo "==> serve cache properties (release)"
   cargo test --release -p lf-serve --test cache_properties -q
+fi
+
+if [[ "$RUN_CHECK" == "1" ]]; then
+  echo "==> model checker self-tests (lf-check)"
+  cargo test -p lf-check -q
+  echo "==> model-checked pool protocol (lf-sim --features check)"
+  cargo test -p lf-sim --features check --test model_pool -q
+  echo "==> full lf-sim suite under instrumented primitives"
+  cargo test -p lf-sim --features check -q
+  echo "==> clippy with the check feature"
+  cargo clippy -p lf-sim --features check --all-targets -- -D warnings
+  echo "==> model-checked plan-cache protocol (lf-serve)"
+  cargo test -p lf-serve --test model_cache -q
+  echo "==> shadow race detector seeded bugs + differential fuzz (debug)"
+  cargo test -p lf-kernels -q
+  echo "==> hot-path allocation discipline (release)"
+  cargo test --release -p lf-kernels --test hot_path_allocs -q
 fi
 
 echo "verify: OK"
