@@ -137,7 +137,7 @@ fn main() {
     // handle — fingerprint paid once at registration — so a hit is
     // lookup + kernel execution only. `hit_payload_ms` is also reported
     // for clients that keep resubmitting payloads.
-    let handle = MatrixHandle::new(csr.clone());
+    let handle = MatrixHandle::new(csr.clone()).expect("benchmark matrix is valid");
     let mut rows = Vec::new();
     let mut t = Table::new(&["serve", "cold_ms", "hit_ms", "hit_payload_ms", "speedup"]);
     let mut min_speedup = f64::INFINITY;
@@ -200,10 +200,11 @@ fn main() {
         .map(|s| {
             let mut r = Pcg32::seed_from_u64(100 + s);
             MatrixHandle::new(CsrMatrix::from_coo(&mixed_regions(n, n, nnz, 4, &mut r)))
+                .expect("benchmark matrix is valid")
         })
         .collect();
     for h in &hot {
-        engine.warm(h, j);
+        engine.warm(h, j).unwrap();
     }
     let t0 = Instant::now();
     std::thread::scope(|scope| {

@@ -31,7 +31,14 @@
 //!    `// SAFETY:` (or `# Safety`) justification, and atomic memory
 //!    `Ordering`s outside the engine's sync layer must come from a
 //!    whitelist.
+//!
+//! 4. **Deterministic fault injection** ([`chaos`]): a seeded,
+//!    process-global plan that tells instrumented call sites in the
+//!    serving layer when to panic, fail an allocation, or take the slow
+//!    path — the fault source for the chaos tier's ledger and
+//!    degradation assertions. Inert unless a plan is installed.
 
+pub mod chaos;
 pub mod sched;
 pub mod shadow;
 pub mod sync;

@@ -89,6 +89,7 @@ impl<T: AtomicScalar> CompositionPlan<T> {
             tuned_j,
             overhead: self.overhead,
             profile: self.profile,
+            degraded: false,
         }
     }
 }
@@ -119,6 +120,11 @@ pub struct PreparedPlan<T: AtomicScalar> {
     pub overhead: OverheadBreakdown,
     /// Per-stage wall clock and allocation counters of the construction.
     pub profile: PreprocessProfile,
+    /// `true` when this plan is a **degraded fallback**: the intended
+    /// composition (CELL) failed, timed out, or was circuit-broken, and
+    /// the plan executes the baseline CSR kernel instead. The serving
+    /// layer counts such requests separately and never caches the plan.
+    pub degraded: bool,
 }
 
 impl<T: AtomicScalar> PreparedPlan<T> {
@@ -133,6 +139,7 @@ impl<T: AtomicScalar> PreparedPlan<T> {
             tuned_j: 0,
             overhead: profile.overhead(),
             profile,
+            degraded: false,
         }
     }
 
@@ -143,12 +150,20 @@ impl<T: AtomicScalar> PreparedPlan<T> {
             tuned_j: 0,
             overhead: profile.overhead(),
             profile,
+            degraded: false,
         }
     }
 
     /// Set the width the plan was tuned for (builder style).
     pub fn with_tuned_j(mut self, j: usize) -> Self {
         self.tuned_j = j;
+        self
+    }
+
+    /// Mark the plan as a degraded fallback (builder style; see
+    /// [`PreparedPlan::degraded`]).
+    pub fn mark_degraded(mut self) -> Self {
+        self.degraded = true;
         self
     }
 
@@ -202,6 +217,7 @@ impl<T: AtomicScalar> std::fmt::Debug for PreparedPlan<T> {
             .field("shape", &self.shape())
             .field("tuned_j", &self.tuned_j)
             .field("format_bytes", &self.format_bytes())
+            .field("degraded", &self.degraded)
             .finish()
     }
 }

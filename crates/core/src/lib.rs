@@ -21,6 +21,7 @@
 //! shipped as a [`ModelBundle`].
 
 pub mod composer;
+pub mod error;
 pub mod predictor;
 pub mod pretrained;
 pub mod profile;
@@ -28,6 +29,7 @@ pub mod selector;
 pub mod training;
 
 pub use composer::{CompositionPlan, LiteForm, OverheadBreakdown, PlanKind, PreparedPlan};
+pub use error::{panic_detail, LfError, LfResult};
 pub use predictor::PartitionPredictor;
 pub use pretrained::ModelBundle;
 pub use profile::{PreprocessProfile, StageStats};

@@ -8,6 +8,14 @@
 //! requires every result to match `CsrMatrix::spmm_reference` within the
 //! engine suite's 1e-9 bound.
 //!
+//! The corpus also rotates through a **malformed** class (broken
+//! row-pointer monotonicity, out-of-range column indices, length
+//! mismatches, non-finite values). Those cases exercise the *rejection*
+//! contract instead: strict validation must return a typed
+//! `SparseError` — never panic, never a wrong answer — and the kernel
+//! comparison is skipped, since kernel constructors are only defined
+//! over valid CSR.
+//!
 //! In debug builds the shadow race detector is live underneath every
 //! kernel: each run also proves the disjoint-write claims (plain-store
 //! rows single-writer, atomic rows shared) hold for the generated
@@ -64,6 +72,23 @@ fn fuzz_differential_all_kernels_match_reference() {
     for seed in 0..iters() {
         let case = fuzz_case::<f64>(seed);
         let (csr, j) = (&case.csr, case.j);
+        if case.malformed {
+            // Malformed payloads must be caught by strict validation
+            // (the serving layer's ingress gate) with a typed error.
+            // Kernels are only defined over valid CSR, so the
+            // differential comparison does not apply.
+            assert!(
+                csr.validate_finite().is_err(),
+                "seed {seed} [{}]: malformed case passed strict validation",
+                case.label
+            );
+            continue;
+        }
+        assert!(
+            csr.validate().is_ok(),
+            "seed {seed} [{}]: well-formed case failed validation",
+            case.label
+        );
         let mut rng = Pcg32::new(seed, 0xB0B);
         let b = DenseMatrix::random(csr.cols(), j, &mut rng);
         let want = csr.spmm_reference(&b).unwrap();

@@ -1,16 +1,37 @@
 //! The concurrent serving engine: a sharded, byte-budgeted LRU of
-//! prepared composition plans.
+//! prepared composition plans, hardened against hostile inputs, panics,
+//! and deadline overruns.
 //!
 //! Request path (`serve` / `serve_handle`):
 //!
-//! 1. fingerprint the matrix (skipped for handles, which carry theirs);
-//! 2. look the `(fingerprint, j)` key up in the shard the fingerprint
+//! 1. **validate** the payload (strict CSR structure, NaN/Inf policy) —
+//!    malformed matrices are rejected with a typed
+//!    [`LfError::InvalidInput`] *before* fingerprinting, so they never
+//!    touch the cache or the hit/miss ledger;
+//! 2. **admit** under the backpressure gate (`max_inflight`) and arm the
+//!    per-request deadline as a cooperative
+//!    [`lf_sim::cancel::CancelToken`] — parallel regions under this
+//!    request check it between chunks, so an oversized request times out
+//!    cleanly instead of wedging pool workers;
+//! 3. fingerprint the matrix (skipped for handles, which carry theirs);
+//! 4. look the `(fingerprint, j)` key up in the shard the fingerprint
 //!    maps to — a **hit** returns the cached [`PreparedPlan`] and pays
 //!    only the kernel execution;
-//! 3. on a **miss**, the planner composes outside any lock (other
-//!    requests — including other misses — proceed concurrently), the
-//!    plan is admitted under the shard's byte budget (evicting whole
-//!    least-recently-used plans), and the request executes it.
+//! 5. on a **miss**, the planner composes outside any lock (other
+//!    requests — including other misses — proceed concurrently) under
+//!    `catch_unwind`; the plan is admitted under the shard's byte budget
+//!    (evicting whole least-recently-used plans) and the request
+//!    executes it, also under `catch_unwind`.
+//!
+//! Failures are contained per request (DESIGN.md §10): a panicking
+//! *execution* quarantines the cached plan (poisoned, evicted exactly
+//! once, never re-served) and degrades the request to the baseline
+//! reference CSR result; a panicking *composition* fails the request
+//! with a typed error unless the planner itself degrades (see
+//! [`crate::planner::ResilientPlanner`]). Every request lands in exactly
+//! one ledger class, so
+//! `requests == hits + misses + rejected + degraded + failed` holds
+//! exactly — the chaos tier asserts this identity under fault injection.
 //!
 //! Execution itself runs on the process-wide `lf_sim` worker pool —
 //! every request shares the one pool the kernels already dispatch to, so
@@ -22,17 +43,21 @@
 //! (no cross-request blocking); the first insert wins and the loser's
 //! plan serves only its own request, then drops. This trades a bounded
 //! amount of duplicate cold work for a lock-free compose path.
+//!
+//! [`PreparedPlan`]: liteform_core::PreparedPlan
 
 use crate::fingerprint::Fingerprint;
 use crate::planner::Planner;
 use lf_sim::atomicf::AtomicScalar;
-use lf_sparse::{CsrMatrix, DenseMatrix, Result, Scalar, SparseError};
-use liteform_core::{PreprocessProfile, StageStats};
+use lf_sim::cancel::{self, CancelToken};
+use lf_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
+use liteform_core::{panic_detail, LfError, LfResult, PreparedPlan, PreprocessProfile, StageStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Serving-layer tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +70,18 @@ pub struct ServeConfig {
     /// Split evenly across shards; a plan larger than its shard's slice
     /// is served but never admitted.
     pub byte_budget: usize,
+    /// Per-request deadline in milliseconds (`None` = unbounded). The
+    /// deadline is cooperative: parallel regions notice it between
+    /// chunks, the request fails with [`LfError::DeadlineExceeded`], and
+    /// partial results are discarded, never served.
+    pub deadline_ms: Option<u64>,
+    /// Admission gate: requests beyond this many already in flight are
+    /// rejected with [`LfError::Overloaded`] (`0` = unlimited).
+    pub max_inflight: usize,
+    /// Reject payloads containing NaN/Inf values at ingress (`true`,
+    /// the default). With `false`, only structural validation runs and
+    /// non-finite values propagate into results IEEE-style.
+    pub reject_nonfinite: bool,
 }
 
 impl Default for ServeConfig {
@@ -52,12 +89,16 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 8,
             byte_budget: 256 << 20,
+            deadline_ms: None,
+            max_inflight: 0,
+            reject_nonfinite: true,
         }
     }
 }
 
-/// A registered matrix: fingerprint computed once, payload retained so
-/// the engine can re-compose after an eviction without resubmission.
+/// A registered matrix: validated once, fingerprint computed once,
+/// payload retained so the engine can re-compose after an eviction
+/// without resubmission.
 #[derive(Debug, Clone)]
 pub struct MatrixHandle<T> {
     fingerprint: Fingerprint,
@@ -65,13 +106,16 @@ pub struct MatrixHandle<T> {
 }
 
 impl<T: Scalar> MatrixHandle<T> {
-    /// Register a matrix: fingerprints it (one O(nnz) pass) and wraps the
-    /// payload for cheap sharing across requests.
-    pub fn new(csr: CsrMatrix<T>) -> Self {
-        MatrixHandle {
+    /// Register a matrix: validates it strictly (structure **and**
+    /// finiteness — handles are the trusted fast path, so they always
+    /// get the strict policy), then fingerprints it (one O(nnz) pass)
+    /// and wraps the payload for cheap sharing across requests.
+    pub fn new(csr: CsrMatrix<T>) -> LfResult<Self> {
+        csr.validate_finite()?;
+        Ok(MatrixHandle {
             fingerprint: Fingerprint::of_csr(&csr),
             csr: Arc::new(csr),
-        }
+        })
     }
 
     /// The handle's fingerprint.
@@ -92,9 +136,14 @@ pub struct ServeOutcome<T> {
     pub result: DenseMatrix<T>,
     /// Whether the plan came from the cache.
     pub hit: bool,
+    /// Whether the result came from the degradation ladder (a degraded
+    /// fallback plan, or the reference-CSR rescue after an execution
+    /// panic). Degraded results are exact; only the format is baseline.
+    pub degraded: bool,
     /// The request's cache key fingerprint.
     pub fingerprint: Fingerprint,
-    /// Composition instrumentation — `Some` exactly on misses.
+    /// Composition instrumentation — `Some` exactly when this request
+    /// composed a plan (cache misses, including degraded composes).
     pub compose: Option<PreprocessProfile>,
     /// End-to-end wall seconds for this request (lookup + compose if
     /// cold + execution).
@@ -103,22 +152,41 @@ pub struct ServeOutcome<T> {
 
 /// Counter snapshot, [`StageStats`]-style: wall clock plus allocation
 /// counters where the engine measures them.
+///
+/// The five request classes are disjoint and exhaustive — every call to
+/// `serve`/`serve_handle` bumps exactly one of `hits`, `misses`,
+/// `rejected`, `degraded`, `failed`, so
+/// [`ServeStats::requests`]` == hits + misses + rejected + degraded +
+/// failed` holds exactly at every quiescent point.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
-    /// Requests answered from the cache.
+    /// Requests answered from the cache (and executed cleanly).
     pub hits: u64,
-    /// Requests that composed a plan.
+    /// Requests that composed a plan (and executed cleanly).
     pub misses: u64,
+    /// Requests rejected at ingress: invalid payload, dimension
+    /// mismatch, or the admission gate ([`LfError::is_rejection`]).
+    pub rejected: u64,
+    /// Requests answered through the degradation ladder: the result is
+    /// exact but came from a baseline-format fallback.
+    pub degraded: u64,
+    /// Requests that failed after admission with a typed error
+    /// (deadline exceeded, contained panic with no fallback, compose
+    /// failure).
+    pub failed: u64,
     /// Plans evicted to make room under the byte budget.
     pub evictions: u64,
     /// Plans too large for their shard's budget slice (served, never
     /// admitted).
-    pub rejected: u64,
+    pub oversized: u64,
+    /// Cached plans poisoned by an execution panic and evicted by the
+    /// quarantine protocol (exactly once per plan).
+    pub quarantined: u64,
     /// Accumulated cold-compose cost across all misses (wall + allocs,
     /// via the `lf-sim` counting allocator).
     pub cold_compose: StageStats,
-    /// Accumulated end-to-end serve wall time across all requests
-    /// (allocation fields unused).
+    /// Accumulated end-to-end serve wall time across all admitted
+    /// requests (allocation fields unused).
     pub serve: StageStats,
     /// Plans currently cached.
     pub cached_plans: usize,
@@ -127,22 +195,42 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Total requests served.
+    /// Total requests, over all five disjoint outcome classes.
     pub fn requests(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.misses + self.rejected + self.degraded + self.failed
     }
 
-    /// Fraction of requests answered from the cache (0 when idle).
+    /// Fraction of cleanly executed plan requests answered from the
+    /// cache (0 when idle).
     pub fn hit_rate(&self) -> f64 {
-        if self.requests() == 0 {
+        if self.hits + self.misses == 0 {
             return 0.0;
         }
-        self.hits as f64 / self.requests() as f64
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+/// A cached plan plus its poison flag. The `Arc` is shared between the
+/// shard map and in-flight executions, so a request that catches the
+/// plan panicking can quarantine it for everyone: the first poisoner
+/// (atomic swap) evicts the entry; late lookups that still see the entry
+/// treat a poisoned slot as a miss and sweep it.
+struct PlanSlot<T: AtomicScalar> {
+    plan: PreparedPlan<T>,
+    poisoned: AtomicBool,
+}
+
+impl<T: AtomicScalar> PlanSlot<T> {
+    fn new(plan: PreparedPlan<T>) -> Arc<Self> {
+        Arc::new(PlanSlot {
+            plan,
+            poisoned: AtomicBool::new(false),
+        })
     }
 }
 
 struct Entry<T: AtomicScalar> {
-    plan: Arc<liteform_core::PreparedPlan<T>>,
+    slot: Arc<PlanSlot<T>>,
     bytes: usize,
     last_used: u64,
 }
@@ -156,8 +244,13 @@ struct Shard<T: AtomicScalar> {
 struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
-    evictions: AtomicU64,
     rejected: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    evictions: AtomicU64,
+    oversized: AtomicU64,
+    quarantined: AtomicU64,
+    inflight: AtomicUsize,
     cold_wall_ns: AtomicU64,
     cold_alloc_calls: AtomicU64,
     cold_alloc_bytes: AtomicU64,
@@ -168,8 +261,30 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// RAII admission permit: holds one in-flight slot, released on drop
+/// (even if the request unwinds).
+struct InflightPermit<'a> {
+    gauge: &'a AtomicUsize,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// An admitted request's successful body result, before the single
+/// classification point assigns it a ledger class.
+struct Served<T> {
+    result: DenseMatrix<T>,
+    hit: bool,
+    degraded: bool,
+    compose: Option<PreprocessProfile>,
+}
+
 /// A thread-safe SpMM server: plans composed once per `(matrix, j)`,
-/// cached under a byte budget, executed on the shared worker pool.
+/// cached under a byte budget, executed on the shared worker pool, with
+/// per-request fault isolation (see the module docs).
 pub struct ServeEngine<T: AtomicScalar, P> {
     planner: P,
     config: ServeConfig,
@@ -204,29 +319,71 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         &self.planner
     }
 
-    /// Serve a raw CSR payload: fingerprints the matrix, then runs the
-    /// cached or freshly composed plan against `b`.
-    pub fn serve(&self, csr: &CsrMatrix<T>, b: &DenseMatrix<T>) -> Result<ServeOutcome<T>> {
+    /// Serve a raw CSR payload: validates it (rejecting malformed input
+    /// with a typed error before the fingerprinter, the cache, or any
+    /// counter other than `rejected` is touched), fingerprints it, then
+    /// runs the cached or freshly composed plan against `b`.
+    pub fn serve(&self, csr: &CsrMatrix<T>, b: &DenseMatrix<T>) -> LfResult<ServeOutcome<T>> {
+        let checked = if self.config.reject_nonfinite {
+            csr.validate_finite()
+        } else {
+            csr.validate()
+        };
+        if let Err(e) = checked {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e.into());
+        }
         let fp = Fingerprint::of_csr(csr);
         self.serve_keyed(&fp, csr, b)
     }
 
-    /// Serve a registered handle: skips fingerprinting entirely.
-    pub fn serve_handle(&self, h: &MatrixHandle<T>, b: &DenseMatrix<T>) -> Result<ServeOutcome<T>> {
+    /// Serve a registered handle: skips validation (done at
+    /// registration) and fingerprinting entirely.
+    pub fn serve_handle(
+        &self,
+        h: &MatrixHandle<T>,
+        b: &DenseMatrix<T>,
+    ) -> LfResult<ServeOutcome<T>> {
         self.serve_keyed(h.fingerprint(), h.csr(), b)
     }
 
     /// Pre-compose a handle's plan for width `j` (admission-warming).
-    /// Returns `true` if a plan was composed, `false` on an existing
-    /// cached plan.
-    pub fn warm(&self, h: &MatrixHandle<T>, j: usize) -> bool {
+    /// Returns `Ok(true)` if a plan was composed, `Ok(false)` on an
+    /// existing cached plan or a degraded compose (degraded plans are
+    /// never cached). Warming is not a request: it touches no ledger
+    /// class.
+    pub fn warm(&self, h: &MatrixHandle<T>, j: usize) -> LfResult<bool> {
         let key = (*h.fingerprint(), j);
         if self.lookup(&key).is_some() {
-            return false;
+            return Ok(false);
         }
-        let plan = self.compose_counted(h.csr(), j);
-        self.admit(key, plan);
-        true
+        let slot = self.compose_guarded(Self::digest(h.fingerprint(), j), h.csr(), j)?;
+        if slot.plan.degraded {
+            return Ok(false);
+        }
+        self.admit(key, slot);
+        Ok(true)
+    }
+
+    /// Stable per-`(matrix, j)` key for planner failure memory.
+    fn digest(fp: &Fingerprint, j: usize) -> u64 {
+        fp.digest() ^ (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Claim an in-flight slot or reject with [`LfError::Overloaded`].
+    fn try_admit(&self) -> LfResult<InflightPermit<'_>> {
+        let max = self.config.max_inflight;
+        let inflight = self.counters.inflight.fetch_add(1, Ordering::Relaxed);
+        if max != 0 && inflight >= max {
+            self.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+            return Err(LfError::Overloaded {
+                inflight,
+                max_inflight: max,
+            });
+        }
+        Ok(InflightPermit {
+            gauge: &self.counters.inflight,
+        })
     }
 
     fn serve_keyed(
@@ -234,81 +391,251 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         fp: &Fingerprint,
         csr: &CsrMatrix<T>,
         b: &DenseMatrix<T>,
-    ) -> Result<ServeOutcome<T>> {
+    ) -> LfResult<ServeOutcome<T>> {
+        let t0 = Instant::now();
         if csr.cols() != b.rows() {
-            return Err(SparseError::DimensionMismatch {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(LfError::InvalidInput(SparseError::DimensionMismatch {
                 op: "serve",
                 lhs: csr.shape(),
                 rhs: b.shape(),
-            });
+            }));
         }
-        let t0 = Instant::now();
-        let j = b.cols();
-        let key = (*fp, j);
-        let (plan, hit, compose) = match self.lookup(&key) {
-            Some(plan) => (plan, true, None),
-            None => {
-                let plan = self.compose_counted(csr, j);
-                let profile = plan.profile;
-                self.admit(key, Arc::clone(&plan));
-                (plan, false, Some(profile))
+        let _permit = match self.try_admit() {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
             }
         };
-        let result = plan.run(b)?;
-        let serve_wall_s = t0.elapsed().as_secs_f64();
-        let bump = if hit {
-            &self.counters.hits
-        } else {
-            &self.counters.misses
+        let token = self
+            .config
+            .deadline_ms
+            .map(|ms| CancelToken::with_deadline(t0 + Duration::from_millis(ms)));
+        let served = match &token {
+            Some(t) => cancel::with_token(t, || self.serve_admitted(fp, csr, b)),
+            None => self.serve_admitted(fp, csr, b),
         };
-        bump.fetch_add(1, Ordering::Relaxed);
+        let serve_wall_s = t0.elapsed().as_secs_f64();
         self.counters
             .serve_wall_ns
             .fetch_add((serve_wall_s * 1e9) as u64, Ordering::Relaxed);
-        Ok(ServeOutcome {
-            result,
-            hit,
-            fingerprint: *fp,
-            compose,
-            serve_wall_s,
-        })
+        // The single classification point: exactly one ledger class per
+        // admitted request, keeping the stats identity exact.
+        match served {
+            Ok(s) => {
+                let class = if s.degraded {
+                    &self.counters.degraded
+                } else if s.hit {
+                    &self.counters.hits
+                } else {
+                    &self.counters.misses
+                };
+                class.fetch_add(1, Ordering::Relaxed);
+                Ok(ServeOutcome {
+                    result: s.result,
+                    hit: s.hit,
+                    degraded: s.degraded,
+                    fingerprint: *fp,
+                    compose: s.compose,
+                    serve_wall_s,
+                })
+            }
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
-    /// Compose on the calling thread (no locks held) and record the cold
-    /// cost. Allocation counters are process-wide, so concurrent misses
-    /// attribute each other's traffic to both — the totals stay an upper
-    /// bound per request and exact in aggregate intent (see `lf-sim`'s
-    /// allocator docs).
-    fn compose_counted(&self, csr: &CsrMatrix<T>, j: usize) -> Arc<liteform_core::PreparedPlan<T>> {
-        let (plan, stats) = StageStats::measure(|| self.planner.prepare(csr, j));
-        self.counters
-            .cold_wall_ns
-            .fetch_add((stats.wall_s * 1e9) as u64, Ordering::Relaxed);
-        self.counters
-            .cold_alloc_calls
-            .fetch_add(stats.alloc_calls, Ordering::Relaxed);
-        self.counters
-            .cold_alloc_bytes
-            .fetch_add(stats.alloc_bytes, Ordering::Relaxed);
-        Arc::new(plan)
+    /// The admitted request body: hit/miss resolution, compose, execute.
+    /// Runs with the request's cancel token installed (when configured).
+    fn serve_admitted(
+        &self,
+        fp: &Fingerprint,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+    ) -> LfResult<Served<T>> {
+        let j = b.cols();
+        let key = (*fp, j);
+        let digest = Self::digest(fp, j);
+        match self.lookup(&key) {
+            Some(slot) => {
+                let (result, fell_back) = self.execute_guarded(&key, &slot, csr, b, digest)?;
+                Ok(Served {
+                    result,
+                    hit: true,
+                    degraded: fell_back || slot.plan.degraded,
+                    compose: None,
+                })
+            }
+            None => {
+                let slot = self.compose_guarded(digest, csr, j)?;
+                let profile = slot.plan.profile;
+                // Degraded fallback plans are served but never cached:
+                // the cache must only amortize *intended* compositions.
+                if !slot.plan.degraded {
+                    self.admit(key, Arc::clone(&slot));
+                }
+                let (result, fell_back) = self.execute_guarded(&key, &slot, csr, b, digest)?;
+                Ok(Served {
+                    result,
+                    hit: false,
+                    degraded: fell_back || slot.plan.degraded,
+                    compose: Some(profile),
+                })
+            }
+        }
     }
 
-    fn lookup(&self, key: &(Fingerprint, usize)) -> Option<Arc<liteform_core::PreparedPlan<T>>> {
+    /// Compose on the calling thread (no locks held) under
+    /// `catch_unwind`, recording the cold cost. Allocation counters are
+    /// process-wide, so concurrent misses attribute each other's traffic
+    /// to both — the totals stay an upper bound per request and exact in
+    /// aggregate intent (see `lf-sim`'s allocator docs).
+    fn compose_guarded(
+        &self,
+        digest: u64,
+        csr: &CsrMatrix<T>,
+        j: usize,
+    ) -> LfResult<Arc<PlanSlot<T>>> {
+        if cancel::cancelled() {
+            return Err(LfError::DeadlineExceeded { stage: "compose" });
+        }
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            StageStats::measure(|| self.planner.prepare_keyed(digest, csr, j))
+        }));
+        match attempt {
+            Ok((outcome, stats)) => {
+                self.counters
+                    .cold_wall_ns
+                    .fetch_add((stats.wall_s * 1e9) as u64, Ordering::Relaxed);
+                self.counters
+                    .cold_alloc_calls
+                    .fetch_add(stats.alloc_calls, Ordering::Relaxed);
+                self.counters
+                    .cold_alloc_bytes
+                    .fetch_add(stats.alloc_bytes, Ordering::Relaxed);
+                let plan = outcome?;
+                if cancel::cancelled() {
+                    // The deadline fired during composition: the plan is
+                    // intact but the request is over budget. Fail fast;
+                    // the plan is dropped, not cached.
+                    return Err(LfError::DeadlineExceeded { stage: "compose" });
+                }
+                Ok(PlanSlot::new(plan))
+            }
+            Err(payload) => {
+                // A panic the planner did not contain itself (a
+                // ResilientPlanner would have): feed the breaker and
+                // fail the request with the typed panic error.
+                self.planner.record_failure(digest);
+                Err(LfError::ComposePanicked {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Execute the plan under `catch_unwind`. On a panic: quarantine the
+    /// slot (exactly once, for every holder), report the failure to the
+    /// planner, and rescue the request with the baseline reference
+    /// result — the last rung of the degradation ladder. Partial results
+    /// of a deadline-cancelled execution are discarded, never returned.
+    fn execute_guarded(
+        &self,
+        key: &(Fingerprint, usize),
+        slot: &Arc<PlanSlot<T>>,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+        digest: u64,
+    ) -> LfResult<(DenseMatrix<T>, bool)> {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            {
+                use lf_check::chaos::{decide, ChaosSite};
+                if decide(ChaosSite::ExecutePanic) {
+                    panic!("chaos: injected execute panic");
+                }
+            }
+            slot.plan.run(b)
+        }));
+        match run {
+            Ok(Ok(result)) => {
+                if cancel::cancelled() {
+                    // The token fired mid-execution: parallel regions
+                    // returned early, so `result` may be partial garbage.
+                    return Err(LfError::DeadlineExceeded { stage: "execute" });
+                }
+                Ok((result, false))
+            }
+            Ok(Err(e)) => Err(e.into()),
+            Err(payload) => {
+                let detail = panic_detail(payload.as_ref());
+                self.quarantine(key, slot);
+                self.planner.record_failure(digest);
+                if cancel::cancelled() {
+                    return Err(LfError::DeadlineExceeded { stage: "execute" });
+                }
+                // Rescue with the reference kernel, shielded so the
+                // rescue itself cannot be cancelled into partial output.
+                // May overrun the deadline slightly; exactness over
+                // latency on the last rung.
+                let rescue = catch_unwind(AssertUnwindSafe(|| {
+                    cancel::shielded(|| csr.spmm_reference(b))
+                }));
+                match rescue {
+                    Ok(Ok(result)) => Ok((result, true)),
+                    _ => Err(LfError::ExecutePanicked { detail }),
+                }
+            }
+        }
+    }
+
+    /// Poison `slot` and evict its cache entry — exactly once across all
+    /// concurrent holders (the poison swap elects one winner; the
+    /// `ptr_eq` check keeps a racing re-insert of the same key alive).
+    fn quarantine(&self, key: &(Fingerprint, usize), slot: &Arc<PlanSlot<T>>) {
+        if slot.poisoned.swap(true, Ordering::Relaxed) {
+            return; // someone else already quarantined this plan
+        }
+        self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
+        let ours = shard
+            .map
+            .get(key)
+            .is_some_and(|e| Arc::ptr_eq(&e.slot, slot));
+        if ours {
+            let evicted = shard.map.remove(key).expect("entry just observed");
+            shard.bytes -= evicted.bytes;
+        }
+    }
+
+    fn lookup(&self, key: &(Fingerprint, usize)) -> Option<Arc<PlanSlot<T>>> {
         let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
         let entry = shard.map.get_mut(key)?;
+        if entry.slot.poisoned.load(Ordering::Relaxed) {
+            // Belt-and-braces sweep: the poisoner evicts under the shard
+            // lock, so this window is a replaced-entry race at most —
+            // never serve a poisoned plan.
+            let evicted = shard.map.remove(key).expect("entry just observed");
+            shard.bytes -= evicted.bytes;
+            return None;
+        }
         entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-        Some(Arc::clone(&entry.plan))
+        Some(Arc::clone(&entry.slot))
     }
 
     /// Admit a freshly composed plan under the shard's byte budget,
     /// evicting whole least-recently-used plans to make room. A plan
-    /// bigger than the whole slice is rejected (served, not cached); a
+    /// bigger than the whole slice is oversized (served, not cached); a
     /// concurrent insert of the same key wins and this plan just drops.
-    fn admit(&self, key: (Fingerprint, usize), plan: Arc<liteform_core::PreparedPlan<T>>) {
-        let bytes = plan.format_bytes();
+    fn admit(&self, key: (Fingerprint, usize), slot: Arc<PlanSlot<T>>) {
+        debug_assert!(!slot.plan.degraded, "degraded plans are never cached");
+        let bytes = slot.plan.format_bytes();
         let per_shard = (self.config.byte_budget / self.shards.len()).max(1);
         if bytes > per_shard {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.oversized.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
@@ -330,7 +657,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         shard.map.insert(
             key,
             Entry {
-                plan,
+                slot,
                 bytes,
                 last_used: self.tick.fetch_add(1, Ordering::Relaxed),
             },
@@ -358,8 +685,12 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         ServeStats {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            oversized: c.oversized.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
             cold_compose: StageStats {
                 wall_s: c.cold_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
                 alloc_calls: c.cold_alloc_calls.load(Ordering::Relaxed),
@@ -392,6 +723,13 @@ mod tests {
         ServeEngine::new(FixedCellPlanner::tuned(4), ServeConfig::default())
     }
 
+    fn assert_ledger_balances(s: &ServeStats) {
+        assert_eq!(
+            s.requests(),
+            s.hits + s.misses + s.rejected + s.degraded + s.failed
+        );
+    }
+
     #[test]
     fn miss_then_hit_with_correct_results() {
         let e = engine();
@@ -402,6 +740,7 @@ mod tests {
 
         let cold = e.serve(&a, &b).unwrap();
         assert!(!cold.hit);
+        assert!(!cold.degraded);
         assert!(cold.compose.is_some());
         assert!(cold.result.approx_eq(&want, 1e-9));
 
@@ -412,6 +751,8 @@ mod tests {
 
         let s = e.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.rejected, s.degraded, s.failed), (0, 0, 0));
+        assert_ledger_balances(&s);
         assert_eq!(s.cached_plans, 1);
         assert!(s.cached_bytes > 0);
         assert!(s.cold_compose.wall_s >= 0.0);
@@ -434,11 +775,11 @@ mod tests {
     #[test]
     fn handle_skips_fingerprinting_and_hits() {
         let e = engine();
-        let h = MatrixHandle::new(matrix(3));
+        let h = MatrixHandle::new(matrix(3)).unwrap();
         let mut rng = Pcg32::seed_from_u64(97);
         let b = DenseMatrix::random(128, 8, &mut rng);
-        assert!(e.warm(&h, 8), "first warm composes");
-        assert!(!e.warm(&h, 8), "second warm is a no-op");
+        assert!(e.warm(&h, 8).unwrap(), "first warm composes");
+        assert!(!e.warm(&h, 8).unwrap(), "second warm is a no-op");
         let out = e.serve_handle(&h, &b).unwrap();
         assert!(out.hit, "warmed handle must hit");
         // Payload and handle share the cache entry.
@@ -462,6 +803,7 @@ mod tests {
             ServeConfig {
                 shards: 1,
                 byte_budget: plan_bytes + plan_bytes / 2,
+                ..ServeConfig::default()
             },
         );
         for seed in [20u64, 21, 22] {
@@ -475,12 +817,13 @@ mod tests {
     }
 
     #[test]
-    fn oversized_plans_are_served_but_rejected() {
+    fn oversized_plans_are_served_but_never_cached() {
         let e = ServeEngine::new(
             FixedCellPlanner::tuned(4),
             ServeConfig {
                 shards: 1,
                 byte_budget: 16,
+                ..ServeConfig::default()
             },
         );
         let mut rng = Pcg32::seed_from_u64(95);
@@ -490,21 +833,146 @@ mod tests {
         let out = e.serve(&a, &b).unwrap();
         assert!(out.result.approx_eq(&want, 1e-9));
         let s = e.stats();
-        assert_eq!(s.rejected, 1);
+        assert_eq!(s.oversized, 1);
         assert_eq!(s.cached_plans, 0);
-        // The same request misses again: nothing was cached.
+        // The same request misses again: nothing was cached. An
+        // oversized plan is still a clean miss in the ledger.
         assert!(!e.serve(&a, &b).unwrap().hit);
+        assert_eq!(e.stats().misses, 2);
+        assert_ledger_balances(&e.stats());
     }
 
     #[test]
-    fn dimension_mismatch_is_an_error_not_a_cache_entry() {
+    fn dimension_mismatch_is_a_counted_rejection_not_a_cache_entry() {
         let e = engine();
         let a = matrix(40);
         let b = DenseMatrix::<f64>::zeros(64, 8); // wrong inner dim
-        assert!(e.serve(&a, &b).is_err());
+        let err = e.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::InvalidInput(_)));
+        assert!(err.is_rejection());
         let s = e.stats();
-        assert_eq!(s.requests(), 0);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.requests(), 1, "rejections are requests too");
+        assert_eq!((s.hits, s.misses), (0, 0));
         assert_eq!(s.cached_plans, 0);
+        assert_ledger_balances(&s);
+    }
+
+    #[test]
+    fn zero_deadline_fails_typed_before_composing() {
+        let e = ServeEngine::new(
+            FixedCellPlanner::tuned(4),
+            ServeConfig {
+                deadline_ms: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+        let a = matrix(41);
+        let mut rng = Pcg32::seed_from_u64(90);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        let err = e.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::DeadlineExceeded { .. }), "{err}");
+        let s = e.stats();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.cached_plans, 0, "no partial work is cached");
+        assert_ledger_balances(&s);
+    }
+
+    #[test]
+    fn admission_gate_rejects_beyond_max_inflight() {
+        let e = ServeEngine::new(
+            FixedCellPlanner::tuned(4),
+            ServeConfig {
+                max_inflight: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // Hold the only slot, then serve: the gate must reject.
+        let permit = e.try_admit().unwrap();
+        let a = matrix(42);
+        let mut rng = Pcg32::seed_from_u64(89);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        let err = e.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::Overloaded { .. }), "{err}");
+        assert!(err.is_rejection());
+        assert_eq!(e.stats().rejected, 1);
+        // Releasing the permit reopens the gate.
+        drop(permit);
+        assert!(!e.serve(&a, &b).unwrap().hit);
+        assert_ledger_balances(&e.stats());
+    }
+
+    #[test]
+    fn quarantine_evicts_exactly_once_and_poisoned_plans_never_reserve() {
+        let e = engine();
+        let a = matrix(43);
+        let mut rng = Pcg32::seed_from_u64(88);
+        let b = DenseMatrix::random(128, 8, &mut rng);
+        e.serve(&a, &b).unwrap();
+        let key = (Fingerprint::of_csr(&a), 8);
+        let slot = e.lookup(&key).expect("plan was cached");
+
+        // Two concurrent panickers race the quarantine: exactly one wins.
+        e.quarantine(&key, &slot);
+        e.quarantine(&key, &slot);
+        let s = e.stats();
+        assert_eq!(s.quarantined, 1, "quarantine is exactly-once");
+        assert_eq!(s.cached_plans, 0, "the poisoned plan was evicted");
+
+        // A holder that still has the Arc can never re-serve it.
+        assert!(slot.poisoned.load(Ordering::Relaxed));
+        assert!(e.lookup(&key).is_none());
+
+        // The key itself is not tainted: the next request recomposes.
+        assert!(!e.serve(&a, &b).unwrap().hit);
+        assert_eq!(e.stats().cached_plans, 1);
+        assert_ledger_balances(&e.stats());
+    }
+
+    #[test]
+    fn nonfinite_payloads_follow_the_policy() {
+        let values = vec![1.0, f64::NAN, 2.0];
+        let a = CsrMatrix::from_raw_unchecked(2, 2, vec![0, 2, 3], vec![0, 1, 0], values);
+        let b = DenseMatrix::<f64>::zeros(2, 4);
+
+        let strict = engine();
+        let err = strict.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::InvalidInput(_)), "{err}");
+        let s = strict.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!((s.hits, s.misses), (0, 0), "no cache or miss counters");
+        assert_eq!(s.cached_plans, 0);
+
+        let lenient = ServeEngine::new(
+            FixedCellPlanner::tuned(4),
+            ServeConfig {
+                reject_nonfinite: false,
+                ..ServeConfig::default()
+            },
+        );
+        let out = lenient.serve(&a, &b).unwrap();
+        assert!(!out.hit, "lenient policy serves non-finite payloads");
+    }
+
+    #[test]
+    fn malformed_payload_rejected_before_fingerprint_or_cache() {
+        // Satellite bugfix regression: an invalid CSR must produce a
+        // typed rejection without touching the cache or miss counters.
+        let a = CsrMatrix::<f64>::from_raw_unchecked(
+            2,
+            2,
+            vec![0, 3, 2], // non-monotone row_ptr
+            vec![0, 1],
+            vec![1.0, 2.0],
+        );
+        let b = DenseMatrix::<f64>::zeros(2, 4);
+        let e = engine();
+        let err = e.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::InvalidInput(_)), "{err}");
+        let s = e.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!((s.hits, s.misses, s.cached_plans), (0, 0, 0));
+        assert_ledger_balances(&s);
     }
 
     #[test]

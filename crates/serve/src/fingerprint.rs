@@ -89,6 +89,22 @@ impl Fingerprint {
         }
     }
 
+    /// Fold the whole fingerprint into one 64-bit digest — the stable
+    /// per-matrix key the engine hands planners for failure memory
+    /// (circuit breakers). Mixes every field, so matrices differing in
+    /// shape, structure, or values get distinct digests (up to hash
+    /// collisions).
+    pub fn digest(&self) -> u64 {
+        let mut h = WordHasher::new();
+        h.write(self.rows as u64);
+        h.write(self.cols as u64);
+        h.write(self.nnz as u64);
+        h.write(self.row_structure);
+        h.write(self.col_structure);
+        h.write(self.values);
+        h.finish()
+    }
+
     /// The shard a fingerprint maps to, for `n` shards.
     pub(crate) fn shard(&self, n: usize) -> usize {
         debug_assert!(n >= 1);

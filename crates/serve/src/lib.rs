@@ -13,13 +13,19 @@
 //!
 //! * [`Fingerprint`] — cheap matrix identity (dims + nnz +
 //!   row-pointer/column-index/value hashes, one O(nnz) pass);
-//! * [`Planner`] — a plan source: the trained [`LiteForm`] pipeline, or
-//!   [`FixedCellPlanner`] for pinned configurations;
+//! * [`Planner`] — a plan source: the trained [`LiteForm`] pipeline,
+//!   [`FixedCellPlanner`] for pinned configurations, or
+//!   [`ResilientPlanner`] wrapping either with a per-matrix circuit
+//!   breaker and graceful degradation to the baseline CSR format;
 //! * [`ServeEngine`] — concurrent requests (`matrix handle or CSR
 //!   payload`, dense `B`), a sharded LRU of
 //!   [`PreparedPlan`]s keyed by `(fingerprint, j)` under a configurable
-//!   byte budget, and hit/miss/eviction/wall-time counters
-//!   ([`ServeStats`]);
+//!   byte budget, and a disjoint outcome ledger
+//!   (hit/miss/rejected/degraded/failed, [`ServeStats`]);
+//! * **fault isolation** (DESIGN.md §10) — strict input validation with
+//!   typed [`LfError`](liteform_core::LfError) rejections, per-request
+//!   `catch_unwind` containment, poisoned-plan quarantine, cooperative
+//!   deadlines, and a `max_inflight` admission gate;
 //! * execution on the **shared** `lf_sim` worker pool — no
 //!   pool-per-request churn (asserted by the stress suite).
 //!
@@ -47,4 +53,4 @@ pub mod planner;
 
 pub use engine::{MatrixHandle, ServeConfig, ServeEngine, ServeOutcome, ServeStats};
 pub use fingerprint::Fingerprint;
-pub use planner::{FixedCellPlanner, PinnedLiteForm, Planner};
+pub use planner::{FixedCellPlanner, PinnedLiteForm, Planner, ResilientPlanner};

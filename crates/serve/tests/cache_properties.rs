@@ -40,6 +40,7 @@ fn hit_is_bit_identical_to_cold_compose_and_run() {
         let (csr, b) = random_case(seed);
         // Cold oracle: compose+run outside the engine.
         let want = Planner::<f64>::prepare(&planner, &csr, b.cols())
+            .unwrap()
             .run(&b)
             .unwrap();
         let miss = engine.serve(&csr, &b).unwrap();
@@ -93,6 +94,7 @@ fn eviction_and_readmission_cycle_preserves_results_bitwise() {
         ServeConfig {
             shards: 1,
             byte_budget: plan_bytes + plan_bytes / 4,
+            ..ServeConfig::default()
         },
     );
     let (csr_b, b_b) = fixed_case(8);

@@ -1,0 +1,258 @@
+//! The chaos tier: fault-injected serving storm.
+//!
+//! Only compiled with `--features chaos`: the serving pipeline then
+//! carries `lf_check::chaos` injection sites (compose panic, execute
+//! panic, allocation failure, forced slow path). This test installs a
+//! seeded [`ChaosPlan`], hammers one engine from many threads with mixed
+//! traffic — hot handles, cold payloads, malformed payloads, shape
+//! mismatches — and asserts the engine's robustness contract *under
+//! fire*:
+//!
+//! * **no deadlock / no wedge** — the storm completes (workers released
+//!   on every error path, quarantine never holds a lock across compose);
+//! * **no wrong bytes** — every `Ok` result agrees with the sequential
+//!   reference; *degraded* results (fallback plans and post-panic
+//!   rescues both execute baseline CSR row-in-order) are **bitwise**
+//!   equal to it;
+//! * **the ledger balances exactly** —
+//!   `requests == hits + misses + rejected + degraded + failed`, with
+//!   every thread's every call counted in exactly one class;
+//! * **faults really happened** — ≥ 5 % of requests drew an injection
+//!   (asserted from the chaos module's own accounting, not the nominal
+//!   rate), and the quarantine + degradation machinery demonstrably ran;
+//! * **no thread churn** — the process-wide worker pool is flat across
+//!   the storm.
+//!
+//! Seed, thread count, and per-thread iterations come from
+//! `LF_CHAOS_SEED` / `LF_CHAOS_THREADS` / `LF_CHAOS_ITERS`
+//! (`scripts/verify.sh --chaos` runs three seeds at 16×200).
+//!
+//! The chaos plan is process-global, so all scenarios live in this one
+//! `#[test]`.
+
+#![cfg(feature = "chaos")]
+
+use lf_check::chaos::{self, ChaosPlan};
+use lf_serve::{FixedCellPlanner, MatrixHandle, ResilientPlanner, ServeConfig, ServeEngine};
+use lf_sparse::gen::{fuzz_case, mixed_regions, FUZZ_CLASSES, MALFORMED_CLASS};
+use lf_sparse::{CsrMatrix, DenseMatrix, Pcg32};
+use liteform_core::LfError;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn matrix(seed: u64, n: usize, nnz: usize) -> CsrMatrix<f64> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    CsrMatrix::from_coo(&mixed_regions(n, n, nnz, 4, &mut rng))
+}
+
+fn bits(m: &DenseMatrix<f64>) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn chaos_storm_no_deadlock_no_wrong_bytes_exact_ledger() {
+    let seed = env_or("LF_CHAOS_SEED", 0x00C0_FFEE);
+    let threads = env_or("LF_CHAOS_THREADS", 16).max(2) as usize;
+    let iters = env_or("LF_CHAOS_ITERS", 200) as usize;
+    let (n, j) = (128usize, 8usize);
+
+    lf_sim::pool::global();
+    let workers_before = lf_sim::pool::workers_spawned_total();
+
+    let engine = ServeEngine::new(
+        ResilientPlanner::new(FixedCellPlanner::tuned(4)),
+        ServeConfig {
+            shards: 4,
+            byte_budget: 64 << 20,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Hot set: warmed *before* faults are armed so the storm starts from
+    // a healthy cache (the injected execute panics then exercise the
+    // quarantine + re-admission cycle on it).
+    let hot: Vec<(MatrixHandle<f64>, DenseMatrix<f64>, DenseMatrix<f64>)> = (0..4u64)
+        .map(|s| {
+            let a = matrix(0x7000 + s, n, 3000);
+            let mut rng = Pcg32::seed_from_u64(0x8000 + s);
+            let b = DenseMatrix::random(n, j, &mut rng);
+            let want = a.spmm_reference(&b).unwrap();
+            let h = MatrixHandle::new(a).unwrap();
+            engine.warm(&h, j).unwrap();
+            (h, b, want)
+        })
+        .collect();
+
+    // 10% nominal rate at every site; the post-run assertion uses the
+    // *achieved* counts.
+    chaos::install(ChaosPlan::uniform(seed, 100));
+
+    let sent = AtomicU64::new(0);
+    let ok_clean = AtomicU64::new(0);
+    let ok_degraded = AtomicU64::new(0);
+    let err_rejected = AtomicU64::new(0);
+    let err_failed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            let hot = &hot;
+            let (sent, ok_clean, ok_degraded, err_rejected, err_failed) =
+                (&sent, &ok_clean, &ok_degraded, &err_rejected, &err_failed);
+            scope.spawn(move || {
+                let mut rng = Pcg32::seed_from_u64(seed ^ (0xAB1E + t as u64));
+                for i in 0..iters {
+                    sent.fetch_add(1, Relaxed);
+                    let draw = rng.usize_in(0, 100);
+                    let outcome = if draw < 50 {
+                        // Hot handle: mostly hits; injected execute
+                        // panics quarantine the plan and rescue the
+                        // request.
+                        let (h, b, want) = &hot[rng.usize_in(0, hot.len())];
+                        engine.serve_handle(h, b).map(|out| {
+                            if out.degraded {
+                                assert_eq!(
+                                    bits(&out.result),
+                                    bits(want),
+                                    "thread {t} iter {i}: degraded hot result not bitwise-exact"
+                                );
+                            } else {
+                                assert!(
+                                    out.result.approx_eq(want, 1e-9),
+                                    "thread {t} iter {i}: wrong hot result"
+                                );
+                            }
+                            out.degraded
+                        })
+                    } else if draw < 75 {
+                        // Cold payload, verified in-thread; injected
+                        // compose faults degrade to baseline CSR.
+                        let a = matrix(0x9_0000 + (t * iters + i) as u64, n, 2000);
+                        let mut brng = Pcg32::seed_from_u64(0xB0B0 + (t * iters + i) as u64);
+                        let b = DenseMatrix::random(n, j, &mut brng);
+                        let want = a.spmm_reference(&b).unwrap();
+                        engine.serve(&a, &b).map(|out| {
+                            if out.degraded {
+                                assert_eq!(
+                                    bits(&out.result),
+                                    bits(&want),
+                                    "thread {t} iter {i}: degraded cold result not bitwise-exact"
+                                );
+                            } else {
+                                assert!(
+                                    out.result.approx_eq(&want, 1e-9),
+                                    "thread {t} iter {i}: wrong cold result"
+                                );
+                            }
+                            out.degraded
+                        })
+                    } else if draw < 90 {
+                        // Hostile payload: must be a typed rejection.
+                        let case = fuzz_case::<f64>(
+                            MALFORMED_CLASS + rng.usize_in(0, 64) as u64 * FUZZ_CLASSES,
+                        );
+                        let b = DenseMatrix::<f64>::zeros(case.csr.cols().max(1), j);
+                        let err = engine
+                            .serve(&case.csr, &b)
+                            .expect_err("malformed payload must be rejected");
+                        assert!(
+                            matches!(err, LfError::InvalidInput(_)),
+                            "thread {t} iter {i}: wrong rejection class: {err}"
+                        );
+                        Err(err)
+                    } else {
+                        // Shape mismatch: typed rejection, pre-admission.
+                        let (h, _, _) = &hot[0];
+                        let bad = DenseMatrix::<f64>::zeros(n / 2, j);
+                        let err = engine
+                            .serve_handle(h, &bad)
+                            .expect_err("shape mismatch must be rejected");
+                        assert!(err.is_rejection(), "{err}");
+                        Err(err)
+                    };
+                    match outcome {
+                        Ok(true) => ok_degraded.fetch_add(1, Relaxed),
+                        Ok(false) => ok_clean.fetch_add(1, Relaxed),
+                        Err(ref e) if e.is_rejection() => err_rejected.fetch_add(1, Relaxed),
+                        Err(_) => err_failed.fetch_add(1, Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    chaos::reset();
+
+    let total = sent.load(Relaxed);
+    assert_eq!(total, (threads * iters) as u64);
+    let s = engine.stats();
+
+    // The exact outcome ledger: engine-side classes match the
+    // client-side tallies, and the identity holds with no slack.
+    assert_eq!(
+        s.requests(),
+        s.hits + s.misses + s.rejected + s.degraded + s.failed,
+        "ledger identity: {s:?}"
+    );
+    assert_eq!(s.requests(), total, "every request counted once: {s:?}");
+    assert_eq!(
+        s.hits + s.misses,
+        ok_clean.load(Relaxed),
+        "clean outcomes: {s:?}"
+    );
+    assert_eq!(s.degraded, ok_degraded.load(Relaxed), "degraded: {s:?}");
+    assert_eq!(s.rejected, err_rejected.load(Relaxed), "rejected: {s:?}");
+    assert_eq!(s.failed, err_failed.load(Relaxed), "failed: {s:?}");
+
+    // Faults demonstrably happened: ≥ 5% of requests drew an injection
+    // (achieved counts, not nominal rate), and both degradation
+    // mechanisms ran.
+    let injected = chaos::injected_total();
+    assert!(
+        injected * 20 >= total,
+        "only {injected} injections across {total} requests"
+    );
+    assert!(s.degraded > 0, "no request degraded: {s:?}");
+    assert!(
+        s.quarantined > 0,
+        "no plan was quarantined by injected execute panics: {s:?}"
+    );
+    assert!(
+        engine.planner().downgrades() > 0,
+        "no compose-side downgrade: {s:?}"
+    );
+    assert!(s.rejected > 0 && s.hits > 0 && s.misses > 0, "{s:?}");
+
+    // The storm — panics, rescues, quarantines and all — spawned no
+    // threads beyond the shared pool.
+    assert_eq!(
+        lf_sim::pool::workers_spawned_total(),
+        workers_before,
+        "serving under chaos must not churn worker pools"
+    );
+
+    // --- Deadline scenario: the `failed` class, deterministic --------
+    let strict = ServeEngine::new(
+        ResilientPlanner::new(FixedCellPlanner::tuned(4)),
+        ServeConfig {
+            deadline_ms: Some(0),
+            ..ServeConfig::default()
+        },
+    );
+    let a = matrix(0xDEAD, n, 2000);
+    let mut rng = Pcg32::seed_from_u64(0xFADE);
+    let b = DenseMatrix::random(n, j, &mut rng);
+    for _ in 0..5 {
+        let err = strict.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::DeadlineExceeded { .. }), "{err}");
+    }
+    let ds = strict.stats();
+    assert_eq!(ds.failed, 5);
+    assert_eq!(ds.requests(), 5);
+    assert_eq!(ds.cached_plans, 0, "expired requests cache nothing");
+}

@@ -49,6 +49,7 @@ fn concurrent_mixed_workload_is_correct_and_fully_counted() {
         ServeConfig {
             shards: 4,
             byte_budget: 2 << 20,
+            ..ServeConfig::default()
         },
     );
 
@@ -60,7 +61,7 @@ fn concurrent_mixed_workload_is_correct_and_fully_counted() {
             let mut rng = Pcg32::seed_from_u64(2000 + s);
             let b = DenseMatrix::random(n, j, &mut rng);
             let want = a.spmm_reference(&b).unwrap();
-            (MatrixHandle::new(a), b, want)
+            (MatrixHandle::new(a).unwrap(), b, want)
         })
         .collect();
 

@@ -1,0 +1,246 @@
+//! Cooperative cancellation for parallel regions.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle over a shared fired
+//! flag, an optional wall-clock deadline, and an optional parent token.
+//! The serving layer creates one per request (armed with the request's
+//! deadline), installs it for the duration of the request with
+//! [`with_token`], and every [`crate::parallel::parallel_for_init`]
+//! region entered underneath checks it **between chunks**: once the
+//! token fires, the region returns early instead of completing, and the
+//! caller discards the partial result.
+//!
+//! Design points:
+//!
+//! * **Cooperative, chunk-granular.** A body call that has already
+//!   started always runs to completion; cancellation only prevents the
+//!   *next* chunk claim. Nothing is interrupted mid-write, so the only
+//!   caller obligation is to treat the output of a cancelled region as
+//!   garbage.
+//! * **Scoped through a thread-local, carried by capture.** The token is
+//!   installed on the submitting thread ([`with_token`]) and read once
+//!   at region entry; from there it travels into pool workers inside the
+//!   region's executor closure. Pool workers themselves never have a
+//!   thread-local token, so *nested* regions opened from inside a body
+//!   are not individually cancellable — the outer region's chunk checks
+//!   bound the latency instead.
+//! * **Maskable.** [`shielded`] hides the token for a sub-computation
+//!   that must run to completion even under cancellation —
+//!   `parallel_map_init` shields itself because its `set_len` requires
+//!   every slot initialized (a skipped chunk would expose uninitialized
+//!   memory, a soundness bug rather than a stale result).
+//! * **Latching.** Deadline expiry and parent cancellation latch into
+//!   the local fired flag on first observation, so steady-state checks
+//!   are one relaxed atomic load.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Inner {
+    /// Latched "cancelled" flag; relaxed ordering is enough because the
+    /// token only gates whether *more* work starts — it never orders the
+    /// work's own memory accesses.
+    fired: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+/// A cloneable cancellation handle; see the [module docs](self).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    fn from_parts(deadline: Option<Instant>, parent: Option<CancelToken>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                fired: AtomicBool::new(false),
+                deadline,
+                parent,
+            }),
+        }
+    }
+
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::from_parts(None, None)
+    }
+
+    /// A token that fires automatically once `deadline` has passed (or
+    /// explicitly, via [`CancelToken::cancel`]).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::from_parts(Some(deadline), None)
+    }
+
+    /// A child token: fires when `self` fires, when its own `deadline`
+    /// (if any) passes, or when cancelled directly. Cancelling the child
+    /// never affects the parent — this is how a stage gets a tighter
+    /// budget than its request.
+    pub fn child(&self, deadline: Option<Instant>) -> Self {
+        Self::from_parts(deadline, Some(self.clone()))
+    }
+
+    /// Fire the token explicitly.
+    pub fn cancel(&self) {
+        self.inner.fired.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired (explicitly, by deadline, or through
+    /// its parent chain). Deadline and parent observations latch, so
+    /// repeated checks after the first positive are a single load.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.fired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let expired = self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.inner.parent.as_ref().is_some_and(|p| p.is_cancelled());
+        if expired {
+            self.inner.fired.store(true, Ordering::Relaxed);
+        }
+        expired
+    }
+
+    /// The token's own deadline, if any (not the parent chain's).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.inner.fired.load(Ordering::Relaxed))
+            .field("deadline", &self.inner.deadline)
+            .field("chained", &self.inner.parent.is_some())
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed token on drop, so scopes unwind
+/// correctly even when `f` panics.
+struct Restore(Option<CancelToken>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+fn swap_current(new: Option<CancelToken>) -> Restore {
+    Restore(CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), new)))
+}
+
+/// The token currently installed on this thread, if any. Parallel
+/// regions read this once at entry and carry the clone into their
+/// executors.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Run `f` with `token` installed as this thread's current token,
+/// restoring the previous token afterwards (panic-safe).
+pub fn with_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    let _restore = swap_current(Some(token.clone()));
+    f()
+}
+
+/// Run `f` with no current token, masking any installed one — for
+/// sub-computations that must run to completion (see the module docs).
+pub fn shielded<R>(f: impl FnOnce() -> R) -> R {
+    let _restore = swap_current(None);
+    f()
+}
+
+/// `true` if this thread has a current token and it has fired.
+pub fn cancelled() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(|t| t.is_cancelled()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.clone().is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn past_deadline_fires_future_does_not() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn child_observes_parent_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        child.cancel();
+        assert!(!parent.is_cancelled(), "child cancel must not leak up");
+
+        // A child deadline tightens the budget independently.
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn with_token_scopes_and_nests() {
+        assert!(current().is_none());
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        with_token(&outer, || {
+            assert!(!cancelled());
+            outer.cancel();
+            assert!(cancelled());
+            with_token(&inner, || assert!(!cancelled()));
+            assert!(cancelled(), "outer token restored after inner scope");
+            shielded(|| {
+                assert!(!cancelled());
+                assert!(current().is_none());
+            });
+            assert!(cancelled());
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_restores_across_panics() {
+        let t = CancelToken::new();
+        let caught = std::panic::catch_unwind(|| {
+            with_token(&t, || panic!("scoped panic"));
+        });
+        assert!(caught.is_err());
+        assert!(
+            current().is_none(),
+            "panicking scope must still restore the previous token"
+        );
+    }
+}

@@ -33,10 +33,13 @@
 //! [`parallel::DisjointSlice`]) and the atomic accumulation buffers
 //! ([`atomicf::AtomicF64Slice`], [`atomicf::AtomicF32Slice`]). The
 //! numeric path built on these computes bit-for-bit checkable results
-//! independent of the cost model.
+//! independent of the cost model. Parallel regions are cooperatively
+//! cancellable through [`cancel`] tokens, which is how the serving layer
+//! enforces per-request deadlines without killing threads.
 
 pub mod alloc;
 pub mod atomicf;
+pub mod cancel;
 pub mod coalesce;
 pub mod cost;
 pub mod device;

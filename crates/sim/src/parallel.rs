@@ -18,7 +18,16 @@
 //! * [`DisjointSlice`] — a shared view of a `&mut [T]` that hands out
 //!   non-overlapping `&mut` subslices to concurrent writers, the safe
 //!   alternative to per-element atomics for single-writer outputs.
+//!
+//! All `parallel_for*` regions are **cooperatively cancellable**: if the
+//! submitting thread has a [`crate::cancel::CancelToken`] installed (via
+//! [`crate::cancel::with_token`]), the region checks it between chunks
+//! and returns early once it fires — the caller must then discard the
+//! partial output. `parallel_map*` regions shield themselves from
+//! cancellation (their `set_len` requires every slot initialized), and
+//! the scoped fallback path is likewise uncancellable.
 
+use crate::cancel;
 use crate::pool;
 use crate::shadow::ShadowRegion;
 use std::marker::PhantomData;
@@ -66,6 +75,11 @@ where
 /// This is the engine's allocation-amortization primitive: a kernel pays
 /// for its scratch buffers once per worker per region instead of once
 /// per row.
+///
+/// If the submitting thread has a [`cancel::CancelToken`] installed, the
+/// region checks it before each chunk claim and returns early once it
+/// fires; some indices are then never visited and the caller must treat
+/// the output as garbage.
 pub fn parallel_for_init<S, I, F>(n: usize, workers: usize, init: I, body: F)
 where
     I: Fn() -> S + Sync,
@@ -74,10 +88,18 @@ where
     if n == 0 {
         return;
     }
+    // Captured once at region entry on the submitting thread; pool
+    // workers see it through the executor closure, never a thread-local.
+    let token = cancel::current();
+    let is_cancelled = || token.as_ref().is_some_and(|t| t.is_cancelled());
     let workers = workers.max(1).min(n);
     if workers == 1 {
+        let check_every = chunk_size(n, 1);
         let mut state = init();
         for i in 0..n {
+            if i % check_every == 0 && is_cancelled() {
+                return;
+            }
             body(&mut state, i);
         }
         return;
@@ -88,6 +110,9 @@ where
         // Lazy init: an executor that never wins a chunk never pays.
         let mut state: Option<S> = None;
         loop {
+            if is_cancelled() {
+                break;
+            }
             let start = counter.fetch_add(chunk, Ordering::Relaxed);
             if start >= n {
                 break;
@@ -162,6 +187,11 @@ where
 
 /// [`parallel_map`] with per-worker reusable state (see
 /// [`parallel_for_init`]).
+///
+/// Map regions run [`cancel::shielded`]: the `set_len` below requires
+/// every slot initialized, so a cancellation-skipped chunk would expose
+/// uninitialized memory. Deadline-bound callers cancel *between* maps,
+/// never inside one.
 pub fn parallel_map_init<S, T, I, F>(n: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
@@ -173,17 +203,21 @@ where
     // Debug builds verify the exactly-once claim per slot through the
     // shadow interval map (release: no-op ZST).
     let shadow = ShadowRegion::new(n);
-    parallel_for_init(n, workers, init, |state, i| {
-        shadow.claim_exclusive(i, 1);
-        // SAFETY: `i` is produced exactly once by the parallel_for
-        // contract (checked by the shadow claim above in debug builds),
-        // and `i < n <= capacity`, so writes are in-bounds and disjoint.
-        // Written slots are only exposed via `set_len` below, after all
-        // writers joined. A panic mid-region leaks (never drops)
-        // partially written elements — safe, just not tidy.
-        unsafe { base.write_at(i, f(state, i)) };
+    cancel::shielded(|| {
+        parallel_for_init(n, workers, init, |state, i| {
+            shadow.claim_exclusive(i, 1);
+            // SAFETY: `i` is produced exactly once by the parallel_for
+            // contract (checked by the shadow claim above in debug
+            // builds), and `i < n <= capacity`, so writes are in-bounds
+            // and disjoint. Written slots are only exposed via `set_len`
+            // below, after all writers joined. A panic mid-region leaks
+            // (never drops) partially written elements — safe, just not
+            // tidy.
+            unsafe { base.write_at(i, f(state, i)) };
+        });
     });
-    // SAFETY: all n slots were initialized above.
+    // SAFETY: all n slots were initialized above (the region is shielded
+    // from cancellation, so no chunk was skipped).
     unsafe { out.set_len(n) };
     out
 }
@@ -452,6 +486,141 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pre_cancelled_region_runs_no_bodies() {
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        for workers in [1, 8] {
+            let hits = AtomicU64::new(0);
+            crate::cancel::with_token(&token, || {
+                parallel_for(10_000, workers, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                0,
+                "workers={workers}: a fired token must stop the region before any chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_mid_region_stops_early() {
+        for workers in [1, 8] {
+            let n = 200_000;
+            let token = crate::cancel::CancelToken::new();
+            let hits = AtomicU64::new(0);
+            crate::cancel::with_token(&token, || {
+                parallel_for(n, workers, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    token.cancel();
+                });
+            });
+            let h = hits.load(Ordering::Relaxed);
+            // In-flight chunks finish; everything else is skipped.
+            assert!(
+                (1..n as u64).contains(&h),
+                "workers={workers}: cancelled region ran {h} of {n} bodies"
+            );
+        }
+    }
+
+    #[test]
+    fn uninstalled_token_region_completes() {
+        // A cancelled token that is NOT installed has no effect.
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let hits = AtomicU64::new(0);
+        parallel_for(1000, 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn parallel_map_is_shielded_from_cancellation() {
+        // A fired token must NOT make a map skip slots: set_len demands
+        // every element initialized, so maps mask the token entirely.
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let v = crate::cancel::with_token(&token, || parallel_map(5_000, 8, |i| i * 3));
+        assert_eq!(v.len(), 5_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 3);
+        }
+    }
+
+    /// Seeded chaos for the cancel/reuse window: cancel a region from a
+    /// racing thread at a pseudo-random point, and the moment `broadcast`
+    /// returns, (a) no late-waking worker may run the dead region's body,
+    /// and (b) an immediately following region must get full coverage.
+    /// This is the execution-level counterpart of the model-checked
+    /// `broadcast_cancelled_no_drain` seeded bug: the pool must drain
+    /// cancelled regions exactly like completed ones before the job slot
+    /// is reused.
+    #[test]
+    fn cancelled_region_drains_before_slot_reuse() {
+        let spawned_before = pool::workers_spawned_total();
+        for seed in [0x5eed_0001u64, 0xdead_beef, 0xc0ff_ee11] {
+            let mut s = seed;
+            let mut next = move || {
+                // splitmix64 step — deterministic per seed.
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for _ in 0..40 {
+                let n = 50_000;
+                let token = crate::cancel::CancelToken::new();
+                let returned = std::sync::atomic::AtomicBool::new(false);
+                let late = AtomicU64::new(0);
+                let spins = next() % 3_000;
+                std::thread::scope(|sc| {
+                    let t = token.clone();
+                    sc.spawn(move || {
+                        for _ in 0..spins {
+                            std::hint::spin_loop();
+                        }
+                        t.cancel();
+                    });
+                    crate::cancel::with_token(&token, || {
+                        parallel_for(n, 8, |_| {
+                            if returned.load(Ordering::Relaxed) {
+                                late.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    });
+                    // `parallel_for` returned: the region must be fully
+                    // drained, cancelled or not.
+                    returned.store(true, Ordering::Relaxed);
+                });
+                assert_eq!(
+                    late.load(Ordering::Relaxed),
+                    0,
+                    "seed {seed:#x}: a body ran after the cancelled region returned"
+                );
+                // Immediate slot reuse: the next (uncancelled) region
+                // must cover every index exactly once.
+                let hits: Vec<AtomicU64> = (0..512).map(|_| AtomicU64::new(0)).collect();
+                parallel_for(hits.len(), 8, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "seed {seed:#x}: region after a cancelled one lost coverage"
+                );
+            }
+        }
+        assert_eq!(
+            pool::workers_spawned_total(),
+            spawned_before,
+            "cancellation churn must not respawn pool workers"
+        );
     }
 
     #[test]

@@ -307,6 +307,55 @@ impl ThreadPool {
             std::panic::resume_unwind(payload);
         }
     }
+
+    /// Seeded bug for the cancellation/reuse window, kept feature-gated
+    /// for the model checker: a broadcast whose epilogue *skips*
+    /// `wait_idle` on the theory that a cancelled region's workers "will
+    /// exit on their own anyway", so waiting is wasted latency before the
+    /// next request can reuse the pool.
+    ///
+    /// The theory is wrong: a worker that won the slot just before the
+    /// unpublish may not have *entered* the body yet (or may still be
+    /// inside it) when this frame returns and its borrowed closure plus
+    /// chunk counter die. `tests/model_pool.rs` asserts the checker finds
+    /// the schedule where one of the two [`Job::alive`] witness checks
+    /// fires. The real [`ThreadPool::broadcast`] always drains: a
+    /// cancelled region is distinguished from a completed one only by
+    /// its counter value, never by its join protocol.
+    #[cfg(feature = "check")]
+    pub fn broadcast_cancelled_no_drain(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        let helpers = helpers.min(self.handles.len());
+        if helpers == 0 {
+            body();
+            return;
+        }
+        // SAFETY: same lifetime erasure as `broadcast` — except this
+        // variant deliberately breaks the promise by returning without
+        // draining, which is the bug under test (the `alive` witness
+        // turns the dangling window into an assertion failure).
+        let body_ptr: *const (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn() + Sync)) };
+        let job = Job::new(RawFn(body_ptr), helpers);
+        self.publish(&job);
+        // Models a body that observed cancellation and exited after zero
+        // chunks — the exact situation that makes skipping the drain
+        // tempting.
+        body();
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            if st
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, &job))
+            {
+                st.job = None;
+            }
+        }
+        // Buggy epilogue: no `wait_idle`. The frame (and with it the
+        // borrowed closure) dies at return, modeled by clearing the
+        // liveness witness.
+        job.alive.store(false, Ordering::Release);
+    }
 }
 
 impl Drop for ThreadPool {
@@ -380,6 +429,18 @@ fn worker_loop(shared: &Shared) {
             // First panic wins; the submitter re-raises it after joining.
             lock_unpoisoned(&job.panic).get_or_insert(payload);
         }
+        // Second witness check, covering the other half of the window: a
+        // submitter must not drop the frame while this worker is *inside*
+        // the body. The correct protocol guarantees it — the submitter's
+        // `wait_idle` cannot return before the decrement below — so a
+        // violation here means a drain was skipped (e.g. the
+        // "cancelled regions drain themselves" shortcut of
+        // [`ThreadPool::broadcast_cancelled_no_drain`]).
+        assert!(
+            job.alive.load(Ordering::Acquire),
+            "pool protocol use-after-free: submitting frame died while a worker \
+             was still inside the body (wait_idle was skipped)"
+        );
         let mut active = lock_unpoisoned(&job.active);
         *active -= 1;
         if *active == 0 {

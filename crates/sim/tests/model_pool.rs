@@ -16,7 +16,11 @@
 //! * a panicking worker body propagates to the submitter in every
 //!   schedule;
 //! * with the fix reverted (`broadcast_reverted`), the checker
-//!   re-discovers the original submitter-panic use-after-free.
+//!   re-discovers the original submitter-panic use-after-free;
+//! * skipping the drain after a cancelled region
+//!   (`broadcast_cancelled_no_drain`) is likewise rediscovered as a
+//!   use-after-free: a cancelled region must `wait_idle` exactly like a
+//!   completed one before its job slot is reused.
 
 #![cfg(feature = "check")]
 
@@ -170,6 +174,37 @@ fn reverted_fix_use_after_free_is_rediscovered() {
                 });
             }));
             assert!(caught.is_err(), "submitter panic must propagate");
+            drop(pool);
+        });
+    })));
+    assert!(msg.contains("use-after-free"), "unexpected failure: {msg}");
+}
+
+/// Skip the drain after a "cancelled" region (the tempting optimization:
+/// its workers will exit on their own, why wait?) and the checker must
+/// find the window: a worker that won the job slot just before the
+/// unpublish trips one of the two `Job::alive` witness checks — it
+/// either hasn't entered the body when the submitting frame dies, or is
+/// still inside it. Either way the real protocol's `wait_idle` is what
+/// prevents a use-after-free, so cancelled regions must drain before the
+/// slot is reused.
+#[test]
+fn skipped_drain_after_cancelled_region_is_rediscovered() {
+    let checker = Model {
+        // The failing schedule kills the lone worker; keep the
+        // post-failure drain window short.
+        wedge_timeout: Duration::from_secs(5),
+        ..Model::default()
+    };
+    let msg = failure_message(catch_unwind(AssertUnwindSafe(move || {
+        checker.check(|| {
+            // The body outlives the pool so the *test* never dangles; the
+            // `alive` witness models the frame death that would occur in
+            // real code (borrowed closure + chunk counter on the dead
+            // submitting frame).
+            let body = || {};
+            let pool = ThreadPool::new(1);
+            pool.broadcast_cancelled_no_drain(1, &body);
             drop(pool);
         });
     })));

@@ -22,6 +22,80 @@ pub struct CsrMatrix<T> {
     values: Vec<T>,
 }
 
+/// Check every CSR structural invariant over raw arrays: `row_ptr` shape
+/// and monotonicity, `col_ind`/`values` length agreement, in-range and
+/// strictly increasing column indices per row. This is the single
+/// validator behind [`CsrMatrix::from_raw`] and [`CsrMatrix::validate`],
+/// so a payload accepted by one is accepted by the other.
+fn validate_parts<T>(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_ind: &[Index],
+    values: &[T],
+) -> Result<()> {
+    if row_ptr.len() != rows + 1 {
+        return Err(SparseError::InvalidFormat(format!(
+            "row_ptr length {} != rows + 1 = {}",
+            row_ptr.len(),
+            rows + 1
+        )));
+    }
+    if row_ptr[0] != 0 {
+        return Err(SparseError::InvalidFormat("row_ptr[0] != 0".into()));
+    }
+    if col_ind.len() != values.len() {
+        return Err(SparseError::InvalidFormat(format!(
+            "col_ind length {} != values length {}",
+            col_ind.len(),
+            values.len()
+        )));
+    }
+    if *row_ptr.last().expect("non-empty row_ptr") != col_ind.len() {
+        return Err(SparseError::InvalidFormat(format!(
+            "row_ptr[rows] = {} != nnz = {}",
+            row_ptr[rows],
+            col_ind.len()
+        )));
+    }
+    for i in 0..rows {
+        if row_ptr[i] > row_ptr[i + 1] {
+            return Err(SparseError::InvalidFormat(format!(
+                "row_ptr not monotone at row {i}"
+            )));
+        }
+        // A monotone interior entry can still exceed the (already
+        // checked) final entry only via intermediate overshoot, which the
+        // pairwise check above catches; bound-check anyway so a hostile
+        // row_ptr can never index past col_ind.
+        if row_ptr[i + 1] > col_ind.len() {
+            return Err(SparseError::InvalidFormat(format!(
+                "row_ptr[{}] = {} exceeds nnz = {}",
+                i + 1,
+                row_ptr[i + 1],
+                col_ind.len()
+            )));
+        }
+        let span = &col_ind[row_ptr[i]..row_ptr[i + 1]];
+        for w in span.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidFormat(format!(
+                    "column indices not strictly increasing in row {i}"
+                )));
+            }
+        }
+        if let Some(&last) = span.last() {
+            if last as usize >= cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: (i, last as usize),
+                    shape: (rows, cols),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 impl<T: Scalar> CsrMatrix<T> {
     /// Build from raw arrays, validating every invariant.
     pub fn from_raw(
@@ -31,53 +105,7 @@ impl<T: Scalar> CsrMatrix<T> {
         col_ind: Vec<Index>,
         values: Vec<T>,
     ) -> Result<Self> {
-        if row_ptr.len() != rows + 1 {
-            return Err(SparseError::InvalidFormat(format!(
-                "row_ptr length {} != rows + 1 = {}",
-                row_ptr.len(),
-                rows + 1
-            )));
-        }
-        if row_ptr[0] != 0 {
-            return Err(SparseError::InvalidFormat("row_ptr[0] != 0".into()));
-        }
-        if col_ind.len() != values.len() {
-            return Err(SparseError::InvalidFormat(format!(
-                "col_ind length {} != values length {}",
-                col_ind.len(),
-                values.len()
-            )));
-        }
-        if *row_ptr.last().expect("non-empty row_ptr") != col_ind.len() {
-            return Err(SparseError::InvalidFormat(format!(
-                "row_ptr[rows] = {} != nnz = {}",
-                row_ptr[rows],
-                col_ind.len()
-            )));
-        }
-        for i in 0..rows {
-            if row_ptr[i] > row_ptr[i + 1] {
-                return Err(SparseError::InvalidFormat(format!(
-                    "row_ptr not monotone at row {i}"
-                )));
-            }
-            let span = &col_ind[row_ptr[i]..row_ptr[i + 1]];
-            for w in span.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(SparseError::InvalidFormat(format!(
-                        "column indices not strictly increasing in row {i}"
-                    )));
-                }
-            }
-            if let Some(&last) = span.last() {
-                if last as usize >= cols {
-                    return Err(SparseError::IndexOutOfBounds {
-                        index: (i, last as usize),
-                        shape: (rows, cols),
-                    });
-                }
-            }
-        }
+        validate_parts(rows, cols, &row_ptr, &col_ind, &values)?;
         Ok(CsrMatrix {
             rows,
             cols,
@@ -85,6 +113,64 @@ impl<T: Scalar> CsrMatrix<T> {
             col_ind,
             values,
         })
+    }
+
+    /// Build from raw arrays **without** validating any invariant.
+    ///
+    /// Exists for the fault-injection and fuzzing layers, which need to
+    /// materialize deliberately malformed payloads and prove the serving
+    /// stack rejects them with a typed error. Production ingestion paths
+    /// must use [`CsrMatrix::from_raw`] (or call [`CsrMatrix::validate`]
+    /// before any kernel sees the matrix): every accessor and kernel
+    /// assumes the invariants hold.
+    pub fn from_raw_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_ind: Vec<Index>,
+        values: Vec<T>,
+    ) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_ind,
+            values,
+        }
+    }
+
+    /// Re-check every structural invariant on an existing matrix: the
+    /// serving layer's ingress gate for untrusted payloads (which may
+    /// have been produced by [`CsrMatrix::from_raw_unchecked`] or a buggy
+    /// upstream producer). `Ok(())` means every accessor and kernel in
+    /// the workspace can execute the matrix without panicking.
+    pub fn validate(&self) -> Result<()> {
+        validate_parts(
+            self.rows,
+            self.cols,
+            &self.row_ptr,
+            &self.col_ind,
+            &self.values,
+        )
+    }
+
+    /// [`CsrMatrix::validate`] plus the strict value policy: every stored
+    /// value must be finite (no NaN, no ±Inf). The serving layer rejects
+    /// non-finite payloads by default — a NaN silently poisons every
+    /// accumulator it touches, which is a wrong-answer bug, not a crash.
+    pub fn validate_finite(&self) -> Result<()> {
+        self.validate()?;
+        for i in 0..self.rows {
+            let cols = self.row_cols(i);
+            for (k, &v) in self.row_values(i).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(SparseError::NonFiniteValue {
+                        index: (i, cols[k] as usize),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Convert from COO (already sorted and deduplicated).
@@ -284,6 +370,74 @@ impl<T: Scalar> CsrMatrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_every_constructor_output() {
+        let m = sample();
+        m.validate().unwrap();
+        m.validate_finite().unwrap();
+        CsrMatrix::<f64>::empty(0, 0).validate_finite().unwrap();
+        CsrMatrix::<f64>::empty(5, 0).validate_finite().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_corruption() {
+        let m = sample();
+        let (rp, ci, vals) = (
+            m.row_ptr().to_vec(),
+            m.col_ind().to_vec(),
+            m.values().to_vec(),
+        );
+
+        // Non-monotone row_ptr (decrease between rows 1 and 2).
+        let mut bad = rp.clone();
+        bad[2] = bad[1] - 1;
+        let c = CsrMatrix::from_raw_unchecked(3, 4, bad, ci.clone(), vals.clone());
+        assert!(matches!(c.validate(), Err(SparseError::InvalidFormat(_))));
+
+        // Interior row_ptr overshoot past nnz (the hostile slice-panic
+        // case): monotone up to the overshoot, tail entry still == nnz.
+        let c = CsrMatrix::from_raw_unchecked(3, 4, vec![0, 100, 4, 4], ci.clone(), vals.clone());
+        assert!(matches!(c.validate(), Err(SparseError::InvalidFormat(_))));
+
+        // Out-of-range column index.
+        let mut bad = ci.clone();
+        bad[0] = 99;
+        let c = CsrMatrix::from_raw_unchecked(3, 4, rp.clone(), bad, vals.clone());
+        assert!(c.validate().is_err());
+
+        // Truncated values.
+        let mut bad = vals.clone();
+        bad.pop();
+        let c = CsrMatrix::from_raw_unchecked(3, 4, rp.clone(), ci.clone(), bad);
+        assert!(matches!(c.validate(), Err(SparseError::InvalidFormat(_))));
+
+        // row_ptr tail disagrees with nnz.
+        let mut bad = rp.clone();
+        *bad.last_mut().unwrap() += 1;
+        let c = CsrMatrix::from_raw_unchecked(3, 4, bad, ci.clone(), vals.clone());
+        assert!(matches!(c.validate(), Err(SparseError::InvalidFormat(_))));
+
+        // Structurally valid but non-finite value: validate passes, the
+        // strict policy rejects with the offending coordinate.
+        let mut bad = vals.clone();
+        bad[2] = f64::NAN;
+        let c = CsrMatrix::from_raw_unchecked(3, 4, rp, ci, bad);
+        c.validate().unwrap();
+        assert!(matches!(
+            c.validate_finite(),
+            Err(SparseError::NonFiniteValue { index: (1, 2) })
+        ));
+    }
+
+    #[test]
+    fn from_raw_rejects_interior_overshoot_without_panicking() {
+        // Regression: row_ptr [0, 5, 2] with nnz = 2 passes the tail and
+        // per-pair monotonicity checks for row 0 but used to panic on the
+        // col_ind slice before the row-1 check could fire.
+        let got = CsrMatrix::<f64>::from_raw(2, 4, vec![0, 5, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(got, Err(SparseError::InvalidFormat(_))));
+    }
 
     fn sample() -> CsrMatrix<f64> {
         // [1 0 0 2]

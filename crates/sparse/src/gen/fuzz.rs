@@ -21,7 +21,11 @@ use crate::rng::Pcg32;
 use crate::scalar::Scalar;
 
 /// Number of structural classes [`fuzz_case`] rotates through.
-pub const FUZZ_CLASSES: u64 = 11;
+pub const FUZZ_CLASSES: u64 = 12;
+
+/// The class index whose cases are **malformed** payloads (invariants
+/// deliberately broken; see [`FuzzCase::malformed`]).
+pub const MALFORMED_CLASS: u64 = 10;
 
 /// One generated differential-testing case.
 #[derive(Debug, Clone)]
@@ -32,24 +36,109 @@ pub struct FuzzCase<T: Scalar> {
     pub csr: CsrMatrix<T>,
     /// Dense-operand width `J` (`0` is a valid degenerate width).
     pub j: usize,
+    /// `true` for the hostile class: `csr` violates a CSR invariant (or
+    /// the strict finite-value policy) and must be **rejected with a
+    /// typed error** by every ingestion path — running a kernel on it is
+    /// undefined behaviour of the test, not of the library.
+    pub malformed: bool,
 }
 
 /// Deterministically generate fuzz case number `seed`.
 pub fn fuzz_case<T: Scalar>(seed: u64) -> FuzzCase<T> {
     let mut rng = Pcg32::new(seed, 0xF0220);
-    let (label, coo) = generate_structure::<T>(seed % FUZZ_CLASSES, &mut rng);
+    let class = seed % FUZZ_CLASSES;
     // Degenerate widths (0, 1) show up often enough to matter; the rest
     // of the mass crosses small and moderate tile boundaries.
-    let j = match rng.usize_in(0, 8) {
+    let draw_j = |rng: &mut Pcg32| match rng.usize_in(0, 8) {
         0 => 0,
         1 => 1,
         _ => rng.usize_in(2, 40),
     };
+    if class == MALFORMED_CLASS {
+        let (label, csr) = malformed_csr::<T>(&mut rng);
+        let j = draw_j(&mut rng);
+        return FuzzCase {
+            label,
+            csr,
+            j,
+            malformed: true,
+        };
+    }
+    let (label, coo) = generate_structure::<T>(class, &mut rng);
+    let j = draw_j(&mut rng);
     FuzzCase {
         label,
         csr: CsrMatrix::from_coo(&coo),
         j,
+        malformed: false,
     }
+}
+
+/// Build a valid base matrix, then break exactly one invariant. Every
+/// sub-mode must be caught by [`CsrMatrix::validate_finite`]; the
+/// differential fuzzer asserts the rejection is a typed error, never a
+/// panic or a silently wrong answer.
+fn malformed_csr<T: Scalar>(rng: &mut Pcg32) -> (&'static str, CsrMatrix<T>) {
+    let rows = rng.usize_in(3, 40);
+    let cols = rng.usize_in(3, 40);
+    // One guaranteed entry per row (distinct coordinates) plus a random
+    // scatter, so nnz >= rows and every corruption site exists.
+    let mut trips: Vec<(usize, usize, T)> = (0..rows)
+        .map(|r| (r, r % cols, nz_value::<T>(rng)))
+        .collect();
+    for _ in 0..rng.usize_in(0, rows * 2) {
+        trips.push((
+            rng.usize_in(0, rows),
+            rng.usize_in(0, cols),
+            nz_value::<T>(rng),
+        ));
+    }
+    let base = CsrMatrix::from_coo(
+        &CooMatrix::from_triplets(rows, cols, trips).expect("in-bounds by construction"),
+    );
+    let mut row_ptr = base.row_ptr().to_vec();
+    let mut col_ind = base.col_ind().to_vec();
+    let mut values = base.values().to_vec();
+    let nnz = values.len();
+    let label = match rng.usize_in(0, 5) {
+        0 => {
+            // Broken monotonicity: some interior pointer decreases.
+            let i = rng.usize_in(1, rows);
+            row_ptr[i] = row_ptr[i + 1] + 1 + rng.usize_in(0, 4);
+            "malformed-rowptr-monotone"
+        }
+        1 => {
+            // Column index past the matrix width.
+            let k = rng.usize_in(0, nnz);
+            col_ind[k] = (cols + rng.usize_in(0, 1000)) as crate::Index;
+            "malformed-col-overflow"
+        }
+        2 => {
+            // values shorter than col_ind (nnz >= rows >= 3).
+            values.truncate(nnz - rng.usize_in(1, 4));
+            "malformed-truncated-values"
+        }
+        3 => {
+            // row_ptr tail disagrees with nnz.
+            *row_ptr.last_mut().expect("rows + 1 entries") += 1 + rng.usize_in(0, 8);
+            "malformed-rowptr-tail"
+        }
+        _ => {
+            // Structurally valid, but a stored value is NaN or Inf — the
+            // wrong-answer poison the strict finite policy exists for.
+            let k = rng.usize_in(0, nnz);
+            values[k] = if rng.bernoulli(0.5) {
+                T::from_f64(f64::NAN)
+            } else {
+                T::from_f64(f64::INFINITY)
+            };
+            "malformed-nonfinite"
+        }
+    };
+    (
+        label,
+        CsrMatrix::from_raw_unchecked(rows, cols, row_ptr, col_ind, values),
+    )
 }
 
 fn generate_structure<T: Scalar>(class: u64, rng: &mut Pcg32) -> (&'static str, CooMatrix<T>) {
@@ -196,6 +285,14 @@ mod tests {
                 2 => assert_eq!(c.csr.shape(), (0, 0)),
                 3 => assert_eq!(c.csr.nnz(), 0),
                 6 => assert!(c.csr.rows() <= 60 && c.csr.cols() <= 60),
+                MALFORMED_CLASS => {
+                    assert!(c.malformed);
+                    assert!(
+                        c.csr.validate_finite().is_err(),
+                        "malformed case must fail strict validation: {}",
+                        c.label
+                    );
+                }
                 9 => {
                     // At least one long row: folding fodder under a
                     // width-capped CELL build.
@@ -208,6 +305,32 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn well_formed_classes_validate_cleanly() {
+        for seed in 0..4 * FUZZ_CLASSES {
+            let c = fuzz_case::<f64>(seed);
+            if !c.malformed {
+                c.csr
+                    .validate_finite()
+                    .unwrap_or_else(|e| panic!("seed {seed} [{}]: {e}", c.label));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_submodes_all_reachable_and_typed() {
+        // Sweep enough malformed seeds to hit every corruption sub-mode;
+        // each must fail strict validation without panicking.
+        let mut labels = std::collections::HashSet::new();
+        for k in 0..64u64 {
+            let c = fuzz_case::<f64>(MALFORMED_CLASS + k * FUZZ_CLASSES);
+            assert!(c.malformed);
+            assert!(c.csr.validate_finite().is_err(), "{}", c.label);
+            labels.insert(c.label);
+        }
+        assert!(labels.len() >= 5, "sub-modes seen: {labels:?}");
     }
 
     #[test]

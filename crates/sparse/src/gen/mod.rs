@@ -15,7 +15,7 @@ mod uniform;
 
 pub use banded::banded;
 pub use block::block_sparse;
-pub use fuzz::{fuzz_case, FuzzCase, FUZZ_CLASSES};
+pub use fuzz::{fuzz_case, FuzzCase, FUZZ_CLASSES, MALFORMED_CLASS};
 pub use mixed::mixed_regions;
 pub use powerlaw::{power_law, PowerLawConfig};
 pub use rmat::{rmat, RmatConfig};

@@ -13,23 +13,31 @@
 #             and the serving-engine stress suite at raised thread and
 #             iteration counts, both in release mode;
 #   --check   appends the verification tier (lf-check): the model
-#             checker's self-tests, the model-checked pool-protocol and
-#             plan-cache scenarios (including the reverted-fix
-#             use-after-free rediscovery), the shadow race detector's
-#             seeded-bug proofs in debug mode, the differential fuzzer
-#             with the detector live, and the release-mode hot-path
-#             allocation-discipline test.
+#             checker's self-tests, the model-checked pool-protocol,
+#             plan-cache, and quarantine scenarios (including the
+#             reverted-fix use-after-free rediscoveries), the shadow race
+#             detector's seeded-bug proofs in debug mode, the
+#             differential fuzzer with the detector live, and the
+#             release-mode hot-path allocation-discipline test;
+#   --chaos   appends the fault-injection tier: the serving storm with
+#             seeded chaos sites armed (compose/execute panics, alloc
+#             failures, forced slow paths) at 16 threads x 200
+#             iterations per thread, release mode, across three seeds —
+#             asserting no deadlocks, no wrong bytes, the exact outcome
+#             ledger, and an achieved fault rate of >= 5% of requests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_STRESS=0
 RUN_CHECK=0
+RUN_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
     --stress) RUN_STRESS=1 ;;
     --check) RUN_CHECK=1 ;;
+    --chaos) RUN_CHAOS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -77,10 +85,24 @@ if [[ "$RUN_CHECK" == "1" ]]; then
   cargo clippy -p lf-sim --features check --all-targets -- -D warnings
   echo "==> model-checked plan-cache protocol (lf-serve)"
   cargo test -p lf-serve --test model_cache -q
+  echo "==> model-checked quarantine protocol (lf-serve)"
+  cargo test -p lf-serve --test model_quarantine -q
   echo "==> shadow race detector seeded bugs + differential fuzz (debug)"
   cargo test -p lf-kernels -q
   echo "==> hot-path allocation discipline (release)"
   cargo test --release -p lf-kernels --test hot_path_allocs -q
+fi
+
+if [[ "$RUN_CHAOS" == "1" ]]; then
+  echo "==> hostile-input suite (lf-serve ingress contract)"
+  cargo test --release -p lf-serve --test hostile_inputs -q
+  echo "==> clippy with the chaos feature"
+  cargo clippy -p lf-serve --features chaos --all-targets -- -D warnings
+  for seed in 1 2 1337; do
+    echo "==> chaos storm (seed=$seed, 16 threads x 200 iters, release)"
+    LF_CHAOS_SEED="$seed" LF_CHAOS_THREADS=16 LF_CHAOS_ITERS=200 \
+      cargo test --release -p lf-serve --features chaos --test chaos -q
+  done
 fi
 
 echo "verify: OK"
