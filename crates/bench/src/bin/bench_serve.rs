@@ -57,6 +57,20 @@ struct Throughput {
 }
 
 #[derive(Serialize)]
+struct BatchBench {
+    threads: usize,
+    sharers_per_matrix: usize,
+    j_per_request: usize,
+    fused_j: usize,
+    rounds: usize,
+    solo_requests_per_s: f64,
+    batched_requests_per_s: f64,
+    aggregate_speedup: f64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+#[derive(Serialize)]
 struct Artifact {
     mode: &'static str,
     matrix: MatrixInfo,
@@ -64,6 +78,7 @@ struct Artifact {
     serve: Vec<ServeRow>,
     min_speedup: f64,
     throughput: Throughput,
+    coalescing: BatchBench,
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -191,7 +206,7 @@ fn main() {
     let iters = if quick { 8 } else { 20 };
     let engine = ServeEngine::new(
         PinnedLiteForm {
-            pipeline,
+            pipeline: pipeline.clone(),
             partitions: 16,
         },
         ServeConfig::default(),
@@ -239,6 +254,104 @@ fn main() {
         fmt(throughput.hit_rate),
     );
 
+    // --- Coalescing: 16 threads, 8 sharers per matrix, fused vs solo --
+    // The tentpole claim for request coalescing: when many concurrent
+    // requests multiply the SAME matrix, fusing their B columns into one
+    // wide execute amortizes the sparse index-stream traffic (and the
+    // per-request fixed costs) across the whole group — one pass over A
+    // instead of eight. Identical barrier-paced workload on two engines
+    // differing only in `batch_window_us`.
+    let bt_threads = 16usize;
+    let sharers = 8usize;
+    // Narrow per-request operands (GNN inference at J=2) are exactly the
+    // regime coalescing targets: each solo pass re-streams all of A's
+    // indices and values for 2 columns of useful work, so fusing 8
+    // sharers amortizes the A-traffic 8-fold.
+    let jb = 2usize;
+    let fused_j = sharers * jb;
+    let (bt_n, bt_nnz) = (2048usize, 150_000usize);
+    let rounds = if quick { 8 } else { 16 };
+    let bt_hot: Vec<MatrixHandle<f32>> = (0..(bt_threads / sharers) as u64)
+        .map(|s| {
+            let mut r = Pcg32::seed_from_u64(300 + s);
+            MatrixHandle::new(CsrMatrix::from_coo(&mixed_regions(
+                bt_n, bt_n, bt_nnz, 4, &mut r,
+            )))
+            .expect("benchmark matrix is valid")
+        })
+        .collect();
+    let bt_bs: Vec<DenseMatrix<f32>> = (0..bt_threads)
+        .map(|t| {
+            let mut r = Pcg32::seed_from_u64(0xB00 + t as u64);
+            DenseMatrix::random(bt_n, jb, &mut r)
+        })
+        .collect();
+    let run_workload = |window_us: u64| -> (f64, ServeStats) {
+        let engine = ServeEngine::new(
+            PinnedLiteForm {
+                pipeline: pipeline.clone(),
+                partitions: 16,
+            },
+            ServeConfig {
+                batch_window_us: window_us,
+                // The cap equals the fused width, so a full group closes
+                // the instant its last sharer joins — the window is only
+                // a straggler bound.
+                max_batch_j: fused_j,
+                ..ServeConfig::default()
+            },
+        );
+        for h in &bt_hot {
+            engine.warm(h, jb).unwrap();
+            engine.warm(h, fused_j).unwrap();
+        }
+        let barrier = std::sync::Barrier::new(bt_threads);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..bt_threads {
+                let (engine, bt_hot, bt_bs, barrier) = (&engine, &bt_hot, &bt_bs, &barrier);
+                scope.spawn(move || {
+                    let h = &bt_hot[t / sharers];
+                    for _ in 0..rounds {
+                        barrier.wait();
+                        engine.serve_handle(h, &bt_bs[t]).unwrap();
+                    }
+                });
+            }
+        });
+        (t0.elapsed().as_secs_f64(), engine.stats())
+    };
+    let (solo_wall_s, solo_stats) = run_workload(0);
+    let (batched_wall_s, batched_stats) = run_workload(50_000);
+    let total_requests = (bt_threads * rounds) as f64;
+    let coalescing = BatchBench {
+        threads: bt_threads,
+        sharers_per_matrix: sharers,
+        j_per_request: jb,
+        fused_j,
+        rounds,
+        solo_requests_per_s: total_requests / solo_wall_s,
+        batched_requests_per_s: total_requests / batched_wall_s,
+        aggregate_speedup: solo_wall_s / batched_wall_s,
+        batches: batched_stats.batches,
+        batched_requests: batched_stats.batched_requests,
+    };
+    assert_eq!(solo_stats.requests(), total_requests as u64);
+    assert_eq!(batched_stats.requests(), total_requests as u64);
+    println!(
+        "\ncoalescing: {} threads x {} rounds, {} sharers/matrix at J={} (fused J={}):\n  \
+         solo    {} req/s\n  batched {} req/s ({} batches) -> {}x aggregate",
+        bt_threads,
+        rounds,
+        sharers,
+        jb,
+        fused_j,
+        fmt(coalescing.solo_requests_per_s),
+        fmt(coalescing.batched_requests_per_s),
+        batched_stats.batches,
+        fmt(coalescing.aggregate_speedup),
+    );
+
     let artifact = Artifact {
         mode: if quick { "quick" } else { "full" },
         matrix,
@@ -246,6 +359,7 @@ fn main() {
         serve: rows,
         min_speedup,
         throughput,
+        coalescing,
     };
     let dir = if quick {
         PathBuf::from("target/bench-serve")
@@ -258,6 +372,14 @@ fn main() {
 
     if quick && min_speedup < 1.0 {
         eprintln!("bench_serve: FAIL — cache hit slower than cold compose+run ({min_speedup}x)");
+        std::process::exit(1);
+    }
+    if quick && artifact.coalescing.aggregate_speedup < 3.0 {
+        eprintln!(
+            "bench_serve: FAIL — coalescing must reach 3x aggregate throughput at {sharers} \
+             sharers, got {}x",
+            artifact.coalescing.aggregate_speedup
+        );
         std::process::exit(1);
     }
 }

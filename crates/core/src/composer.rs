@@ -204,6 +204,38 @@ impl<T: AtomicScalar> PreparedPlan<T> {
         self.kernel().run(b)
     }
 
+    /// Execute one **fused** SpMM over several dense operands that share
+    /// this plan's sparse matrix: the operands' columns are concatenated
+    /// into a single wide `B` (amortizing the sparse index-stream
+    /// traversal across all of them — the wide-operand observation the
+    /// serving layer's request coalescing is built on), the kernel runs
+    /// once at the fused width, and the wide result is scattered back
+    /// into one output per operand, in order.
+    ///
+    /// Each output column sees exactly the accumulation it would see in
+    /// a solo [`PreparedPlan::run`]: fusing changes which columns ride
+    /// along in the same pass, never a column's own reduction, so on
+    /// single-writer (non-atomic) paths the scattered outputs are
+    /// bitwise identical to solo runs. Atomic multi-partition paths stay
+    /// as order-nondeterministic as their solo runs already are.
+    ///
+    /// Note the plan's bucket widths are only optimal near
+    /// [`PreparedPlan::tuned_j`]; callers fusing at a much larger total
+    /// width should resolve a plan tuned for it (the serving layer keys
+    /// its cache on the fused width for exactly this reason).
+    pub fn run_batched(&self, bs: &[&DenseMatrix<T>]) -> Result<Vec<DenseMatrix<T>>> {
+        match bs {
+            [] => Ok(Vec::new()),
+            [only] => Ok(vec![self.run(only)?]),
+            _ => {
+                let wide = lf_kernels::concat_columns(bs)?;
+                let c = self.run(&wide)?;
+                let widths: Vec<usize> = bs.iter().map(|b| b.cols()).collect();
+                lf_kernels::scatter_columns(&c, &widths)
+            }
+        }
+    }
+
     /// Simulated kernel profile for a dense operand of `j` columns.
     pub fn kernel_profile(&self, j: usize, device: &DeviceModel) -> KernelProfile {
         self.kernel().profile(j, device)

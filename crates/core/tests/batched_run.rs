@@ -1,0 +1,122 @@
+//! Property suite for [`PreparedPlan::run_batched`]: a fused execute
+//! over concatenated operands must scatter back outputs **bitwise
+//! identical** to running each operand through a solo
+//! [`PreparedPlan::run`], across the fuzzer's structure classes and
+//! degenerate member widths (J=0, J=1), on both kernel paths
+//! (single-partition CELL and fixed CSR — the single-writer regimes the
+//! serving layer's determinism contract covers).
+
+use lf_cell::{build_cell, CellConfig};
+use lf_sparse::gen::fuzz_case;
+use lf_sparse::{CsrMatrix, DenseMatrix, Pcg32};
+use liteform_core::{PreparedPlan, PreprocessProfile};
+
+fn bits(m: &DenseMatrix<f64>) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The two single-writer plan flavors under test.
+fn plans(csr: &CsrMatrix<f64>, j: usize) -> Vec<(&'static str, PreparedPlan<f64>)> {
+    let config = CellConfig::default(); // one partition: plain stores
+    let cell = build_cell(csr, &config).expect("valid csr");
+    vec![
+        (
+            "cell",
+            PreparedPlan::from_cell(config, cell, PreprocessProfile::default()).with_tuned_j(j),
+        ),
+        (
+            "csr",
+            PreparedPlan::from_csr(csr.clone(), PreprocessProfile::default()).with_tuned_j(j),
+        ),
+    ]
+}
+
+#[test]
+fn batched_results_are_bitwise_identical_to_solo_runs() {
+    let mut checked = 0usize;
+    for seed in 0..24u64 {
+        let case = fuzz_case::<f64>(seed);
+        if case.malformed {
+            continue;
+        }
+        let cols = case.csr.cols();
+        let mut rng = Pcg32::seed_from_u64(0xBA7C + seed);
+        // Member widths mix the degenerate joiners (0, 1) with the
+        // case's own width; five members of width j also push the fused
+        // width well past narrow-J tuning.
+        let widths = [case.j, 0, 1, case.j, 3];
+        let bs: Vec<DenseMatrix<f64>> = widths
+            .iter()
+            .map(|&w| DenseMatrix::random(cols, w, &mut rng))
+            .collect();
+        let refs: Vec<&DenseMatrix<f64>> = bs.iter().collect();
+        for (name, plan) in plans(&case.csr, case.j) {
+            let batched = plan.run_batched(&refs).unwrap();
+            assert_eq!(batched.len(), bs.len(), "{name}/{}", case.label);
+            for (k, (b, got)) in bs.iter().zip(&batched).enumerate() {
+                let solo = plan.run(b).unwrap();
+                assert_eq!(got.shape(), solo.shape());
+                assert_eq!(
+                    bits(got),
+                    bits(&solo),
+                    "seed {seed} ({}) {name} member {k} (j={}) diverged from solo",
+                    case.label,
+                    b.cols()
+                );
+            }
+            // And both agree with the sequential reference.
+            for (b, got) in bs.iter().zip(&batched) {
+                let want = case.csr.spmm_reference(b).unwrap();
+                assert!(got.approx_eq(&want, 1e-9), "{name}/{}", case.label);
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 15, "fuzzer must yield enough well-formed cases");
+}
+
+#[test]
+fn fused_width_crosses_the_j_tile_boundary() {
+    // 40+50+45+33 = 168 columns: the fused run spans two J_TILE=128
+    // accumulator tiles while every solo run fits in one — the tiling
+    // seam must not perturb a single bit.
+    let case = fuzz_case::<f64>(1);
+    assert!(!case.malformed);
+    let cols = case.csr.cols();
+    let mut rng = Pcg32::seed_from_u64(0x711e);
+    let bs: Vec<DenseMatrix<f64>> = [40usize, 50, 45, 33]
+        .iter()
+        .map(|&w| DenseMatrix::random(cols, w, &mut rng))
+        .collect();
+    let refs: Vec<&DenseMatrix<f64>> = bs.iter().collect();
+    for (name, plan) in plans(&case.csr, 168) {
+        let batched = plan.run_batched(&refs).unwrap();
+        for (b, got) in bs.iter().zip(&batched) {
+            let solo = plan.run(b).unwrap();
+            assert_eq!(bits(got), bits(&solo), "{name}: tile seam changed bits");
+        }
+    }
+}
+
+#[test]
+fn batched_degenerate_shapes() {
+    let case = fuzz_case::<f64>(2);
+    assert!(!case.malformed);
+    let cols = case.csr.cols();
+    let mut rng = Pcg32::seed_from_u64(42);
+    for (_, plan) in plans(&case.csr, 8) {
+        // Empty member list and single-member fast path.
+        assert!(plan.run_batched(&[]).unwrap().is_empty());
+        let b = DenseMatrix::random(cols, 5, &mut rng);
+        let one = plan.run_batched(&[&b]).unwrap();
+        assert_eq!(bits(&one[0]), bits(&plan.run(&b).unwrap()));
+        // All-zero-width members.
+        let z = DenseMatrix::<f64>::zeros(cols, 0);
+        let outs = plan.run_batched(&[&z, &z]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].shape(), (case.csr.rows(), 0));
+        // Mismatched member rows must be a typed error, not a panic.
+        let bad = DenseMatrix::<f64>::zeros(cols + 1, 3);
+        assert!(plan.run_batched(&[&b, &bad]).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 //! | [`BcsrKernel`] | Triton block-sparse | dense tile × dense tile per block |
 //! | [`CellKernel`] | **LiteForm CELL** | Algorithm 2: block-per-2^k-nnz, folding + atomics |
 
+pub mod batch;
 pub mod bcsr;
 pub mod cell;
 pub mod common;
@@ -38,6 +39,7 @@ pub mod sell;
 pub mod spmv;
 pub mod taco;
 
+pub use batch::{concat_columns, scatter_columns};
 pub use bcsr::BcsrKernel;
 pub use cell::CellKernel;
 pub use csr::{CsrScalarKernel, CsrVectorKernel, DgSparseKernel, SputnikKernel};

@@ -1,0 +1,427 @@
+//! Same-fingerprint request coalescing: the admission-window machinery
+//! behind [`crate::ServeConfig::batch_window_us`] (DESIGN.md §11).
+//!
+//! The first admitted request for a fingerprint becomes the **leader**:
+//! it opens a [`BatchGroup`] on the board and parks for the admission
+//! window while concurrent same-fingerprint requests join by depositing
+//! their dense operand, their cancel token, and a [`JoinSlot`] to wait
+//! on. When the window elapses — or the fused-width cap is reached,
+//! whichever comes first — the leader closes the group, runs **one**
+//! fused SpMM over the concatenated operands, and resolves every
+//! member's slot individually: each member keeps its own deadline
+//! verdict, its own ledger class, and (after a fused panic) its own
+//! reference rescue. The engine half of the protocol lives in
+//! `engine.rs` (`serve_batched` / `run_batch`); this module owns the
+//! synchronization.
+//!
+//! Invariants:
+//!
+//! * **Lock order is board → group state**, in both the join and the
+//!   close path, so the two never deadlock.
+//! * A group is removed from the board and emptied **under the board
+//!   lock** ([`BatchBoard::close`]); joiners reach a group only through
+//!   the board and join while still holding the board lock, so no
+//!   member can ever be added to a closed group (and none is ever
+//!   dropped unresolved by a racing close).
+//! * The leader's own member entry is always **index 0** of the closed
+//!   member list (it created the group with itself inside).
+//! * Every closed member is eventually resolved: the normal path
+//!   resolves each slot explicitly, and [`ResolveGuard`] backstops a
+//!   panicking leader by releasing the stragglers as
+//!   [`Resolution::Solo`].
+
+use crate::fingerprint::Fingerprint;
+use lf_sim::cancel::CancelToken;
+use lf_sparse::{DenseMatrix, Scalar};
+use liteform_core::{LfError, PreprocessProfile};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How the coalescer settled one member's request.
+pub(crate) enum Resolution<T> {
+    /// The fused run (or this member's per-member rescue after a fused
+    /// panic) produced the member's result slice.
+    Served {
+        /// This member's columns of the fused product.
+        result: DenseMatrix<T>,
+        /// Whether the fused-width plan came from the cache.
+        hit: bool,
+        /// Whether the result came down the degradation ladder.
+        degraded: bool,
+        /// Compose instrumentation — `Some` only on the leader when the
+        /// fused plan was freshly composed.
+        compose: Option<PreprocessProfile>,
+    },
+    /// The member failed with a typed error (its own deadline fired, or
+    /// the fused execute panicked and its rescue failed too).
+    Failed(LfError),
+    /// The batch dissolved without serving this member (nobody joined,
+    /// a typed kernel error, or the leader unwound): run solo instead.
+    Solo,
+}
+
+enum SlotState<T> {
+    Waiting,
+    Resolved(Resolution<T>),
+    /// The waiter gave up (backstop timeout) or already collected the
+    /// resolution; later resolves are dropped.
+    Abandoned,
+}
+
+/// One member's rendezvous cell: the leader deposits the member's
+/// [`Resolution`], the member's thread blocks on it.
+pub(crate) struct JoinSlot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+impl<T> JoinSlot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(JoinSlot {
+            state: Mutex::new(SlotState::Waiting),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the member's resolution. First write wins; an abandoned
+    /// slot swallows it silently.
+    pub(crate) fn resolve(&self, r: Resolution<T>) {
+        let mut st = lock(&self.state);
+        if matches!(*st, SlotState::Waiting) {
+            *st = SlotState::Resolved(r);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Block until resolved. `backstop` is a liveness net only — leaders
+    /// always resolve their members (a [`ResolveGuard`] covers even a
+    /// panicking leader); should it ever fire, the member abandons the
+    /// slot and falls back to a solo run.
+    pub(crate) fn wait(&self, backstop: Duration) -> Resolution<T> {
+        let deadline = Instant::now() + backstop;
+        let mut st = lock(&self.state);
+        loop {
+            if matches!(*st, SlotState::Resolved(_)) {
+                match std::mem::replace(&mut *st, SlotState::Abandoned) {
+                    SlotState::Resolved(r) => return r,
+                    _ => unreachable!("state just observed Resolved"),
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                *st = SlotState::Abandoned;
+                return Resolution::Solo;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+}
+
+/// One coalesced request: the member's (cloned) dense operand, its
+/// cancel token, and the slot its thread waits on.
+pub(crate) struct Member<T> {
+    pub(crate) b: DenseMatrix<T>,
+    pub(crate) token: Option<CancelToken>,
+    pub(crate) slot: Arc<JoinSlot<T>>,
+}
+
+struct GroupState<T> {
+    members: Vec<Member<T>>,
+    /// Sum of member widths, capped by the engine's `max_batch_j`.
+    total_j: usize,
+}
+
+/// One open admission window for a fingerprint.
+pub(crate) struct BatchGroup<T> {
+    state: Mutex<GroupState<T>>,
+    /// Signalled when the fused-width cap is reached, waking the leader
+    /// before the window elapses.
+    full: Condvar,
+}
+
+impl<T> BatchGroup<T> {
+    /// Park the leader until the admission window elapses or the fused
+    /// width cap is reached, whichever comes first.
+    pub(crate) fn await_window(&self, window: Duration, max_j: usize) {
+        let deadline = Instant::now() + window;
+        let mut st = lock(&self.state);
+        while st.total_j < max_j {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .full
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+/// How the board admitted a request into the coalescer.
+pub(crate) enum Admission<T> {
+    /// This request opened the group and owns its execution.
+    Leader {
+        /// The group to park on and later close.
+        group: Arc<BatchGroup<T>>,
+        /// The leader's own member slot (index 0 of the closed group).
+        slot: Arc<JoinSlot<T>>,
+    },
+    /// This request joined an open group; wait on the slot.
+    Joined(Arc<JoinSlot<T>>),
+    /// The open group had no room under the width cap: go solo now.
+    Full,
+}
+
+/// The engine-wide map of open admission windows, one per fingerprint.
+pub(crate) struct BatchBoard<T> {
+    open: Mutex<HashMap<Fingerprint, Arc<BatchGroup<T>>>>,
+}
+
+impl<T: Scalar> BatchBoard<T> {
+    pub(crate) fn new() -> Self {
+        BatchBoard {
+            open: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the open group for `fp`, or open one as its leader. The
+    /// group's width never exceeds `max_j`: a request that would push it
+    /// past the cap is turned away ([`Admission::Full`]).
+    pub(crate) fn admit(
+        &self,
+        fp: &Fingerprint,
+        b: &DenseMatrix<T>,
+        token: Option<&CancelToken>,
+        max_j: usize,
+    ) -> Admission<T> {
+        let mut open = lock(&self.open);
+        match open.get(fp) {
+            Some(group) => {
+                let mut st = lock(&group.state);
+                if st.total_j + b.cols() > max_j {
+                    return Admission::Full;
+                }
+                let slot = JoinSlot::new();
+                st.total_j += b.cols();
+                st.members.push(Member {
+                    b: b.clone(),
+                    token: token.cloned(),
+                    slot: Arc::clone(&slot),
+                });
+                if st.total_j >= max_j {
+                    group.full.notify_all();
+                }
+                Admission::Joined(slot)
+            }
+            None => {
+                let slot = JoinSlot::new();
+                let group = Arc::new(BatchGroup {
+                    state: Mutex::new(GroupState {
+                        members: vec![Member {
+                            b: b.clone(),
+                            token: token.cloned(),
+                            slot: Arc::clone(&slot),
+                        }],
+                        total_j: b.cols(),
+                    }),
+                    full: Condvar::new(),
+                });
+                open.insert(*fp, Arc::clone(&group));
+                Admission::Leader { group, slot }
+            }
+        }
+    }
+
+    /// Close a group: atomically (under the board lock) unhook it from
+    /// the board and take its members. After this returns no request can
+    /// join it — joiners only reach a group through the board, and they
+    /// join while still holding the board lock.
+    pub(crate) fn close(&self, fp: &Fingerprint, group: &Arc<BatchGroup<T>>) -> Vec<Member<T>> {
+        let mut open = lock(&self.open);
+        if open.get(fp).is_some_and(|g| Arc::ptr_eq(g, group)) {
+            open.remove(fp);
+        }
+        let mut st = lock(&group.state);
+        st.total_j = 0;
+        std::mem::take(&mut st.members)
+    }
+}
+
+/// Drop guard over a closed group's members: any slot still unresolved
+/// when the guard drops is released as [`Resolution::Solo`], so members
+/// can never hang on a leader that unwound mid-batch.
+pub(crate) struct ResolveGuard<'a, T> {
+    members: &'a [Member<T>],
+}
+
+impl<'a, T> ResolveGuard<'a, T> {
+    pub(crate) fn new(members: &'a [Member<T>]) -> Self {
+        ResolveGuard { members }
+    }
+}
+
+impl<T> Drop for ResolveGuard<'_, T> {
+    fn drop(&mut self) {
+        for m in self.members {
+            m.slot.resolve(Resolution::Solo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(tag: u64) -> Fingerprint {
+        let csr = lf_sparse::CsrMatrix::<f64>::from_raw_unchecked(
+            1,
+            2,
+            vec![0, 1],
+            vec![(tag % 2) as lf_sparse::Index],
+            vec![tag as f64],
+        );
+        Fingerprint::of_csr(&csr)
+    }
+
+    fn b(cols: usize) -> DenseMatrix<f64> {
+        DenseMatrix::zeros(4, cols)
+    }
+
+    #[test]
+    fn leader_then_joiners_then_close_takes_all_members_in_order() {
+        let board = BatchBoard::<f64>::new();
+        let f = fp(1);
+        let Admission::Leader { group, slot } = board.admit(&f, &b(8), None, 64) else {
+            panic!("first arrival must lead");
+        };
+        assert!(matches!(
+            board.admit(&f, &b(8), None, 64),
+            Admission::Joined(_)
+        ));
+        assert!(matches!(
+            board.admit(&f, &b(8), None, 64),
+            Admission::Joined(_)
+        ));
+        let members = board.close(&f, &group);
+        assert_eq!(members.len(), 3);
+        assert_eq!(members[0].b.cols(), 8, "leader is member 0");
+        assert!(Arc::ptr_eq(&members[0].slot, &slot));
+        // After close the board is empty: the next arrival leads anew.
+        assert!(matches!(
+            board.admit(&f, &b(8), None, 64),
+            Admission::Leader { .. }
+        ));
+    }
+
+    #[test]
+    fn width_cap_turns_joiners_away_and_wakes_the_leader_early() {
+        let board = BatchBoard::<f64>::new();
+        let f = fp(2);
+        let Admission::Leader { group, .. } = board.admit(&f, &b(8), None, 16) else {
+            panic!("first arrival must lead");
+        };
+        assert!(matches!(
+            board.admit(&f, &b(8), None, 16),
+            Admission::Joined(_)
+        ));
+        // 16/16 columns used: no room for even a 1-wide member.
+        assert!(matches!(board.admit(&f, &b(1), None, 16), Admission::Full));
+        // Zero-width members always fit.
+        assert!(matches!(
+            board.admit(&f, &b(0), None, 16),
+            Admission::Joined(_)
+        ));
+        // The cap was reached, so the window returns immediately even
+        // though it is nominally very long.
+        let t0 = Instant::now();
+        group.await_window(Duration::from_secs(10), 16);
+        assert!(t0.elapsed() < Duration::from_secs(5), "cap must short-cut");
+        assert_eq!(board.close(&f, &group).len(), 3);
+    }
+
+    #[test]
+    fn distinct_fingerprints_never_share_a_group() {
+        let board = BatchBoard::<f64>::new();
+        assert!(matches!(
+            board.admit(&fp(3), &b(4), None, 64),
+            Admission::Leader { .. }
+        ));
+        assert!(matches!(
+            board.admit(&fp(4), &b(4), None, 64),
+            Admission::Leader { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_resolve_then_wait_returns_and_first_write_wins() {
+        let slot = JoinSlot::<f64>::new();
+        slot.resolve(Resolution::Failed(LfError::DeadlineExceeded {
+            stage: "execute",
+        }));
+        slot.resolve(Resolution::Solo); // dropped: first write wins
+        match slot.wait(Duration::from_secs(1)) {
+            Resolution::Failed(LfError::DeadlineExceeded { stage }) => {
+                assert_eq!(stage, "execute")
+            }
+            _ => panic!("first resolution must win"),
+        }
+    }
+
+    #[test]
+    fn wait_backstop_abandons_and_falls_back_to_solo() {
+        let slot = JoinSlot::<f64>::new();
+        let t0 = Instant::now();
+        assert!(matches!(
+            slot.wait(Duration::from_millis(20)),
+            Resolution::Solo
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // A resolution arriving after abandonment is swallowed, not
+        // delivered to a second wait.
+        slot.resolve(Resolution::Solo);
+    }
+
+    #[test]
+    fn resolve_guard_releases_unresolved_members_as_solo() {
+        let members: Vec<Member<f64>> = (0..3)
+            .map(|_| Member {
+                b: b(2),
+                token: None,
+                slot: JoinSlot::new(),
+            })
+            .collect();
+        members[1].slot.resolve(Resolution::Served {
+            result: b(2),
+            hit: true,
+            degraded: false,
+            compose: None,
+        });
+        drop(ResolveGuard::new(&members));
+        assert!(matches!(
+            members[0].slot.wait(Duration::from_secs(1)),
+            Resolution::Solo
+        ));
+        assert!(matches!(
+            members[1].slot.wait(Duration::from_secs(1)),
+            Resolution::Served { .. }
+        ));
+        assert!(matches!(
+            members[2].slot.wait(Duration::from_secs(1)),
+            Resolution::Solo
+        ));
+    }
+}

@@ -46,6 +46,7 @@
 //!
 //! [`PreparedPlan`]: liteform_core::PreparedPlan
 
+use crate::batch::{Admission, BatchBoard, Member, Resolution, ResolveGuard};
 use crate::fingerprint::Fingerprint;
 use crate::planner::Planner;
 use lf_sim::atomicf::AtomicScalar;
@@ -82,6 +83,18 @@ pub struct ServeConfig {
     /// the default). With `false`, only structural validation runs and
     /// non-finite values propagate into results IEEE-style.
     pub reject_nonfinite: bool,
+    /// Same-fingerprint request coalescing: requests arriving within
+    /// this admission window (microseconds) fuse into one wide SpMM,
+    /// amortizing the sparse index-stream traversal across all of them
+    /// (`0` disables coalescing — the default). The window wait counts
+    /// against each member's deadline and `serve_wall_s`. See
+    /// DESIGN.md §11.
+    pub batch_window_us: u64,
+    /// Cap on the fused dense width: a batch stops admitting members
+    /// once the sum of their B widths would exceed this many columns
+    /// (reaching it closes the window early). A request at least this
+    /// wide on its own always runs solo. Ignored when coalescing is off.
+    pub max_batch_j: usize,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +105,8 @@ impl Default for ServeConfig {
             deadline_ms: None,
             max_inflight: 0,
             reject_nonfinite: true,
+            batch_window_us: 0,
+            max_batch_j: 256,
         }
     }
 }
@@ -143,11 +158,17 @@ pub struct ServeOutcome<T> {
     /// The request's cache key fingerprint.
     pub fingerprint: Fingerprint,
     /// Composition instrumentation — `Some` exactly when this request
-    /// composed a plan (cache misses, including degraded composes).
+    /// composed a plan (cache misses, including degraded composes; for
+    /// a coalesced request, only the batch leader's compose).
     pub compose: Option<PreprocessProfile>,
     /// End-to-end wall seconds for this request (lookup + compose if
-    /// cold + execution).
+    /// cold + execution; for coalesced requests this *includes* the
+    /// admission-window wait and the scatter copy, so latency
+    /// percentiles over it never understate batched requests).
     pub serve_wall_s: f64,
+    /// Whether this request was resolved by a fused (coalesced) execute
+    /// shared with other same-fingerprint requests.
+    pub batched: bool,
 }
 
 /// Counter snapshot, [`StageStats`]-style: wall clock plus allocation
@@ -182,6 +203,18 @@ pub struct ServeStats {
     /// Cached plans poisoned by an execution panic and evicted by the
     /// quarantine protocol (exactly once per plan).
     pub quarantined: u64,
+    /// Fused executes performed by the coalescer (each covering ≥ 2
+    /// member requests).
+    pub batches: u64,
+    /// Requests resolved by a fused execute — including members that
+    /// failed on their own deadline and members rescued per-request
+    /// after a fused panic. Requests whose window dissolved back to a
+    /// solo run are not counted.
+    pub batched_requests: u64,
+    /// Accumulated wall seconds request threads spent inside the
+    /// coalescer (admission-window wait through scatter). Already part
+    /// of `serve`; split out for visibility.
+    pub batch_wait_s: f64,
     /// Accumulated cold-compose cost across all misses (wall + allocs,
     /// via the `lf-sim` counting allocator).
     pub cold_compose: StageStats,
@@ -250,6 +283,9 @@ struct Counters {
     evictions: AtomicU64,
     oversized: AtomicU64,
     quarantined: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    batch_wait_ns: AtomicU64,
     inflight: AtomicUsize,
     cold_wall_ns: AtomicU64,
     cold_alloc_calls: AtomicU64,
@@ -280,6 +316,7 @@ struct Served<T> {
     hit: bool,
     degraded: bool,
     compose: Option<PreprocessProfile>,
+    batched: bool,
 }
 
 /// A thread-safe SpMM server: plans composed once per `(matrix, j)`,
@@ -292,6 +329,8 @@ pub struct ServeEngine<T: AtomicScalar, P> {
     /// Logical clock for LRU recency; bumped on every touch.
     tick: AtomicU64,
     counters: Counters,
+    /// Open admission windows for same-fingerprint coalescing.
+    coalescer: BatchBoard<T>,
 }
 
 impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
@@ -311,6 +350,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             shards,
             tick: AtomicU64::new(0),
             counters: Counters::default(),
+            coalescer: BatchBoard::new(),
         }
     }
 
@@ -412,10 +452,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             .config
             .deadline_ms
             .map(|ms| CancelToken::with_deadline(t0 + Duration::from_millis(ms)));
-        let served = match &token {
-            Some(t) => cancel::with_token(t, || self.serve_admitted(fp, csr, b)),
-            None => self.serve_admitted(fp, csr, b),
-        };
+        let served = self.serve_routed(fp, csr, b, token.as_ref());
         let serve_wall_s = t0.elapsed().as_secs_f64();
         self.counters
             .serve_wall_ns
@@ -424,6 +461,15 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         // admitted request, keeping the stats identity exact.
         match served {
             Ok(s) => {
+                if token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    // Publish-time re-check: the body may have finished a
+                    // shielded final chunk (reference rescue, fused
+                    // region another member still wanted) after this
+                    // request's deadline fired. A fired deadline is
+                    // always `DeadlineExceeded` — never late output.
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(LfError::DeadlineExceeded { stage: "publish" });
+                }
                 let class = if s.degraded {
                     &self.counters.degraded
                 } else if s.hit {
@@ -439,12 +485,37 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     fingerprint: *fp,
                     compose: s.compose,
                     serve_wall_s,
+                    batched: s.batched,
                 })
             }
             Err(e) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
+        }
+    }
+
+    /// Route an admitted request: through the coalescer when batching is
+    /// on and the request can afford the window, solo otherwise. The
+    /// request's token is installed only around the solo body — batch
+    /// members enforce their deadlines at resolution (and `serve_keyed`
+    /// re-checks at publish), while the fused region runs under the
+    /// *conjunction* of its members' tokens.
+    fn serve_routed(
+        &self,
+        fp: &Fingerprint,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+        token: Option<&CancelToken>,
+    ) -> LfResult<Served<T>> {
+        if self.batch_eligible(token) {
+            if let Some(res) = self.serve_batched(fp, csr, b, token) {
+                return res;
+            }
+        }
+        match token {
+            Some(t) => cancel::with_token(t, || self.serve_admitted(fp, csr, b)),
+            None => self.serve_admitted(fp, csr, b),
         }
     }
 
@@ -467,6 +538,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     hit: true,
                     degraded: fell_back || slot.plan.degraded,
                     compose: None,
+                    batched: false,
                 })
             }
             None => {
@@ -483,7 +555,244 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     hit: false,
                     degraded: fell_back || slot.plan.degraded,
                     compose: Some(profile),
+                    batched: false,
                 })
+            }
+        }
+    }
+
+    /// Whether an admitted request may enter the coalescing window.
+    /// A late joiner whose remaining deadline budget cannot cover the
+    /// window *plus* a fused run of comparable scale executes solo
+    /// instead of joining (and then failing out of) a batch.
+    fn batch_eligible(&self, token: Option<&CancelToken>) -> bool {
+        let window = self.config.batch_window_us;
+        if window == 0 {
+            return false;
+        }
+        match token {
+            None => true,
+            Some(t) => {
+                if t.is_cancelled() {
+                    return false;
+                }
+                match t.deadline() {
+                    None => true,
+                    Some(d) => {
+                        let budget = Duration::from_micros(window.saturating_mul(2));
+                        Instant::now()
+                            .checked_add(budget)
+                            .is_some_and(|need| need < d)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Try to resolve the request through the coalescer. `None` means
+    /// the batch dissolved without serving it (no room under the width
+    /// cap, nobody joined the window, a typed kernel error) and the
+    /// caller must run solo.
+    fn serve_batched(
+        &self,
+        fp: &Fingerprint,
+        csr: &CsrMatrix<T>,
+        b: &DenseMatrix<T>,
+        token: Option<&CancelToken>,
+    ) -> Option<LfResult<Served<T>>> {
+        /// Liveness backstop for a member waiting on its leader — never
+        /// reached in normal operation (a `ResolveGuard` releases
+        /// members even when the leader unwinds).
+        const JOIN_BACKSTOP: Duration = Duration::from_secs(60);
+        let t_enter = Instant::now();
+        let max_j = self.config.max_batch_j.max(1);
+        if b.cols() >= max_j {
+            // Wide enough to fill a whole batch alone: nothing to fuse.
+            return None;
+        }
+        let admission = self.coalescer.admit(fp, b, token, max_j);
+        let res = match admission {
+            Admission::Full => return None,
+            Admission::Joined(slot) => slot.wait(JOIN_BACKSTOP),
+            Admission::Leader { group, slot } => {
+                let window = Duration::from_micros(self.config.batch_window_us);
+                group.await_window(window, max_j);
+                let members = self.coalescer.close(fp, &group);
+                if members.len() < 2 {
+                    // Nobody joined: dissolve to the solo path. The
+                    // window wait stays on this request's wall clock.
+                    self.note_batch_wait(t_enter);
+                    return None;
+                }
+                self.run_batch(fp, csr, &members);
+                // Already resolved by run_batch (or its guard): returns
+                // without blocking.
+                slot.wait(JOIN_BACKSTOP)
+            }
+        };
+        self.note_batch_wait(t_enter);
+        match res {
+            Resolution::Solo => None,
+            Resolution::Failed(e) => Some(Err(e)),
+            Resolution::Served {
+                result,
+                hit,
+                degraded,
+                compose,
+            } => Some(Ok(Served {
+                result,
+                hit,
+                degraded,
+                compose,
+                batched: true,
+            })),
+        }
+    }
+
+    fn note_batch_wait(&self, since: Instant) {
+        self.counters
+            .batch_wait_ns
+            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Execute one fused SpMM for a closed group (≥ 2 members) and
+    /// resolve every member's slot — each under its *own* deadline
+    /// verdict and, after a fused panic, its own reference rescue.
+    ///
+    /// The plan is resolved at the **fused** width `Σ jᵢ`: the cache key
+    /// and the planner both see the total, so a plan keyed (and tuned)
+    /// for a member's narrow `j` is never reused for the wide execute.
+    fn run_batch(&self, fp: &Fingerprint, csr: &CsrMatrix<T>, members: &[Member<T>]) {
+        // Whatever happens below — including a panic unwinding through
+        // this frame — no member may be left waiting.
+        let _guard = ResolveGuard::new(members);
+        let total_j: usize = members.iter().map(|m| m.b.cols()).sum();
+        let key = (*fp, total_j);
+        let digest = Self::digest(fp, total_j);
+        let (slot, hit, compose) = match self.lookup(&key) {
+            Some(slot) => (slot, true, None),
+            None => match self.compose_guarded(digest, csr, total_j) {
+                Ok(slot) => {
+                    let profile = slot.plan.profile;
+                    if !slot.plan.degraded {
+                        self.admit(key, Arc::clone(&slot));
+                    }
+                    (slot, false, Some(profile))
+                }
+                Err(e) => {
+                    // The fused compose failed: the leader takes the
+                    // typed error (exactly as its solo compose would
+                    // have); joiners retry solo via the guard.
+                    members[0].slot.resolve(Resolution::Failed(e));
+                    return;
+                }
+            },
+        };
+        let bs: Vec<&DenseMatrix<T>> = members.iter().map(|m| &m.b).collect();
+        // The fused region runs under the *conjunction* of the members'
+        // tokens: no single member's deadline may kill work the others
+        // still want, but once every deadline has fired nobody wants the
+        // result and the region stops. When any member is deadline-free
+        // the region is shielded — it must run to completion for them.
+        let tokens: Vec<CancelToken> = members.iter().filter_map(|m| m.token.clone()).collect();
+        let group_token = (tokens.len() == members.len() && !tokens.is_empty())
+            .then(|| CancelToken::all_of(tokens));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            {
+                use lf_check::chaos::{decide, ChaosSite};
+                if decide(ChaosSite::ExecutePanic) {
+                    panic!("chaos: injected execute panic");
+                }
+            }
+            match &group_token {
+                Some(t) => cancel::with_token(t, || slot.plan.run_batched(&bs)),
+                None => cancel::shielded(|| slot.plan.run_batched(&bs)),
+            }
+        }));
+        let member_expired = |m: &Member<T>| m.token.as_ref().is_some_and(|t| t.is_cancelled());
+        match run {
+            Ok(Ok(results)) => {
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .batched_requests
+                    .fetch_add(members.len() as u64, Ordering::Relaxed);
+                if group_token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    // Every member's deadline fired mid-run: the region
+                    // returned early and the wide result is garbage.
+                    for m in members {
+                        m.slot
+                            .resolve(Resolution::Failed(LfError::DeadlineExceeded {
+                                stage: "execute",
+                            }));
+                    }
+                    return;
+                }
+                for (i, (m, result)) in members.iter().zip(results).enumerate() {
+                    let res = if member_expired(m) {
+                        // This member's own deadline fired while the
+                        // fused run (still wanted by others) completed:
+                        // its slice is discarded, never served late.
+                        Resolution::Failed(LfError::DeadlineExceeded { stage: "execute" })
+                    } else {
+                        Resolution::Served {
+                            result,
+                            hit,
+                            degraded: slot.plan.degraded,
+                            compose: if i == 0 { compose } else { None },
+                        }
+                    };
+                    m.slot.resolve(res);
+                }
+            }
+            Ok(Err(_)) => {
+                // A typed kernel error — impossible for members that
+                // passed ingress validation (widths and rows are
+                // checked), but if it ever happens the batch dissolves
+                // and every member retries solo (via the guard).
+            }
+            Err(payload) => {
+                let detail = panic_detail(payload.as_ref());
+                self.quarantine(&key, &slot);
+                self.planner.record_failure(digest);
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .batched_requests
+                    .fetch_add(members.len() as u64, Ordering::Relaxed);
+                for (i, m) in members.iter().enumerate() {
+                    let res = if member_expired(m) {
+                        Resolution::Failed(LfError::DeadlineExceeded { stage: "execute" })
+                    } else {
+                        // Per-member rescue: the last rung of the
+                        // ladder, shielded, then re-checked against the
+                        // member's OWN token so a rescue that outlived
+                        // its deadline reports `DeadlineExceeded`, never
+                        // late output.
+                        let rescue = catch_unwind(AssertUnwindSafe(|| {
+                            cancel::shielded(|| csr.spmm_reference(&m.b))
+                        }));
+                        match rescue {
+                            Ok(Ok(result)) => {
+                                if member_expired(m) {
+                                    Resolution::Failed(LfError::DeadlineExceeded {
+                                        stage: "execute",
+                                    })
+                                } else {
+                                    Resolution::Served {
+                                        result,
+                                        hit,
+                                        degraded: true,
+                                        compose: if i == 0 { compose } else { None },
+                                    }
+                                }
+                            }
+                            _ => Resolution::Failed(LfError::ExecutePanicked {
+                                detail: detail.clone(),
+                            }),
+                        }
+                    };
+                    m.slot.resolve(res);
+                }
             }
         }
     }
@@ -578,14 +887,20 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     return Err(LfError::DeadlineExceeded { stage: "execute" });
                 }
                 // Rescue with the reference kernel, shielded so the
-                // rescue itself cannot be cancelled into partial output.
-                // May overrun the deadline slightly; exactness over
-                // latency on the last rung.
+                // rescue itself cannot be cancelled into partial output:
+                // it runs to completion, then the token is re-checked
+                // below so a rescue that outlived its deadline reports
+                // `DeadlineExceeded` — never a late publish.
                 let rescue = catch_unwind(AssertUnwindSafe(|| {
                     cancel::shielded(|| csr.spmm_reference(b))
                 }));
                 match rescue {
-                    Ok(Ok(result)) => Ok((result, true)),
+                    Ok(Ok(result)) => {
+                        if cancel::cancelled() {
+                            return Err(LfError::DeadlineExceeded { stage: "execute" });
+                        }
+                        Ok((result, true))
+                    }
                     _ => Err(LfError::ExecutePanicked { detail }),
                 }
             }
@@ -701,6 +1016,9 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                 alloc_calls: 0,
                 alloc_bytes: 0,
             },
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            batch_wait_s: c.batch_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
             cached_plans: plans,
             cached_bytes: bytes,
         }
@@ -972,6 +1290,77 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.rejected, 1);
         assert_eq!((s.hits, s.misses, s.cached_plans), (0, 0, 0));
+        assert_ledger_balances(&s);
+    }
+
+    /// A planner whose plan always panics on execute: its single bucket
+    /// stores a column index equal to `cols`, so the kernel's `B`-row
+    /// gather is out of bounds. The shape is honest, so ingress
+    /// validation and the plan shape check both pass.
+    struct BrokenPlanner;
+
+    impl Planner<f64> for BrokenPlanner {
+        fn prepare(
+            &self,
+            csr: &CsrMatrix<f64>,
+            _j: usize,
+        ) -> liteform_core::LfResult<PreparedPlan<f64>> {
+            let config = lf_cell::CellConfig::default();
+            let cell = lf_cell::CellMatrix::from_parts(
+                csr.rows(),
+                csr.cols(),
+                1,
+                vec![lf_cell::Partition {
+                    col_range: (0, csr.cols()),
+                    buckets: vec![lf_cell::Bucket {
+                        width: 1,
+                        row_ind: vec![0],
+                        col_ind: vec![csr.cols() as lf_sparse::Index], // out of bounds
+                        values: vec![1.0],
+                        rows_per_block: 1,
+                        needs_atomic: false,
+                        has_folded: false,
+                    }],
+                }],
+                config.clone(),
+            );
+            Ok(PreparedPlan::from_cell(
+                config,
+                cell,
+                PreprocessProfile::default(),
+            ))
+        }
+
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn deadline_firing_mid_rescue_is_deadline_exceeded_not_late_output() {
+        // Satellite regression: the plan panics immediately, and the
+        // shielded reference rescue — the request's *final chunk* — runs
+        // to completion long after the 5 ms deadline fires (~100 MFLOP
+        // on one thread). Before the post-rescue token re-check, the
+        // stale rescue result was published as a degraded success; a
+        // fired deadline must always be `DeadlineExceeded`.
+        let e = ServeEngine::new(
+            BrokenPlanner,
+            ServeConfig {
+                deadline_ms: Some(5),
+                ..ServeConfig::default()
+            },
+        );
+        let mut rng = Pcg32::seed_from_u64(7);
+        let a: CsrMatrix<f64> =
+            CsrMatrix::from_coo(&mixed_regions(1024, 1024, 400_000, 4, &mut rng));
+        let b = DenseMatrix::random(1024, 128, &mut rng);
+        let err = e.serve(&a, &b).unwrap_err();
+        assert!(matches!(err, LfError::DeadlineExceeded { .. }), "{err}");
+        let s = e.stats();
+        assert_eq!(s.failed, 1, "a fired deadline is failed, not degraded");
+        assert_eq!(s.degraded, 0, "the rescue result was discarded");
+        assert_eq!(s.quarantined, 1, "the panicking plan was quarantined");
         assert_ledger_balances(&s);
     }
 

@@ -47,6 +47,7 @@
 //! [`LiteForm`]: liteform_core::LiteForm
 //! [`PreparedPlan`]: liteform_core::PreparedPlan
 
+pub(crate) mod batch;
 pub mod engine;
 pub mod fingerprint;
 pub mod planner;

@@ -125,6 +125,97 @@ fn concurrent_mixed_workload_is_correct_and_fully_counted() {
 }
 
 #[test]
+fn coalesced_same_fingerprint_storm_keeps_the_ledger_exact() {
+    // Every thread hammers the SAME handle through a batching engine
+    // with a realistic (hundreds of µs) admission window. Client-side
+    // success/error tallies must reconcile exactly with the engine's
+    // disjoint outcome ledger, results must be correct on every thread,
+    // and the fused path must not churn worker pools.
+    let threads = env_or("LF_STRESS_THREADS", 8).max(2);
+    let iters = env_or("LF_STRESS_ITERS", 24);
+    let n = 160;
+    let j = 5;
+
+    lf_sim::pool::global();
+    let workers_before = lf_sim::pool::workers_spawned_total();
+
+    let a = matrix(0xC0A1, n, 3000);
+    let handle = MatrixHandle::new(a.clone()).unwrap();
+    let engine = ServeEngine::new(
+        FixedCellPlanner::tuned(4),
+        ServeConfig {
+            batch_window_us: 400,
+            max_batch_j: 64,
+            ..ServeConfig::default()
+        },
+    );
+
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (engine, handle, a) = (&engine, &handle, &a);
+            let (ok, failed) = (&ok, &failed);
+            scope.spawn(move || {
+                let mut rng = Pcg32::seed_from_u64(0xFA7 + t as u64);
+                for i in 0..iters {
+                    let b = DenseMatrix::random(n, j, &mut rng);
+                    match engine.serve_handle(handle, &b) {
+                        Ok(out) => {
+                            let want = a.spmm_reference(&b).unwrap();
+                            assert!(
+                                out.result.approx_eq(&want, 1e-9),
+                                "thread {t} iter {i}: wrong coalesced result"
+                            );
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (threads * iters) as u64;
+    let s = engine.stats();
+    assert_eq!(
+        s.requests(),
+        total,
+        "every request is ledgered exactly once: {s:?}"
+    );
+    assert_eq!(
+        s.hits + s.misses + s.rejected + s.degraded + s.failed,
+        total,
+        "the five classes stay disjoint and exhaustive: {s:?}"
+    );
+    assert_eq!(
+        s.hits + s.misses + s.degraded,
+        ok.load(Ordering::Relaxed),
+        "engine successes must match client-side successes: {s:?}"
+    );
+    assert_eq!(
+        s.rejected + s.failed,
+        failed.load(Ordering::Relaxed),
+        "engine errors must match client-side errors: {s:?}"
+    );
+    assert!(
+        s.batches >= 1,
+        "a same-fingerprint storm through an open window must fuse: {s:?}"
+    );
+    assert!(
+        s.batched_requests >= 2 * s.batches,
+        "every fused execute covers at least two members: {s:?}"
+    );
+    assert_eq!(
+        lf_sim::pool::workers_spawned_total(),
+        workers_before,
+        "coalesced serving must not churn worker pools"
+    );
+}
+
+#[test]
 fn concurrent_same_key_storm_converges_to_one_plan() {
     // Every thread requests the same (matrix, j): racing misses are
     // allowed to duplicate compose work, but the cache must converge to

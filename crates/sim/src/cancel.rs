@@ -44,6 +44,9 @@ struct Inner {
     fired: AtomicBool,
     deadline: Option<Instant>,
     parent: Option<CancelToken>,
+    /// Conjunction members ([`CancelToken::all_of`]): when non-empty,
+    /// the token also fires once **every** member has fired.
+    members: Vec<CancelToken>,
 }
 
 /// A cloneable cancellation handle; see the [module docs](self).
@@ -59,6 +62,7 @@ impl CancelToken {
                 fired: AtomicBool::new(false),
                 deadline,
                 parent,
+                members: Vec::new(),
             }),
         }
     }
@@ -82,20 +86,44 @@ impl CancelToken {
         Self::from_parts(deadline, Some(self.clone()))
     }
 
+    /// A **conjunction** token over several requests' tokens: fires when
+    /// *every* member has fired (or when cancelled directly). This is
+    /// the cancel scope for a fused region serving many requests at
+    /// once — no single member's deadline may kill work the others still
+    /// want, but once nobody wants the result the region should stop.
+    ///
+    /// With an empty member list the conjunction never fires
+    /// spontaneously (there is no one left to want cancellation), only
+    /// via [`CancelToken::cancel`].
+    pub fn all_of(members: Vec<CancelToken>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                fired: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+                members,
+            }),
+        }
+    }
+
     /// Fire the token explicitly.
     pub fn cancel(&self) {
         self.inner.fired.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has fired (explicitly, by deadline, or through
-    /// its parent chain). Deadline and parent observations latch, so
-    /// repeated checks after the first positive are a single load.
+    /// Whether the token has fired (explicitly, by deadline, through its
+    /// parent chain, or — for [`CancelToken::all_of`] conjunctions —
+    /// because every member has fired). Deadline, parent, and member
+    /// observations latch, so repeated checks after the first positive
+    /// are a single load.
     pub fn is_cancelled(&self) -> bool {
         if self.inner.fired.load(Ordering::Relaxed) {
             return true;
         }
         let expired = self.inner.deadline.is_some_and(|d| Instant::now() >= d)
-            || self.inner.parent.as_ref().is_some_and(|p| p.is_cancelled());
+            || self.inner.parent.as_ref().is_some_and(|p| p.is_cancelled())
+            || (!self.inner.members.is_empty()
+                && self.inner.members.iter().all(|m| m.is_cancelled()));
         if expired {
             self.inner.fired.store(true, Ordering::Relaxed);
         }
@@ -120,6 +148,7 @@ impl std::fmt::Debug for CancelToken {
             .field("cancelled", &self.inner.fired.load(Ordering::Relaxed))
             .field("deadline", &self.inner.deadline)
             .field("chained", &self.inner.parent.is_some())
+            .field("members", &self.inner.members.len())
             .finish()
     }
 }
@@ -209,6 +238,51 @@ mod tests {
         let child = parent.child(Some(Instant::now() - Duration::from_millis(1)));
         assert!(child.is_cancelled());
         assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn conjunction_fires_only_when_every_member_fires() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let c = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let all = CancelToken::all_of(vec![a.clone(), b.clone(), c.clone()]);
+        assert!(!all.is_cancelled(), "one fired member is not enough");
+        a.cancel();
+        assert!(!all.is_cancelled(), "two of three is not enough");
+        b.cancel();
+        assert!(all.is_cancelled(), "all members fired");
+        assert!(
+            all.is_cancelled(),
+            "conjunction latches after first positive"
+        );
+    }
+
+    #[test]
+    fn conjunction_does_not_fire_members() {
+        // The conjunction observes its members; firing it directly must
+        // never leak down into them.
+        let a = CancelToken::new();
+        let all = CancelToken::all_of(vec![a.clone()]);
+        all.cancel();
+        assert!(all.is_cancelled());
+        assert!(!a.is_cancelled(), "member must be untouched");
+    }
+
+    #[test]
+    fn empty_conjunction_never_fires_spontaneously() {
+        let all = CancelToken::all_of(Vec::new());
+        assert!(!all.is_cancelled());
+        all.cancel();
+        assert!(all.is_cancelled(), "explicit cancel still works");
+    }
+
+    #[test]
+    fn single_member_conjunction_tracks_that_member() {
+        let a = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let all = CancelToken::all_of(vec![a.clone()]);
+        assert!(!all.is_cancelled());
+        a.cancel();
+        assert!(all.is_cancelled());
     }
 
     #[test]

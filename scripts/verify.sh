@@ -11,7 +11,9 @@
 #   --stress  appends the heavy differential/concurrency tier: the
 #             structure-aware kernel fuzzer at raised iteration counts
 #             and the serving-engine stress suite at raised thread and
-#             iteration counts, both in release mode;
+#             iteration counts (including the same-fingerprint request-
+#             coalescing storm and the batched-vs-solo bitwise property
+#             suite), both in release mode;
 #   --check   appends the verification tier (lf-check): the model
 #             checker's self-tests, the model-checked pool-protocol,
 #             plan-cache, and quarantine scenarios (including the
@@ -67,9 +69,13 @@ fi
 if [[ "$RUN_STRESS" == "1" ]]; then
   echo "==> differential fuzz (LF_FUZZ_ITERS=2000)"
   LF_FUZZ_ITERS=2000 cargo test --release -p lf-kernels --test fuzz_differential -q
-  echo "==> serve stress (LF_STRESS_THREADS=16 LF_STRESS_ITERS=120)"
+  echo "==> serve stress incl. coalesced storm (LF_STRESS_THREADS=16 LF_STRESS_ITERS=120)"
   LF_STRESS_THREADS=16 LF_STRESS_ITERS=120 \
     cargo test --release -p lf-serve --test stress -q
+  echo "==> request-coalescing batch suite (release)"
+  cargo test --release -p lf-serve --test batch -q
+  echo "==> batched-vs-solo bitwise property suite (release)"
+  cargo test --release -p liteform-core --test batched_run -q
   echo "==> serve cache properties (release)"
   cargo test --release -p lf-serve --test cache_properties -q
 fi
