@@ -1,7 +1,14 @@
 //! SpMM execution-engine benchmark: per-kernel numeric throughput on this
 //! host, with the CELL kernel measured on both the pre-engine path
 //! (`run_legacy`: one scoped spawn/join per bucket, per-row heap
-//! accumulator, atomics everywhere) and the pooled engine path (`run`).
+//! accumulator, atomics everywhere) and the pooled engine path (`run`),
+//! plus a three-way engine comparison per kernel: forced-scalar lanes
+//! (the pre-SIMD loop shapes) vs the SIMD gather microkernels at the
+//! default tile vs SIMD at the cost-model-tuned tile (`plan_tile`).
+//!
+//! All three engines are measured **in-process on the same operand**, so
+//! the ratios are free of the cross-run variance this host shows on
+//! absolute times.
 //!
 //! Writes a machine-readable artifact:
 //!
@@ -10,14 +17,16 @@
 //!   `results/bench_spmm.json` (`LF_RESULTS_DIR` overrides);
 //! * `--quick` — a seconds-scale smoke at reduced sizes into
 //!   `target/bench-spmm/bench_spmm.json`, exiting non-zero if the engine
-//!   path regresses catastrophically vs the legacy path. Wired into
+//!   path regresses catastrophically vs the legacy path **or** the SIMD
+//!   engine fails its speedup floor over the scalar engine. Wired into
 //!   `scripts/verify.sh --bench`.
 
 use lf_bench::{fmt, geomean, write_json, Table};
 use lf_cell::{build_cell, CellConfig};
+use lf_cost::tile::{plan_tile, TileFeatures};
 use lf_kernels::{
-    BcsrKernel, CellKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel,
-    SellKernel, SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+    simd_enabled, BcsrKernel, CellKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel,
+    EllKernel, Lanes, SellKernel, SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule, TileParams,
 };
 use lf_sparse::gen::mixed_regions;
 use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
@@ -49,13 +58,26 @@ struct CellComparison {
 }
 
 #[derive(Serialize)]
+struct SimdComparison {
+    name: String,
+    scalar_ms: f64,
+    simd_ms: f64,
+    tuned_ms: f64,
+    /// scalar vs the better of {default SIMD tile, tuned tile}.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Artifact {
     mode: &'static str,
     matrix: MatrixInfo,
     reps: usize,
+    simd_enabled: bool,
     kernels: Vec<KernelTime>,
     cell: Vec<CellComparison>,
     geomean_speedup: f64,
+    simd: Vec<SimdComparison>,
+    simd_geomean_speedup: f64,
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -71,8 +93,11 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Quick keeps the reference J=64: the gather microkernels amortize
+    // their per-nnz gather cost over the dense width, so a J=16 smoke
+    // would measure gather overhead, not the engine.
     let (n, nnz, j, reps) = if quick {
-        (512, 12_000, 16, 3)
+        (1024, 60_000, 64, 3)
     } else {
         (4096, 200_000, 64, 5)
     };
@@ -129,11 +154,19 @@ fn main() {
     }
 
     // --- CELL: legacy engine vs pooled engine, p in {4, 16, 32} -------
+    let cell_kernels: Vec<(usize, CellKernel<f32>)> = [4usize, 16, 32]
+        .into_iter()
+        .map(|p| {
+            (
+                p,
+                CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(p)).unwrap()),
+            )
+        })
+        .collect();
     let mut cell_rows = Vec::new();
     let mut speedups = Vec::new();
     let mut ct = Table::new(&["cell", "legacy_ms", "engine_ms", "speedup"]);
-    for p in [4usize, 16, 32] {
-        let k = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(p)).unwrap());
+    for (p, k) in &cell_kernels {
         let legacy_ms = time_ms(reps, || {
             k.run_legacy(&b).unwrap();
         });
@@ -152,7 +185,7 @@ fn main() {
             time_ms: engine_ms,
         });
         cell_rows.push(CellComparison {
-            partitions: p,
+            partitions: *p,
             legacy_ms,
             engine_ms,
             speedup,
@@ -161,6 +194,88 @@ fn main() {
     }
     let gm = geomean(&speedups).unwrap_or(0.0);
 
+    // --- Scalar lanes vs SIMD gather vs cost-model-tuned tile ---------
+    // One row per distinct numeric path (the four CSR-family kernels
+    // share `parallel_csr_spmm_tiled`; `csr` stands in for all of them).
+    let scalar_tile = TileParams::default().with_lanes(Lanes::Scalar);
+    let default_tile = TileParams::default();
+    let tuned_tile = plan_tile(
+        TileFeatures::new(csr.rows(), csr.nnz(), std::mem::size_of::<f32>()),
+        j,
+    );
+    let k_csr = CsrScalarKernel::new(csr.clone());
+    let k_taco = TacoKernel::new(csr.clone(), TacoSchedule::default());
+    let k_ell = EllKernel::new(EllMatrix::from_csr(&csr));
+    let k_sell = SellKernel::new(SellMatrix::from_csr(&csr, 32).unwrap());
+    let k_bcsr = BcsrKernel::new(BcsrMatrix::from_csr(&csr, 8, 8).unwrap());
+    type RunTiled<'a> = Box<dyn Fn(TileParams) + 'a>;
+    let mut simd_cases: Vec<(String, RunTiled)> = vec![
+        (
+            "csr".into(),
+            Box::new(|t| {
+                k_csr.run_tiled(&b, t).unwrap();
+            }),
+        ),
+        (
+            "taco".into(),
+            Box::new(|t| {
+                k_taco.run_tiled(&b, t).unwrap();
+            }),
+        ),
+        (
+            "ell".into(),
+            Box::new(|t| {
+                k_ell.run_tiled(&b, t).unwrap();
+            }),
+        ),
+        (
+            "sell".into(),
+            Box::new(|t| {
+                k_sell.run_tiled(&b, t).unwrap();
+            }),
+        ),
+        (
+            "bcsr".into(),
+            Box::new(|t| {
+                k_bcsr.run_tiled(&b, t).unwrap();
+            }),
+        ),
+    ];
+    for (p, k) in &cell_kernels {
+        let b = &b;
+        simd_cases.push((
+            format!("cell_p{p}"),
+            Box::new(move |t| {
+                k.run_tiled(b, t).unwrap();
+            }),
+        ));
+    }
+    let mut simd_rows = Vec::new();
+    let mut simd_speedups = Vec::new();
+    let mut st = Table::new(&["engine", "scalar_ms", "simd_ms", "tuned_ms", "speedup"]);
+    for (name, run) in &simd_cases {
+        let scalar_ms = time_ms(reps, || run(scalar_tile));
+        let simd_ms = time_ms(reps, || run(default_tile));
+        let tuned_ms = time_ms(reps, || run(tuned_tile));
+        let speedup = scalar_ms / simd_ms.min(tuned_ms);
+        st.row(&[
+            name.clone(),
+            fmt(scalar_ms),
+            fmt(simd_ms),
+            fmt(tuned_ms),
+            fmt(speedup),
+        ]);
+        simd_rows.push(SimdComparison {
+            name: name.clone(),
+            scalar_ms,
+            simd_ms,
+            tuned_ms,
+            speedup,
+        });
+        simd_speedups.push(speedup);
+    }
+    let simd_gm = geomean(&simd_speedups).unwrap_or(0.0);
+
     t.print();
     println!();
     ct.print();
@@ -168,14 +283,28 @@ fn main() {
         "\ncell engine speedup geomean over p in {{4,16,32}}: {}x",
         fmt(gm)
     );
+    println!();
+    st.print();
+    println!(
+        "\nSIMD-vs-scalar speedup geomean ({}): {}x",
+        if simd_enabled() {
+            "SIMD on"
+        } else {
+            "LF_SIMD=off — SIMD lanes resolve to scalar"
+        },
+        fmt(simd_gm)
+    );
 
     let artifact = Artifact {
         mode: if quick { "quick" } else { "full" },
         matrix,
         reps,
+        simd_enabled: simd_enabled(),
         kernels: kernel_times,
         cell: cell_rows,
         geomean_speedup: gm,
+        simd: simd_rows,
+        simd_geomean_speedup: simd_gm,
     };
     let dir = if quick {
         PathBuf::from("target/bench-spmm")
@@ -188,6 +317,16 @@ fn main() {
 
     if quick && gm < 0.8 {
         eprintln!("bench_spmm: FAIL — engine path catastrophically slower than legacy ({gm}x)");
+        std::process::exit(1);
+    }
+    // SIMD smoke floor: the gather microkernels must beat the forced
+    // scalar engine by a clear margin (geomean across the distinct
+    // numeric paths). Skipped when the escape hatch disables SIMD —
+    // both engines are then the same code.
+    if quick && simd_enabled() && simd_gm < 1.2 {
+        eprintln!(
+            "bench_spmm: FAIL — SIMD engine below its 1.2x geomean floor over scalar ({simd_gm}x)"
+        );
         std::process::exit(1);
     }
 }

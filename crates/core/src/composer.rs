@@ -5,7 +5,8 @@ use crate::profile::{PreprocessProfile, StageStats};
 use crate::selector::FormatSelector;
 use lf_cell::{build_cell, CellConfig, CellMatrix};
 use lf_cost::search::optimal_widths_for_matrix;
-use lf_kernels::{CellKernel, CsrVectorKernel, SpmmKernel};
+use lf_cost::tile::{plan_tile, TileFeatures};
+use lf_kernels::{CellKernel, CsrVectorKernel, SpmmKernel, TileParams};
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::{DeviceModel, KernelProfile};
 use lf_sparse::{CsrMatrix, DenseMatrix, FormatFeatures, PartitionFeatures, Result};
@@ -77,16 +78,22 @@ impl<T: AtomicScalar> CompositionPlan<T> {
     /// construction. `csr` is only cloned on the fixed-CSR path (the
     /// CELL path moves the already-built buckets into the kernel).
     pub fn into_prepared(self, csr: &CsrMatrix<T>, tuned_j: usize) -> PreparedPlan<T> {
+        let features = TileFeatures::new(csr.rows(), csr.nnz(), std::mem::size_of::<T>());
+        let tile = plan_tile(features, tuned_j.max(1));
         let kernel = match self.kind {
             PlanKind::Cell { config, cell } => PreparedKernel::Cell {
                 config,
-                kernel: CellKernel::new(cell),
+                kernel: CellKernel::new(cell).with_tile(tile),
             },
-            PlanKind::FixedCsr => PreparedKernel::FixedCsr(CsrVectorKernel::new(csr.clone())),
+            PlanKind::FixedCsr => {
+                PreparedKernel::FixedCsr(CsrVectorKernel::new(csr.clone()).with_tile(tile))
+            }
         };
         PreparedPlan {
             kernel,
             tuned_j,
+            features,
+            tile,
             overhead: self.overhead,
             profile: self.profile,
             degraded: false,
@@ -116,6 +123,11 @@ pub struct PreparedPlan<T: AtomicScalar> {
     /// The plan stays *correct* for any width, but bucket widths are only
     /// optimal near `tuned_j`.
     pub tuned_j: usize,
+    /// Quantized matrix-family features the execution tile was planned
+    /// against (kept so fused runs can re-plan at the fused width).
+    features: TileFeatures,
+    /// The cost-model-tuned execution tile bound into the kernel.
+    tile: TileParams,
     /// Wall-clock overhead breakdown of the one-off construction.
     pub overhead: OverheadBreakdown,
     /// Per-stage wall clock and allocation counters of the construction.
@@ -131,12 +143,16 @@ impl<T: AtomicScalar> PreparedPlan<T> {
     /// Wrap an already-built CELL matrix (used by planners that bypass
     /// the trained pipeline, e.g. fixed-configuration serving).
     pub fn from_cell(config: CellConfig, cell: CellMatrix<T>, profile: PreprocessProfile) -> Self {
+        let features = TileFeatures::new(cell.rows(), cell.nnz(), std::mem::size_of::<T>());
+        let tile = plan_tile(features, 1);
         PreparedPlan {
             kernel: PreparedKernel::Cell {
                 config,
-                kernel: CellKernel::new(cell),
+                kernel: CellKernel::new(cell).with_tile(tile),
             },
             tuned_j: 0,
+            features,
+            tile,
             overhead: profile.overhead(),
             profile,
             degraded: false,
@@ -145,19 +161,37 @@ impl<T: AtomicScalar> PreparedPlan<T> {
 
     /// Wrap a fixed-CSR execution (no composition).
     pub fn from_csr(csr: CsrMatrix<T>, profile: PreprocessProfile) -> Self {
+        let features = TileFeatures::new(csr.rows(), csr.nnz(), std::mem::size_of::<T>());
+        let tile = plan_tile(features, 1);
         PreparedPlan {
-            kernel: PreparedKernel::FixedCsr(CsrVectorKernel::new(csr)),
+            kernel: PreparedKernel::FixedCsr(CsrVectorKernel::new(csr).with_tile(tile)),
             tuned_j: 0,
+            features,
+            tile,
             overhead: profile.overhead(),
             profile,
             degraded: false,
         }
     }
 
-    /// Set the width the plan was tuned for (builder style).
+    /// Set the width the plan was tuned for (builder style). Re-plans the
+    /// execution tile for the new width and rebinds it into the kernel.
     pub fn with_tuned_j(mut self, j: usize) -> Self {
         self.tuned_j = j;
+        self.tile = plan_tile(self.features, j.max(1));
+        self.kernel = match self.kernel {
+            PreparedKernel::Cell { config, kernel } => PreparedKernel::Cell {
+                config,
+                kernel: kernel.with_tile(self.tile),
+            },
+            PreparedKernel::FixedCsr(k) => PreparedKernel::FixedCsr(k.with_tile(self.tile)),
+        };
         self
+    }
+
+    /// The cost-model-tuned execution tile bound into the kernel.
+    pub fn tile_params(&self) -> TileParams {
+        self.tile
     }
 
     /// Mark the plan as a degraded fallback (builder style; see
@@ -222,17 +256,31 @@ impl<T: AtomicScalar> PreparedPlan<T> {
     /// Note the plan's bucket widths are only optimal near
     /// [`PreparedPlan::tuned_j`]; callers fusing at a much larger total
     /// width should resolve a plan tuned for it (the serving layer keys
-    /// its cache on the fused width for exactly this reason).
+    /// its cache on the fused width for exactly this reason). The
+    /// *execution tile* is re-planned here at the fused width regardless
+    /// (a cached cost-model lookup, no allocation) — tile choice never
+    /// changes a column's reduction order, so the bitwise guarantee
+    /// above is unaffected.
     pub fn run_batched(&self, bs: &[&DenseMatrix<T>]) -> Result<Vec<DenseMatrix<T>>> {
         match bs {
             [] => Ok(Vec::new()),
             [only] => Ok(vec![self.run(only)?]),
             _ => {
                 let wide = lf_kernels::concat_columns(bs)?;
-                let c = self.run(&wide)?;
+                let tile = plan_tile(self.features, wide.cols().max(1));
+                let c = self.run_with(&wide, tile)?;
                 let widths: Vec<usize> = bs.iter().map(|b| b.cols()).collect();
                 lf_kernels::scatter_columns(&c, &widths)
             }
+        }
+    }
+
+    /// Execute with an explicit execution tile (fused runs re-plan at
+    /// the fused width).
+    fn run_with(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        match &self.kernel {
+            PreparedKernel::Cell { kernel, .. } => kernel.run_tiled(b, tile),
+            PreparedKernel::FixedCsr(kernel) => kernel.run_tiled(b, tile),
         }
     }
 
@@ -248,6 +296,7 @@ impl<T: AtomicScalar> std::fmt::Debug for PreparedPlan<T> {
             .field("kernel", &self.kernel().name())
             .field("shape", &self.shape())
             .field("tuned_j", &self.tuned_j)
+            .field("tile", &self.tile)
             .field("format_bytes", &self.format_bytes())
             .field("degraded", &self.degraded)
             .finish()

@@ -19,15 +19,36 @@
 //! outputs of a fused run match solo runs of each member — bitwise, on
 //! single-writer paths.
 
+use lf_sim::calibration;
 use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sparse::{DenseMatrix, Result, Scalar, SparseError};
+use std::sync::OnceLock;
 
-/// Below this many elements the copies run on the calling thread — the
-/// work is a handful of `memcpy`s and a region dispatch would dominate.
-const SERIAL_CUTOFF: usize = 1 << 14;
+/// Element count above which the gather/scatter copies are farmed out to
+/// the worker pool; below it they run on the calling thread.
+///
+/// Derived once per process from the measured [`calibration`]: a
+/// parallel region pays `pool_dispatch_ns` up front and saves
+/// `copy_ns × (1 − 1/workers)` per element copied, so the break-even
+/// element count is their ratio, clamped to `[2^12, 2^24]`. With a
+/// single worker parallel dispatch can never win, so the copies always
+/// run inline (`usize::MAX`).
+pub fn scatter_crossover() -> usize {
+    static CROSSOVER: OnceLock<usize> = OnceLock::new();
+    *CROSSOVER.get_or_init(|| {
+        let workers = default_workers();
+        if workers <= 1 {
+            return usize::MAX;
+        }
+        let cal = calibration();
+        let saved_per_elem = cal.copy_ns * (1.0 - 1.0 / workers as f64);
+        let raw = cal.pool_dispatch_ns / saved_per_elem.max(1e-6);
+        (raw as usize).clamp(1 << 12, 1 << 24)
+    })
+}
 
 fn workers_for(elems: usize) -> usize {
-    if elems < SERIAL_CUTOFF {
+    if elems < scatter_crossover() {
         1
     } else {
         default_workers()
@@ -134,8 +155,9 @@ mod tests {
             (1usize, vec![1usize]),
             (17, vec![3, 0, 1, 8]),
             (64, vec![8, 8, 8, 8, 8, 8, 8, 8]),
-            // Wide enough to cross the kernels' J_TILE=128 boundary and
-            // the parallel-copy cutoff.
+            // Wide enough to cross the kernels' default j-tile boundary
+            // (TileParams::default().j_tile) and the parallel-copy
+            // crossover's lower clamp.
             (300, vec![40, 50, 45, 33]),
         ] {
             let bs = mats(rows, &widths, 7 + rows as u64);
@@ -171,6 +193,26 @@ mod tests {
         let outs = scatter_columns(&wide, &[0, 0]).unwrap();
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0].shape(), (5, 0));
+    }
+
+    #[test]
+    fn scatter_crossover_is_calibrated_and_bounded() {
+        let co = scatter_crossover();
+        if default_workers() <= 1 {
+            assert_eq!(co, usize::MAX, "one worker: copies always run inline");
+            assert_eq!(workers_for(1 << 30), 1);
+        } else {
+            assert!(
+                ((1 << 12)..=(1 << 24)).contains(&co),
+                "crossover {co} outside clamp range"
+            );
+            assert_eq!(workers_for(co - 1), 1, "below crossover stays serial");
+            assert_eq!(
+                workers_for(co),
+                default_workers(),
+                "at crossover the pool takes over"
+            );
+        }
     }
 
     #[test]

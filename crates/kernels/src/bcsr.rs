@@ -5,6 +5,7 @@
 //! footprint enough to reproduce the paper's Triton OOM entries.
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -15,30 +16,35 @@ use lf_sparse::{BcsrMatrix, DenseMatrix, Result, SparseError};
 /// Triton-style BCSR SpMM (one thread block per block-row).
 pub struct BcsrKernel<T> {
     bcsr: BcsrMatrix<T>,
+    tile: TileParams,
 }
 
 impl<T: AtomicScalar> BcsrKernel<T> {
-    /// Wrap a BCSR operand.
+    /// Wrap a BCSR operand (default execution tile).
     pub fn new(bcsr: BcsrMatrix<T>) -> Self {
-        BcsrKernel { bcsr }
+        BcsrKernel {
+            bcsr,
+            tile: TileParams::default(),
+        }
+    }
+
+    /// Set the execution tile `run` uses (builder style).
+    pub fn with_tile(mut self, tile: TileParams) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Numeric path with an explicit execution tile.
+    pub fn run_tiled(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        self.execute(b, tile)
     }
 
     /// Access the underlying matrix.
     pub fn bcsr(&self) -> &BcsrMatrix<T> {
         &self.bcsr
     }
-}
 
-impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
-    fn name(&self) -> &'static str {
-        "bcsr(triton)"
-    }
-
-    fn shape(&self) -> (usize, usize) {
-        self.bcsr.shape()
-    }
-
-    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+    fn execute(&self, b: &DenseMatrix<T>, tile_params: TileParams) -> Result<DenseMatrix<T>> {
         let (rows, cols) = self.bcsr.shape();
         if cols != b.rows() {
             return Err(SparseError::DimensionMismatch {
@@ -50,6 +56,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
         let j = b.cols();
         let (br, bc) = self.bcsr.block_shape();
         let slots = br * bc;
+        let lanes = tile_params.lanes.resolve::<T>();
+        let k_block = tile_params.k_block_clamped();
         let mut c = DenseMatrix::zeros(rows, j);
         {
             // Block rows cover disjoint row ranges: accumulate straight
@@ -58,6 +66,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
             let nbr = self.bcsr.num_block_rows();
             parallel_for(nbr, default_workers(), |blk_row| {
                 let ptr = self.bcsr.block_row_ptr();
+                let mut gather: Gather<'_, T> = Gather::new();
                 for lr in 0..br {
                     let r = blk_row * br + lr;
                     if r >= rows {
@@ -71,25 +80,60 @@ impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
                     for k in ptr[blk_row]..ptr[blk_row + 1] {
                         let bcol = self.bcsr.block_col_ind()[k] as usize;
                         let tile = &self.bcsr.block_values()[k * slots..(k + 1) * slots];
-                        for lc in 0..bc {
-                            let col = bcol * bc + lc;
-                            if col >= cols {
-                                break;
+                        if lanes == Lanes::Scalar {
+                            // The pre-SIMD engine, loop shape unchanged.
+                            for lc in 0..bc {
+                                let col = bcol * bc + lc;
+                                if col >= cols {
+                                    break;
+                                }
+                                let v = tile[lr * bc + lc];
+                                if v == T::ZERO {
+                                    continue;
+                                }
+                                let brow = b.row(col);
+                                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                    *cv += v * bv;
+                                }
                             }
-                            let v = tile[lr * bc + lc];
-                            if v == T::ZERO {
-                                continue;
-                            }
-                            let brow = b.row(col);
-                            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                                *cv += v * bv;
+                        } else {
+                            // Gather-outer: explicit-zero skipping and
+                            // the tile-edge test leave the inner loop.
+                            for lc in 0..bc {
+                                let col = bcol * bc + lc;
+                                if col >= cols {
+                                    break;
+                                }
+                                let v = tile[lr * bc + lc];
+                                if v == T::ZERO {
+                                    continue;
+                                }
+                                gather.push(v, b.row(col));
+                                if gather.full(k_block) {
+                                    gather.flush_into(lanes, crow, 0);
+                                }
                             }
                         }
                     }
+                    gather.flush_into(lanes, crow, 0);
                 }
             });
         }
         Ok(c)
+    }
+}
+
+impl<T: AtomicScalar> SpmmKernel<T> for BcsrKernel<T> {
+    fn name(&self) -> &'static str {
+        "bcsr(triton)"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        self.bcsr.shape()
+    }
+
+    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.execute(b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {

@@ -22,6 +22,7 @@
 //! stores instead of CAS loops.
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_cell::{Bucket, CellMatrix};
 use lf_sim::atomicf::AtomicScalar;
@@ -44,16 +45,6 @@ pub enum FusionMode {
     /// fused, partitions are not) — how the SparseTIR hyb baseline runs.
     PerPartition,
 }
-
-/// Accumulator tile width (elements of `C`'s row a worker carries at
-/// once). 128 doubles = 1 KiB — resident in L1 next to the streamed `B`
-/// rows, mirroring the register/j-tile budget of the GPU mapping.
-const J_TILE: usize = 128;
-
-/// Target slots (width × rows) per numeric work item: large enough to
-/// amortize scheduling, small enough that wide buckets still split for
-/// balance.
-const CHUNK_SLOTS: usize = 8192;
 
 /// One flattened numeric work item: a row range of one bucket.
 struct WorkItem<'m, T> {
@@ -86,20 +77,38 @@ fn construction_workers(items: usize) -> usize {
 pub struct CellKernel<T> {
     cell: CellMatrix<T>,
     fusion: FusionMode,
+    tile: TileParams,
 }
 
 impl<T: AtomicScalar> CellKernel<T> {
-    /// Wrap a CELL operand (fully fused launches).
+    /// Wrap a CELL operand (fully fused launches, default tile).
     pub fn new(cell: CellMatrix<T>) -> Self {
         CellKernel {
             cell,
             fusion: FusionMode::Full,
+            tile: TileParams::default(),
         }
     }
 
     /// Wrap with an explicit fusion mode.
     pub fn with_fusion(cell: CellMatrix<T>, fusion: FusionMode) -> Self {
-        CellKernel { cell, fusion }
+        CellKernel {
+            cell,
+            fusion,
+            tile: TileParams::default(),
+        }
+    }
+
+    /// Set the execution tile this kernel runs with by default (builder
+    /// style; the `lf-cost` tile search picks it per matrix family + J).
+    pub fn with_tile(mut self, tile: TileParams) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// The execution tile `run` uses.
+    pub fn tile_params(&self) -> TileParams {
+        self.tile
     }
 
     /// Access the underlying matrix.
@@ -122,7 +131,7 @@ impl<T: AtomicScalar> CellKernel<T> {
     /// Flatten all `(partition, bucket)` pairs into row-chunk work items
     /// — the CPU mirror of the paper's §6 horizontal fusion: one launch,
     /// one parallel region, no barrier between buckets.
-    fn numeric_work_items(&self) -> Vec<WorkItem<'_, T>> {
+    fn numeric_work_items(&self, chunk_slots: usize) -> Vec<WorkItem<'_, T>> {
         let mut items = Vec::new();
         for part in self.cell.partitions() {
             for bucket in &part.buckets {
@@ -130,7 +139,7 @@ impl<T: AtomicScalar> CellKernel<T> {
                 if rows == 0 {
                     continue;
                 }
-                let rows_per_item = (CHUNK_SLOTS / bucket.width.max(1)).max(1);
+                let rows_per_item = (chunk_slots.max(1) / bucket.width.max(1)).max(1);
                 let mut lo = 0;
                 while lo < rows {
                     let hi = (lo + rows_per_item).min(rows);
@@ -144,8 +153,16 @@ impl<T: AtomicScalar> CellKernel<T> {
 
     /// Shared numeric path. `force_atomic` routes every flush through
     /// `atomic_add` regardless of `needs_atomic` — the verification knob
-    /// the equivalence property tests exercise.
-    fn execute(&self, b: &DenseMatrix<T>, force_atomic: bool) -> Result<DenseMatrix<T>> {
+    /// the equivalence property tests exercise. `tile` selects the
+    /// accumulator width, k-block depth and lane shape; every setting
+    /// produces bitwise identical results on single-writer paths
+    /// (per-element accumulation order is ascending `k` throughout).
+    fn execute(
+        &self,
+        b: &DenseMatrix<T>,
+        force_atomic: bool,
+        tile: TileParams,
+    ) -> Result<DenseMatrix<T>> {
         self.check_shape(b)?;
         let (rows, _) = self.cell.shape();
         let j = b.cols();
@@ -153,10 +170,12 @@ impl<T: AtomicScalar> CellKernel<T> {
         if j == 0 {
             return Ok(c);
         }
-        let items = self.numeric_work_items();
+        let items = self.numeric_work_items(tile.chunk_slots);
         if items.is_empty() {
             return Ok(c);
         }
+        let lanes = tile.lanes.resolve::<T>();
+        let k_block = tile.k_block_clamped();
         // Debug builds check the bucket labeling through the shadow race
         // detector: rows of `needs_atomic == false` buckets must be
         // claimed exactly once (exclusive), rows flushed through atomics
@@ -173,6 +192,44 @@ impl<T: AtomicScalar> CellKernel<T> {
             // a correctness bug even sequentially, since the parallel
             // path would overwrite rather than accumulate it).
             let out = c.as_mut_slice();
+            if lanes == Lanes::Scalar {
+                // The pre-SIMD engine, loop shape unchanged: fragment-
+                // major over the flattened work items.
+                for &WorkItem { bucket, lo, hi } in &items {
+                    let w = bucket.width;
+                    for bi in lo..hi {
+                        let base = bucket.row_ind[bi] as usize * j;
+                        if bucket.needs_atomic {
+                            shadow.claim_shared(base, j);
+                        } else {
+                            shadow.claim_exclusive(base, j);
+                        }
+                        let crow = &mut out[base..base + j];
+                        let cols = &bucket.col_ind[bi * w..(bi + 1) * w];
+                        let vals = &bucket.values[bi * w..(bi + 1) * w];
+                        for (&col, &a) in cols.iter().zip(vals) {
+                            if col == ELL_PAD {
+                                continue;
+                            }
+                            let brow = b.row(col as usize);
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += a * bv;
+                            }
+                        }
+                    }
+                }
+                return Ok(c);
+            }
+            // SIMD direct path: the same fragment-major walk as the
+            // scalar engine (bucket `row_ind` is ascending, so `C` rows
+            // stream sequentially within a bucket and `B` stays
+            // partition-local), but each fragment's non-pad (coeff,
+            // B-row) pairs are gathered first and applied as one
+            // register-blocked strip sweep — PAD filtering and the
+            // per-nonzero accumulator reloads leave the inner loop.
+            // Per-element accumulation order stays ascending-k, so the
+            // bits match the scalar path exactly.
+            let mut gather: Gather<'_, T> = Gather::new();
             for &WorkItem { bucket, lo, hi } in &items {
                 let w = bucket.width;
                 for bi in lo..hi {
@@ -189,41 +246,60 @@ impl<T: AtomicScalar> CellKernel<T> {
                         if col == ELL_PAD {
                             continue;
                         }
-                        let brow = b.row(col as usize);
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += a * bv;
+                        gather.push(a, b.row(col as usize));
+                        if gather.full(k_block) {
+                            gather.flush_into(lanes, crow, 0);
                         }
                     }
+                    gather.flush_into(lanes, crow, 0);
                 }
             }
             return Ok(c);
         }
         {
+            let j_tile = tile.j_tile.max(1);
             let cells = T::as_cells(c.as_mut_slice());
             parallel_for_init(
                 items.len(),
                 workers,
-                || vec![T::ZERO; J_TILE.min(j)],
+                || vec![T::ZERO; j_tile.min(j)],
                 |acc_buf, wi| {
                     let WorkItem { bucket, lo, hi } = items[wi];
                     let w = bucket.width;
                     let atomic = force_atomic || bucket.needs_atomic;
+                    let mut gather: Gather<'_, T> = Gather::new();
                     let mut tile_lo = 0;
                     while tile_lo < j {
-                        let tile_hi = (tile_lo + J_TILE).min(j);
+                        let tile_hi = (tile_lo + j_tile).min(j);
                         let acc = &mut acc_buf[..tile_hi - tile_lo];
                         for bi in lo..hi {
                             acc.fill(T::ZERO);
-                            for k in 0..w {
-                                let col = bucket.col_ind[bi * w + k];
-                                if col == ELL_PAD {
-                                    continue;
+                            if lanes == Lanes::Scalar {
+                                // The pre-SIMD engine, loop shape
+                                // unchanged.
+                                for k in 0..w {
+                                    let col = bucket.col_ind[bi * w + k];
+                                    if col == ELL_PAD {
+                                        continue;
+                                    }
+                                    let a = bucket.values[bi * w + k];
+                                    let brow = &b.row(col as usize)[tile_lo..tile_hi];
+                                    for (s, &bv) in brow.iter().enumerate() {
+                                        acc[s] += a * bv;
+                                    }
                                 }
-                                let a = bucket.values[bi * w + k];
-                                let brow = &b.row(col as usize)[tile_lo..tile_hi];
-                                for (s, &bv) in brow.iter().enumerate() {
-                                    acc[s] += a * bv;
+                            } else {
+                                for k in 0..w {
+                                    let col = bucket.col_ind[bi * w + k];
+                                    if col == ELL_PAD {
+                                        continue;
+                                    }
+                                    gather.push(bucket.values[bi * w + k], b.row(col as usize));
+                                    if gather.full(k_block) {
+                                        gather.flush_into(lanes, acc, tile_lo);
+                                    }
                                 }
+                                gather.flush_into(lanes, acc, tile_lo);
                             }
                             let out = bucket.row_ind[bi] as usize * j + tile_lo;
                             if atomic {
@@ -256,7 +332,14 @@ impl<T: AtomicScalar> CellKernel<T> {
     /// flush modes produce identical results; `run` is always at least
     /// as fast.
     pub fn run_forced_atomic(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        self.execute(b, true)
+        self.execute(b, true, self.tile)
+    }
+
+    /// Numeric path with an explicit execution tile (serving threads the
+    /// memoized per-(matrix-family, J) winner through here; `run` uses
+    /// the kernel's own default tile).
+    pub fn run_tiled(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        self.execute(b, false, tile)
     }
 
     /// The pre-engine numeric path: one scoped spawn/join parallel region
@@ -336,7 +419,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        self.execute(b, false)
+        self.execute(b, false, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
@@ -421,7 +504,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CellKernel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lf_cell::{build_cell, CellConfig, Partition};
+    use lf_cell::{build_cell, CellConfig};
     use lf_sparse::gen::{mixed_regions, uniform_random, uniform_with_long_rows};
     use lf_sparse::{CsrMatrix, Pcg32};
 
@@ -467,15 +550,79 @@ mod tests {
 
     #[test]
     fn numeric_correct_beyond_one_j_tile() {
-        // J > J_TILE exercises the accumulator tiling loop.
+        // J > j_tile exercises the accumulator tiling loop.
         let mut rng = Pcg32::seed_from_u64(21);
         let csr = CsrMatrix::from_coo(&uniform_random::<f64>(80, 90, 1200, &mut rng));
         let k = CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(2)).unwrap());
-        let j = J_TILE + 37;
+        let j = TileParams::default().j_tile + 37;
         let b = DenseMatrix::random(csr.cols(), j, &mut rng);
         let got = k.run(&b).unwrap();
         let want = csr.spmm_reference(&b).unwrap();
         assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn every_tile_shape_is_bitwise_identical() {
+        // Any (j_tile, k_block, lanes, chunk) combination must produce
+        // the same bits as the default tile: per output element the
+        // accumulation order over k never changes, and no shape fuses
+        // multiply-adds.
+        let tiles = [
+            TileParams {
+                lanes: Lanes::Scalar,
+                ..TileParams::default()
+            },
+            TileParams {
+                j_tile: 32,
+                k_block: 3,
+                lanes: Lanes::X4,
+                chunk_slots: 64,
+            },
+            TileParams {
+                j_tile: 512,
+                k_block: 32,
+                lanes: Lanes::X8,
+                chunk_slots: 16384,
+            },
+            TileParams {
+                j_tile: 1,
+                k_block: 1,
+                lanes: Lanes::X8,
+                chunk_slots: 1,
+            },
+        ];
+        let mut rng = Pcg32::seed_from_u64(23);
+        // Single partition, no folding: every bucket single-writer, so
+        // results are bitwise stable regardless of worker count.
+        let csr = CsrMatrix::from_coo(&uniform_random::<f64>(150, 160, 2400, &mut rng));
+        let k = CellKernel::new(build_cell(&csr, &CellConfig::default()).unwrap());
+        for j in [5, 64, 133] {
+            let b = DenseMatrix::random(csr.cols(), j, &mut rng);
+            let want = k.run(&b).unwrap();
+            assert!(want.approx_eq(&csr.spmm_reference(&b).unwrap(), 1e-9));
+            for tile in tiles {
+                let got = k.run_tiled(&b, tile).unwrap();
+                assert_eq!(got.as_slice(), want.as_slice(), "J={j} tile={tile:?}");
+            }
+        }
+        // Folded / multi-partition (atomic) buckets: order across
+        // fragments is scheduling-dependent, so assert 1e-9 agreement.
+        let csr = CsrMatrix::from_coo(&uniform_with_long_rows::<f64>(
+            150, 160, 2200, 4, 120, &mut rng,
+        ));
+        let ka = CellKernel::new(
+            build_cell(
+                &csr,
+                &CellConfig::with_partitions(2).with_max_widths(vec![8]),
+            )
+            .unwrap(),
+        );
+        let b = DenseMatrix::random(csr.cols(), 70, &mut rng);
+        let want = csr.spmm_reference(&b).unwrap();
+        for tile in tiles {
+            let got = ka.run_tiled(&b, tile).unwrap();
+            assert!(got.approx_eq(&want, 1e-9), "atomic tile={tile:?}");
+        }
     }
 
     #[test]
@@ -510,6 +657,7 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "single-writer")]
     fn mislabeled_atomic_free_bucket_detected() {
+        use lf_cell::Partition;
         let mk_bucket = |col: lf_sparse::Index| Bucket {
             width: 1,
             row_ind: vec![0],

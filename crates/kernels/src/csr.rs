@@ -2,6 +2,7 @@
 //! (naive scalar, cuSPARSE-like vector, dgSPARSE/GE-SpMM, Sputnik).
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -9,12 +10,18 @@ use lf_sim::parallel::{default_workers, parallel_for, DisjointSlice};
 use lf_sim::{BlockCost, DeviceModel, LaunchSpec};
 use lf_sparse::{CsrMatrix, DenseMatrix, Result, SparseError};
 
-/// Shared numeric path: row-parallel CSR SpMM. Each output row has
-/// exactly one writer, so workers accumulate straight into their disjoint
-/// `C` rows — no atomics, no per-row scratch allocation.
-pub(crate) fn parallel_csr_spmm<T: AtomicScalar>(
+/// Row-parallel CSR SpMM with an explicit execution tile. Each output
+/// row has exactly one writer, so workers accumulate straight into their
+/// disjoint `C` rows — no atomics, no per-row scratch allocation. With
+/// `Lanes::Scalar` the loop shape is the original element-wise engine;
+/// any wider lane mode gathers each row's `(coeff, B-row)` pairs in
+/// `k_block` chunks and applies them as register-blocked strip sweeps.
+/// Per-element accumulation order is ascending-k either way, so all
+/// modes are bitwise identical.
+pub(crate) fn parallel_csr_spmm_tiled<T: AtomicScalar>(
     csr: &CsrMatrix<T>,
     b: &DenseMatrix<T>,
+    tile: TileParams,
 ) -> Result<DenseMatrix<T>> {
     if csr.cols() != b.rows() {
         return Err(SparseError::DimensionMismatch {
@@ -25,17 +32,31 @@ pub(crate) fn parallel_csr_spmm<T: AtomicScalar>(
     }
     let j = b.cols();
     let mut c = DenseMatrix::zeros(csr.rows(), j);
+    let lanes = tile.lanes.resolve::<T>();
+    let k_block = tile.k_block_clamped();
     {
         let out = DisjointSlice::new(c.as_mut_slice());
         parallel_for(csr.rows(), default_workers(), |i| {
             // SAFETY: `parallel_for` hands each row index to exactly one
             // worker, so the `i * j .. (i + 1) * j` windows never overlap.
             let crow = unsafe { out.slice_mut(i * j, j) };
-            for (&k, &a) in csr.row_cols(i).iter().zip(csr.row_values(i)) {
-                let brow = b.row(k as usize);
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += a * bv;
+            if lanes == Lanes::Scalar {
+                // The pre-SIMD engine, loop shape unchanged.
+                for (&k, &a) in csr.row_cols(i).iter().zip(csr.row_values(i)) {
+                    let brow = b.row(k as usize);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += a * bv;
+                    }
                 }
+            } else {
+                let mut gather: Gather<'_, T> = Gather::new();
+                for (&k, &a) in csr.row_cols(i).iter().zip(csr.row_values(i)) {
+                    gather.push(a, b.row(k as usize));
+                    if gather.full(k_block) {
+                        gather.flush_into(lanes, crow, 0);
+                    }
+                }
+                gather.flush_into(lanes, crow, 0);
             }
         });
     }
@@ -67,9 +88,32 @@ fn full_b_working_set<T>(k_rows: usize, j: usize) -> usize {
 macro_rules! csr_kernel_boilerplate {
     ($ty:ident) => {
         impl<T: AtomicScalar> $ty<T> {
-            /// Wrap a CSR operand.
+            /// Wrap a CSR operand (default execution tile).
             pub fn new(csr: CsrMatrix<T>) -> Self {
-                Self { csr }
+                Self {
+                    csr,
+                    tile: TileParams::default(),
+                }
+            }
+
+            /// Set the execution tile `run` uses (builder style).
+            pub fn with_tile(mut self, tile: TileParams) -> Self {
+                self.tile = tile;
+                self
+            }
+
+            /// The execution tile `run` uses.
+            pub fn tile_params(&self) -> TileParams {
+                self.tile
+            }
+
+            /// Numeric path with an explicit execution tile.
+            pub fn run_tiled(
+                &self,
+                b: &DenseMatrix<T>,
+                tile: TileParams,
+            ) -> Result<DenseMatrix<T>> {
+                parallel_csr_spmm_tiled(&self.csr, b, tile)
             }
 
             /// Access the underlying matrix.
@@ -90,6 +134,7 @@ macro_rules! csr_kernel_boilerplate {
 /// paper's §2 describes.
 pub struct CsrScalarKernel<T> {
     csr: CsrMatrix<T>,
+    tile: TileParams,
 }
 
 csr_kernel_boilerplate!(CsrScalarKernel);
@@ -104,7 +149,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrScalarKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        parallel_csr_spmm(&self.csr, b)
+        parallel_csr_spmm_tiled(&self.csr, b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
@@ -169,6 +214,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrScalarKernel<T> {
 /// signature cost at large `J`.
 pub struct CsrVectorKernel<T> {
     csr: CsrMatrix<T>,
+    tile: TileParams,
 }
 
 csr_kernel_boilerplate!(CsrVectorKernel);
@@ -183,7 +229,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrVectorKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        parallel_csr_spmm(&self.csr, b)
+        parallel_csr_spmm_tiled(&self.csr, b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
@@ -213,6 +259,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for CsrVectorKernel<T> {
 /// across all j-tiles, removing the vector kernel's re-read factor.
 pub struct DgSparseKernel<T> {
     csr: CsrMatrix<T>,
+    tile: TileParams,
 }
 
 csr_kernel_boilerplate!(DgSparseKernel);
@@ -227,7 +274,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for DgSparseKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        parallel_csr_spmm(&self.csr, b)
+        parallel_csr_spmm_tiled(&self.csr, b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {
@@ -259,6 +306,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for DgSparseKernel<T> {
 /// index indirection.
 pub struct SputnikKernel<T> {
     csr: CsrMatrix<T>,
+    tile: TileParams,
 }
 
 csr_kernel_boilerplate!(SputnikKernel);
@@ -273,7 +321,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for SputnikKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        parallel_csr_spmm(&self.csr, b)
+        parallel_csr_spmm_tiled(&self.csr, b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {

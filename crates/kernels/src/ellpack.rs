@@ -3,6 +3,7 @@
 //! compute/traffic — the inefficiency CELL's buckets remove.
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -14,17 +15,85 @@ use lf_sparse::{DenseMatrix, EllMatrix, Result, SparseError};
 /// Warp-per-row Ellpack SpMM.
 pub struct EllKernel<T> {
     ell: EllMatrix<T>,
+    tile: TileParams,
 }
 
 impl<T: AtomicScalar> EllKernel<T> {
-    /// Wrap an ELL operand.
+    /// Wrap an ELL operand (default execution tile).
     pub fn new(ell: EllMatrix<T>) -> Self {
-        EllKernel { ell }
+        EllKernel {
+            ell,
+            tile: TileParams::default(),
+        }
+    }
+
+    /// Set the execution tile `run` uses (builder style).
+    pub fn with_tile(mut self, tile: TileParams) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Numeric path with an explicit execution tile.
+    pub fn run_tiled(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        self.execute(b, tile)
     }
 
     /// Access the underlying matrix.
     pub fn ell(&self) -> &EllMatrix<T> {
         &self.ell
+    }
+
+    fn execute(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        if self.ell.shape().1 != b.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmm",
+                lhs: self.ell.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let (rows, _) = self.ell.shape();
+        let j = b.cols();
+        let width = self.ell.width();
+        let lanes = tile.lanes.resolve::<T>();
+        let k_block = tile.k_block_clamped();
+        let mut c = DenseMatrix::zeros(rows, j);
+        {
+            // Rows are disjoint: accumulate straight into the output row.
+            let out = DisjointSlice::new(c.as_mut_slice());
+            parallel_for(rows, default_workers(), |i| {
+                // SAFETY: each row index goes to exactly one worker.
+                let crow = unsafe { out.slice_mut(i * j, j) };
+                if lanes == Lanes::Scalar {
+                    // The pre-SIMD engine, loop shape unchanged.
+                    for w in 0..width {
+                        let (col, val) = self.ell.slot(i, w);
+                        if col == ELL_PAD {
+                            break;
+                        }
+                        let brow = b.row(col as usize);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += val * bv;
+                        }
+                    }
+                } else {
+                    // Gather-outer: the PAD break and slot walk leave
+                    // the inner loop; strips sweep per k-block.
+                    let mut gather: Gather<'_, T> = Gather::new();
+                    for w in 0..width {
+                        let (col, val) = self.ell.slot(i, w);
+                        if col == ELL_PAD {
+                            break;
+                        }
+                        gather.push(val, b.row(col as usize));
+                        if gather.full(k_block) {
+                            gather.flush_into(lanes, crow, 0);
+                        }
+                    }
+                    gather.flush_into(lanes, crow, 0);
+                }
+            });
+        }
+        Ok(c)
     }
 }
 
@@ -38,36 +107,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for EllKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        if self.ell.shape().1 != b.rows() {
-            return Err(SparseError::DimensionMismatch {
-                op: "spmm",
-                lhs: self.ell.shape(),
-                rhs: b.shape(),
-            });
-        }
-        let (rows, _) = self.ell.shape();
-        let j = b.cols();
-        let width = self.ell.width();
-        let mut c = DenseMatrix::zeros(rows, j);
-        {
-            // Rows are disjoint: accumulate straight into the output row.
-            let out = DisjointSlice::new(c.as_mut_slice());
-            parallel_for(rows, default_workers(), |i| {
-                // SAFETY: each row index goes to exactly one worker.
-                let crow = unsafe { out.slice_mut(i * j, j) };
-                for w in 0..width {
-                    let (col, val) = self.ell.slot(i, w);
-                    if col == ELL_PAD {
-                        break;
-                    }
-                    let brow = b.row(col as usize);
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += val * bv;
-                    }
-                }
-            });
-        }
-        Ok(c)
+        self.execute(b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {

@@ -36,15 +36,19 @@ pub mod common;
 pub mod csr;
 pub mod ellpack;
 pub mod sell;
+pub mod simd;
 pub mod spmv;
 pub mod taco;
 
-pub use batch::{concat_columns, scatter_columns};
+pub use batch::{concat_columns, scatter_columns, scatter_crossover};
 pub use bcsr::BcsrKernel;
 pub use cell::CellKernel;
 pub use csr::{CsrScalarKernel, CsrVectorKernel, DgSparseKernel, SputnikKernel};
 pub use ellpack::EllKernel;
 pub use sell::SellKernel;
+pub use simd::{
+    accumulate_block, dispatched_lanes, simd_enabled, Gather, Lanes, TileParams, MAX_K_BLOCK,
+};
 pub use spmv::{spmv, spmv_profile};
 pub use taco::{TacoKernel, TacoSchedule};
 

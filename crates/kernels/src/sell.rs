@@ -5,6 +5,7 @@
 //! similar length from across the matrix the way CELL buckets do.
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -16,17 +17,92 @@ use lf_sparse::{DenseMatrix, Result, SellMatrix, SparseError};
 /// Slice-per-block SELL SpMM.
 pub struct SellKernel<T> {
     sell: SellMatrix<T>,
+    tile: TileParams,
 }
 
 impl<T: AtomicScalar> SellKernel<T> {
-    /// Wrap a SELL operand.
+    /// Wrap a SELL operand (default execution tile).
     pub fn new(sell: SellMatrix<T>) -> Self {
-        SellKernel { sell }
+        SellKernel {
+            sell,
+            tile: TileParams::default(),
+        }
+    }
+
+    /// Set the execution tile `run` uses (builder style).
+    pub fn with_tile(mut self, tile: TileParams) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Numeric path with an explicit execution tile.
+    pub fn run_tiled(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        self.execute(b, tile)
     }
 
     /// Access the underlying matrix.
     pub fn sell(&self) -> &SellMatrix<T> {
         &self.sell
+    }
+
+    fn execute(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        let (rows, cols) = self.sell.shape();
+        if cols != b.rows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmm",
+                lhs: (rows, cols),
+                rhs: b.shape(),
+            });
+        }
+        let j = b.cols();
+        let lanes = tile.lanes.resolve::<T>();
+        let k_block = tile.k_block_clamped();
+        let mut c = DenseMatrix::zeros(rows, j);
+        {
+            // Slices cover disjoint row ranges: accumulate straight into
+            // the slice's output rows.
+            let out = DisjointSlice::new(c.as_mut_slice());
+            let slices = self.sell.slices();
+            parallel_for(slices.len(), default_workers(), |si| {
+                let slice = &slices[si];
+                let mut gather: Gather<'_, T> = Gather::new();
+                for local in 0..slice.height {
+                    let row = slice.row_start + local;
+                    // SAFETY: each slice (hence each row) goes to exactly
+                    // one worker.
+                    let crow = unsafe { out.slice_mut(row * j, j) };
+                    if lanes == Lanes::Scalar {
+                        // The pre-SIMD engine, loop shape unchanged.
+                        for k in 0..slice.width {
+                            let col = slice.col_ind[local * slice.width + k];
+                            if col == ELL_PAD {
+                                break;
+                            }
+                            let a = slice.values[local * slice.width + k];
+                            let brow = b.row(col as usize);
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += a * bv;
+                            }
+                        }
+                    } else {
+                        // Gather-outer: PAD break and slot walk leave the
+                        // inner loop; strips sweep per k-block.
+                        for k in 0..slice.width {
+                            let col = slice.col_ind[local * slice.width + k];
+                            if col == ELL_PAD {
+                                break;
+                            }
+                            gather.push(slice.values[local * slice.width + k], b.row(col as usize));
+                            if gather.full(k_block) {
+                                gather.flush_into(lanes, crow, 0);
+                            }
+                        }
+                        gather.flush_into(lanes, crow, 0);
+                    }
+                }
+            });
+        }
+        Ok(c)
     }
 }
 
@@ -40,43 +116,7 @@ impl<T: AtomicScalar> SpmmKernel<T> for SellKernel<T> {
     }
 
     fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
-        let (rows, cols) = self.sell.shape();
-        if cols != b.rows() {
-            return Err(SparseError::DimensionMismatch {
-                op: "spmm",
-                lhs: (rows, cols),
-                rhs: b.shape(),
-            });
-        }
-        let j = b.cols();
-        let mut c = DenseMatrix::zeros(rows, j);
-        {
-            // Slices cover disjoint row ranges: accumulate straight into
-            // the slice's output rows.
-            let out = DisjointSlice::new(c.as_mut_slice());
-            let slices = self.sell.slices();
-            parallel_for(slices.len(), default_workers(), |si| {
-                let slice = &slices[si];
-                for local in 0..slice.height {
-                    let row = slice.row_start + local;
-                    // SAFETY: each slice (hence each row) goes to exactly
-                    // one worker.
-                    let crow = unsafe { out.slice_mut(row * j, j) };
-                    for k in 0..slice.width {
-                        let col = slice.col_ind[local * slice.width + k];
-                        if col == ELL_PAD {
-                            break;
-                        }
-                        let a = slice.values[local * slice.width + k];
-                        let brow = b.row(col as usize);
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += a * bv;
-                        }
-                    }
-                }
-            });
-        }
-        Ok(c)
+        self.execute(b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {

@@ -4,6 +4,7 @@
 //! paper sweeps 6 × 6 schedules and keeps the fastest (§7.1).
 
 use crate::common::{b_row_tx, split_b_traffic, spmm_flops, BlockScratch};
+use crate::simd::{Gather, Lanes, TileParams};
 use crate::SpmmKernel;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::coalesce::segment_transactions;
@@ -72,6 +73,7 @@ pub struct TacoKernel<T> {
     schedule: TacoSchedule,
     /// Row id owning each non-zero position (precomputed expansion).
     row_of_nnz: Vec<u32>,
+    tile: TileParams,
 }
 
 impl<T: AtomicScalar> TacoKernel<T> {
@@ -87,7 +89,25 @@ impl<T: AtomicScalar> TacoKernel<T> {
             csr,
             schedule,
             row_of_nnz,
+            tile: TileParams::default(),
         }
+    }
+
+    /// Replace the tile/lane parameters used by [`SpmmKernel::run`].
+    pub fn with_tile(mut self, tile: TileParams) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// The tile/lane parameters this kernel runs with.
+    pub fn tile_params(&self) -> TileParams {
+        self.tile
+    }
+
+    /// Run once with explicit tile/lane parameters (overriding the stored
+    /// ones), e.g. from a [`TileParams`] search.
+    pub fn run_tiled(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
+        self.execute(b, tile)
     }
 
     /// The active schedule.
@@ -99,18 +119,8 @@ impl<T: AtomicScalar> TacoKernel<T> {
     pub fn csr(&self) -> &CsrMatrix<T> {
         &self.csr
     }
-}
 
-impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
-    fn name(&self) -> &'static str {
-        "taco"
-    }
-
-    fn shape(&self) -> (usize, usize) {
-        self.csr.shape()
-    }
-
-    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+    fn execute(&self, b: &DenseMatrix<T>, tile: TileParams) -> Result<DenseMatrix<T>> {
         if self.csr.cols() != b.rows() {
             return Err(SparseError::DimensionMismatch {
                 op: "spmm",
@@ -122,6 +132,8 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
         let nnz = self.csr.nnz();
         let seg = self.schedule.nnz_per_warp.max(1);
         let num_segs = nnz.div_ceil(seg).max(1);
+        let lanes = tile.lanes.resolve::<T>();
+        let k_block = tile.k_block_clamped();
         let mut c = DenseMatrix::zeros(self.csr.rows(), j);
         {
             let cells = T::as_cells(c.as_mut_slice());
@@ -156,29 +168,73 @@ impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
                     let lo = s * seg;
                     let hi = ((s + 1) * seg).min(nnz);
                     let mut cur_row = u32::MAX;
-                    for p in lo..hi {
-                        let r = self.row_of_nnz[p];
-                        if r != cur_row {
-                            if cur_row != u32::MAX {
-                                flush(cells, cur_row, acc, lo, hi);
+                    if lanes == Lanes::Scalar {
+                        for p in lo..hi {
+                            let r = self.row_of_nnz[p];
+                            if r != cur_row {
+                                if cur_row != u32::MAX {
+                                    flush(cells, cur_row, acc, lo, hi);
+                                }
+                                acc.fill(T::ZERO);
+                                cur_row = r;
                             }
+                            let brow = b.row(cols[p] as usize);
+                            let a = vals[p];
+                            for (jj, &bv) in brow.iter().enumerate() {
+                                acc[jj] += a * bv;
+                            }
+                        }
+                        if cur_row != u32::MAX {
+                            flush(cells, cur_row, acc, lo, hi);
                             acc.fill(T::ZERO);
-                            cur_row = r;
                         }
-                        let brow = b.row(cols[p] as usize);
-                        let a = vals[p];
-                        for (jj, &bv) in brow.iter().enumerate() {
-                            acc[jj] += a * bv;
+                    } else {
+                        // Runs of same-row non-zeros are gathered into
+                        // k-blocks and drained through the strip
+                        // microkernel; the accumulation order over a
+                        // row's non-zeros stays ascending in `p`, so the
+                        // per-element sum matches the scalar loop
+                        // bitwise.
+                        let mut gather = Gather::new();
+                        for p in lo..hi {
+                            let r = self.row_of_nnz[p];
+                            if r != cur_row {
+                                if cur_row != u32::MAX {
+                                    gather.flush_into(lanes, acc, 0);
+                                    flush(cells, cur_row, acc, lo, hi);
+                                }
+                                acc.fill(T::ZERO);
+                                cur_row = r;
+                            }
+                            gather.push(vals[p], b.row(cols[p] as usize));
+                            if gather.full(k_block) {
+                                gather.flush_into(lanes, acc, 0);
+                            }
                         }
-                    }
-                    if cur_row != u32::MAX {
-                        flush(cells, cur_row, acc, lo, hi);
-                        acc.fill(T::ZERO);
+                        if cur_row != u32::MAX {
+                            gather.flush_into(lanes, acc, 0);
+                            flush(cells, cur_row, acc, lo, hi);
+                            acc.fill(T::ZERO);
+                        }
                     }
                 },
             );
         }
         Ok(c)
+    }
+}
+
+impl<T: AtomicScalar> SpmmKernel<T> for TacoKernel<T> {
+    fn name(&self) -> &'static str {
+        "taco"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        self.csr.shape()
+    }
+
+    fn run(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+        self.execute(b, self.tile)
     }
 
     fn launches(&self, j: usize, device: &DeviceModel) -> Vec<LaunchSpec> {

@@ -17,8 +17,8 @@
 use lf_cell::{build_cell, CellConfig};
 use lf_kernels::cell::{CellKernel, FusionMode};
 use lf_kernels::{
-    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
-    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, Lanes, SellKernel,
+    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule, TileParams,
 };
 use lf_sparse::gen::{mixed_regions, uniform_random, uniform_with_long_rows};
 use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
@@ -117,6 +117,133 @@ fn atomic_free_paths_are_bitwise_deterministic() {
         for rep in 0..3 {
             let again = k.run(&b).unwrap();
             assert_eq!(first.as_slice(), again.as_slice(), "{} rep={rep}", k.name());
+        }
+    }
+}
+
+/// The SIMD engine contract: for every kernel, every lane mode and tile
+/// shape accumulates each output element in the same ascending-k order
+/// as the original scalar loop, so on atomic-free paths the results are
+/// **bitwise** identical — the `LF_SIMD=off` escape hatch can never
+/// change an answer. Kernels whose mapping uses atomics (TACO segment
+/// boundaries, folded/multi-partition CELL) are scheduling-order
+/// nondeterministic already and are held to the suite's 1e-9 bound.
+#[test]
+fn scalar_and_wide_tiles_agree_for_every_kernel() {
+    let mut rng = Pcg32::seed_from_u64(0xE5);
+    let csr = CsrMatrix::from_coo(&uniform_with_long_rows::<f64>(
+        180, 160, 3000, 3, 90, &mut rng,
+    ));
+    let b = DenseMatrix::random(csr.cols(), 41, &mut rng);
+    let scalar = TileParams::default().with_lanes(Lanes::Scalar);
+    let wide_tiles = [
+        TileParams::default(),
+        TileParams {
+            j_tile: 32,
+            k_block: 5,
+            lanes: Lanes::X4,
+            chunk_slots: 1024,
+        },
+        TileParams {
+            j_tile: 512,
+            k_block: 32,
+            lanes: Lanes::X8,
+            chunk_slots: 16384,
+        },
+    ];
+    type Run<'a> = Box<dyn Fn(TileParams) -> DenseMatrix<f64> + 'a>;
+    // (name, run-under-tile, kernel may use atomics?)
+    let cases: Vec<(&str, Run, bool)> = vec![
+        (
+            "csr_scalar",
+            Box::new(|t| CsrScalarKernel::new(csr.clone()).run_tiled(&b, t).unwrap()),
+            false,
+        ),
+        (
+            "csr_vector",
+            Box::new(|t| CsrVectorKernel::new(csr.clone()).run_tiled(&b, t).unwrap()),
+            false,
+        ),
+        (
+            "dgsparse",
+            Box::new(|t| DgSparseKernel::new(csr.clone()).run_tiled(&b, t).unwrap()),
+            false,
+        ),
+        (
+            "sputnik",
+            Box::new(|t| SputnikKernel::new(csr.clone()).run_tiled(&b, t).unwrap()),
+            false,
+        ),
+        (
+            "taco",
+            Box::new(|t| {
+                TacoKernel::new(csr.clone(), TacoSchedule::default())
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            true,
+        ),
+        (
+            "ell",
+            Box::new(|t| {
+                EllKernel::new(EllMatrix::from_csr(&csr))
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            false,
+        ),
+        (
+            "sell",
+            Box::new(|t| {
+                SellKernel::new(SellMatrix::from_csr(&csr, 16).unwrap())
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            false,
+        ),
+        (
+            "bcsr",
+            Box::new(|t| {
+                BcsrKernel::new(BcsrMatrix::from_csr(&csr, 4, 4).unwrap())
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            false,
+        ),
+        (
+            "cell",
+            Box::new(|t| {
+                CellKernel::new(build_cell(&csr, &CellConfig::default()).unwrap())
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            false,
+        ),
+        (
+            "cell_folded",
+            Box::new(|t| {
+                CellKernel::new(build_cell(&csr, &CellConfig::with_partitions(3)).unwrap())
+                    .run_tiled(&b, t)
+                    .unwrap()
+            }),
+            true,
+        ),
+    ];
+    let want = csr.spmm_reference(&b).unwrap();
+    for (name, run, atomics) in &cases {
+        let base = run(scalar);
+        assert!(base.approx_eq(&want, 1e-9), "{name} scalar tile");
+        for (ti, &tile) in wide_tiles.iter().enumerate() {
+            let got = run(tile);
+            assert!(got.approx_eq(&want, 1e-9), "{name} tile #{ti}");
+            if !atomics {
+                let base_bits: Vec<u64> = base.as_slice().iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u64> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    base_bits, got_bits,
+                    "{name} tile #{ti}: wide lanes must be bitwise-equal to the scalar engine"
+                );
+            }
         }
     }
 }

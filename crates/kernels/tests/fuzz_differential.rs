@@ -30,32 +30,68 @@
 use lf_cell::{build_cell, CellConfig};
 use lf_kernels::cell::CellKernel;
 use lf_kernels::{
-    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, SellKernel,
-    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule,
+    BcsrKernel, CsrScalarKernel, CsrVectorKernel, DgSparseKernel, EllKernel, Lanes, SellKernel,
+    SpmmKernel, SputnikKernel, TacoKernel, TacoSchedule, TileParams,
 };
 use lf_sparse::gen::{fuzz_case, FUZZ_CLASSES};
 use lf_sparse::{BcsrMatrix, CsrMatrix, DenseMatrix, EllMatrix, Pcg32, SellMatrix};
 
-/// Every kernel in the repo, bound to the same operand.
-fn all_kernels(csr: &CsrMatrix<f64>) -> Vec<Box<dyn SpmmKernel<f64>>> {
+/// Every kernel in the repo, bound to the same operand and execution
+/// tile, paired with whether its mapping may use atomic accumulation
+/// (which makes run-to-run float ordering scheduling-dependent).
+fn all_kernels(csr: &CsrMatrix<f64>, tile: TileParams) -> Vec<(Box<dyn SpmmKernel<f64>>, bool)> {
     vec![
-        Box::new(CsrScalarKernel::new(csr.clone())),
-        Box::new(CsrVectorKernel::new(csr.clone())),
-        Box::new(DgSparseKernel::new(csr.clone())),
-        Box::new(SputnikKernel::new(csr.clone())),
-        Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default())),
-        Box::new(EllKernel::new(EllMatrix::from_csr(csr))),
-        Box::new(SellKernel::new(SellMatrix::from_csr(csr, 16).unwrap())),
-        Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 4, 4).unwrap())),
-        Box::new(CellKernel::new(
-            build_cell(csr, &CellConfig::with_partitions(3)).unwrap(),
-        )),
+        (
+            Box::new(CsrScalarKernel::new(csr.clone()).with_tile(tile)) as Box<_>,
+            false,
+        ),
+        (
+            Box::new(CsrVectorKernel::new(csr.clone()).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(DgSparseKernel::new(csr.clone()).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(SputnikKernel::new(csr.clone()).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(TacoKernel::new(csr.clone(), TacoSchedule::default()).with_tile(tile)),
+            true,
+        ),
+        (
+            Box::new(EllKernel::new(EllMatrix::from_csr(csr)).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(SellKernel::new(SellMatrix::from_csr(csr, 16).unwrap()).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(BcsrKernel::new(BcsrMatrix::from_csr(csr, 4, 4).unwrap()).with_tile(tile)),
+            false,
+        ),
+        (
+            Box::new(
+                CellKernel::new(build_cell(csr, &CellConfig::with_partitions(3)).unwrap())
+                    .with_tile(tile),
+            ),
+            true,
+        ),
         // Width-capped build: long rows fold into fragments of the
         // maximum bucket, exercising the atomic flush path (and its
         // shared shadow claims) on every structural class.
-        Box::new(CellKernel::new(
-            build_cell(csr, &CellConfig::default().with_max_widths(vec![8])).unwrap(),
-        )),
+        (
+            Box::new(
+                CellKernel::new(
+                    build_cell(csr, &CellConfig::default().with_max_widths(vec![8])).unwrap(),
+                )
+                .with_tile(tile),
+            ),
+            true,
+        ),
     ]
 }
 
@@ -92,7 +128,19 @@ fn fuzz_differential_all_kernels_match_reference() {
         let mut rng = Pcg32::new(seed, 0xB0B);
         let b = DenseMatrix::random(csr.cols(), j, &mut rng);
         let want = csr.spmm_reference(&b).unwrap();
-        for k in all_kernels(csr) {
+        // Differential on two axes at once: every kernel vs. the
+        // sequential reference, AND the forced-scalar engine vs. the
+        // SIMD gather engine. Atomic-free kernels must agree with their
+        // scalar run *bitwise*; atomic mappings get the 1e-9 bound.
+        let scalar_tile = TileParams::default().with_lanes(Lanes::Scalar);
+        let wide_tile = TileParams {
+            j_tile: 64,
+            k_block: 8,
+            lanes: Lanes::Auto,
+            chunk_slots: 4096,
+        };
+        let wide = all_kernels(csr, wide_tile);
+        for ((k, atomics), (kw, _)) in all_kernels(csr, scalar_tile).into_iter().zip(wide) {
             let got = k.run(&b).unwrap_or_else(|e| {
                 panic!(
                     "seed {seed} [{}] {}x{} nnz={} J={j}: {} failed: {e}",
@@ -119,6 +167,35 @@ fn fuzz_differential_all_kernels_match_reference() {
                 csr.nnz(),
                 k.name()
             );
+            let got_wide = kw.run(&b).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} [{}]: {} (SIMD tile) failed: {e}",
+                    case.label,
+                    kw.name()
+                )
+            });
+            if atomics {
+                assert!(
+                    got_wide.approx_eq(&want, 1e-9),
+                    "seed {seed} [{}]: {} (SIMD tile) diverges from reference",
+                    case.label,
+                    kw.name()
+                );
+            } else {
+                let a: Vec<u64> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+                let w: Vec<u64> = got_wide.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    a,
+                    w,
+                    "seed {seed} [{}] {}x{} nnz={} J={j}: {} SIMD engine is not \
+                     bitwise-equal to the scalar engine",
+                    case.label,
+                    csr.rows(),
+                    csr.cols(),
+                    csr.nnz(),
+                    k.name()
+                );
+            }
         }
     }
 }

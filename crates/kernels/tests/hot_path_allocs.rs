@@ -58,6 +58,33 @@ fn measured_run(k: &dyn SpmmKernel<f64>, b: &DenseMatrix<f64>) -> u64 {
     delta.calls
 }
 
+/// The serve hot path resolves an execution tile per request via
+/// `lf_cost::plan_tile`. The first lookup per (matrix-family, J) key
+/// pays the candidate-grid search; every subsequent lookup is a cache
+/// hit and must allocate **nothing** — the whole point of memoizing the
+/// winners is that a warmed serving loop stays alloc-free.
+#[test]
+fn tile_plan_cache_hit_is_alloc_free() {
+    use lf_cost::tile::TileFeatures;
+    let f = TileFeatures::new(512, 60_000, 8);
+    // Warm: the miss runs the search and inserts (also faults in the
+    // one-time calibration measurement).
+    let first = lf_cost::plan_tile(f, 32);
+    let before = snapshot();
+    let again = lf_cost::plan_tile(f, 32);
+    // A different matrix in the same quantized family hits the same key.
+    let sibling = lf_cost::plan_tile(TileFeatures::new(530, 62_000, 8), 32);
+    let delta = since(before);
+    std::hint::black_box((again, sibling));
+    assert_eq!(first, again);
+    assert_eq!(first, sibling);
+    assert_eq!(
+        delta.calls, 0,
+        "warmed tile-plan lookups must not allocate ({} calls)",
+        delta.calls
+    );
+}
+
 #[test]
 fn kernel_runs_allocate_a_bounded_constant() {
     let mut rng = Pcg32::seed_from_u64(7);

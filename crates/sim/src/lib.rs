@@ -39,6 +39,7 @@
 
 pub mod alloc;
 pub mod atomicf;
+pub mod calibrate;
 pub mod cancel;
 pub mod coalesce;
 pub mod cost;
@@ -54,6 +55,7 @@ pub mod sync;
 pub use lf_check::shadow;
 
 pub use atomicf::AtomicScalar;
+pub use calibrate::{calibration, Calibration};
 pub use coalesce::{segment_transactions, warp_transactions};
 pub use cost::{schedule, BlockCost};
 pub use device::DeviceModel;

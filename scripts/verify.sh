@@ -7,7 +7,9 @@
 # Optional tiers:
 #   --bench   appends a seconds-scale benchmark smoke (bench_spmm --quick
 #             and bench_serve --quick at reduced sizes) that fails on
-#             catastrophic engine or serving-cache regressions;
+#             catastrophic engine or serving-cache regressions, and on
+#             the SIMD gather engine dropping below its 1.2x geomean
+#             speedup floor over the forced-scalar engine;
 #   --stress  appends the heavy differential/concurrency tier: the
 #             structure-aware kernel fuzzer at raised iteration counts
 #             and the serving-engine stress suite at raised thread and
@@ -49,6 +51,9 @@ cargo build --release
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> engine edge cases with the SIMD escape hatch (LF_SIMD=off)"
+LF_SIMD=off cargo test --release -p lf-kernels --test engine_edge_cases -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
