@@ -71,6 +71,15 @@ struct BatchBench {
 }
 
 #[derive(Serialize)]
+struct WarmRestart {
+    matrices: usize,
+    warm_loaded: u64,
+    cold_start_ms: f64,
+    warmed_ms: f64,
+    first_request_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Artifact {
     mode: &'static str,
     matrix: MatrixInfo,
@@ -79,6 +88,7 @@ struct Artifact {
     min_speedup: f64,
     throughput: Throughput,
     coalescing: BatchBench,
+    warm_restart: WarmRestart,
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -352,6 +362,86 @@ fn main() {
         fmt(coalescing.aggregate_speedup),
     );
 
+    // --- Warm restart: cold-start storm vs snapshot-warmed boot -------
+    // The tiered-store claim (DESIGN.md §13): a restart should not be a
+    // compose storm. A "previous process life" composes a working set
+    // and snapshots it to the disk tier; then the same first-request
+    // burst is timed against (a) a cold engine that composes everything
+    // and (b) an engine whose constructor warmed from the snapshot, so
+    // its first requests are RAM hits.
+    let wr_matrices: Vec<CsrMatrix<f32>> = (0..4u64)
+        .map(|s| {
+            let mut r = Pcg32::seed_from_u64(500 + s);
+            CsrMatrix::from_coo(&mixed_regions(n, n, nnz, 4, &mut r))
+        })
+        .collect();
+    let store_dir = std::env::temp_dir().join(format!("lf-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = ServeConfig {
+        store_dir: Some(store_dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    };
+    {
+        // Previous life: compose the working set, snapshot, "die".
+        let engine = ServeEngine::new(
+            PinnedLiteForm {
+                pipeline: pipeline.clone(),
+                partitions: 16,
+            },
+            store_config.clone(),
+        );
+        for m in &wr_matrices {
+            engine.serve(m, &b).unwrap();
+        }
+        engine.snapshot().expect("snapshot must persist the cache");
+    }
+    let cold_engine = ServeEngine::new(
+        PinnedLiteForm {
+            pipeline: pipeline.clone(),
+            partitions: 16,
+        },
+        ServeConfig::default(),
+    );
+    let cold_start_ms = time_ms(reps, || {
+        cold_engine.clear(); // every rep is a fresh cold-start storm
+        for m in &wr_matrices {
+            cold_engine.serve(m, &b).unwrap();
+        }
+    });
+    let warmed_engine = ServeEngine::new(
+        PinnedLiteForm {
+            pipeline: pipeline.clone(),
+            partitions: 16,
+        },
+        store_config,
+    );
+    let warm_loaded = warmed_engine.stats().warm_loaded;
+    // Like the hit timings above: warmed first requests are an order of
+    // magnitude cheaper than the cold storm, so best-of needs more reps
+    // to shake scheduler noise out of sub-millisecond measurements.
+    let warmed_ms = time_ms(reps * 4, || {
+        for m in &wr_matrices {
+            warmed_engine.serve(m, &b).unwrap();
+        }
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let warm_restart = WarmRestart {
+        matrices: wr_matrices.len(),
+        warm_loaded,
+        cold_start_ms,
+        warmed_ms,
+        first_request_speedup: cold_start_ms / warmed_ms,
+    };
+    println!(
+        "\nwarm restart ({} matrices): cold-start storm {}ms vs snapshot-warmed {}ms -> {}x \
+         first-request latency ({} records warmed)",
+        warm_restart.matrices,
+        fmt(cold_start_ms),
+        fmt(warmed_ms),
+        fmt(warm_restart.first_request_speedup),
+        warm_loaded,
+    );
+
     let artifact = Artifact {
         mode: if quick { "quick" } else { "full" },
         matrix,
@@ -360,6 +450,7 @@ fn main() {
         min_speedup,
         throughput,
         coalescing,
+        warm_restart,
     };
     let dir = if quick {
         PathBuf::from("target/bench-serve")
@@ -379,6 +470,21 @@ fn main() {
             "bench_serve: FAIL — coalescing must reach 3x aggregate throughput at {sharers} \
              sharers, got {}x",
             artifact.coalescing.aggregate_speedup
+        );
+        std::process::exit(1);
+    }
+    if quick && artifact.warm_restart.warm_loaded as usize != artifact.warm_restart.matrices {
+        eprintln!(
+            "bench_serve: FAIL — snapshot restart warmed {} of {} records",
+            artifact.warm_restart.warm_loaded, artifact.warm_restart.matrices
+        );
+        std::process::exit(1);
+    }
+    if quick && artifact.warm_restart.first_request_speedup < 3.0 {
+        eprintln!(
+            "bench_serve: FAIL — snapshot-warmed restart must beat the cold-start storm 3x on \
+             first-request latency, got {}x",
+            artifact.warm_restart.first_request_speedup
         );
         std::process::exit(1);
     }

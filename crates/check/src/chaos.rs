@@ -44,14 +44,26 @@ pub enum ChaosSite {
     /// Composition is forced onto the slow path past its budget (models
     /// a pathological matrix; the engine must degrade, not stall).
     SlowPath = 3,
+    /// The process "dies" mid-way through writing a demoted plan record
+    /// to the disk tier: the temp file is left torn, never renamed.
+    DemoteTorn = 4,
+    /// The process "dies" mid-way through rewriting the store manifest:
+    /// the temp manifest is left torn, the old one stays in place.
+    ManifestTorn = 5,
+    /// Startup cache warming aborts part-way (models a crash during
+    /// recovery itself; the next restart must still come up clean).
+    WarmAbort = 6,
 }
 
 /// All sites, for iteration in harnesses and reports.
-pub const CHAOS_SITES: [ChaosSite; 4] = [
+pub const CHAOS_SITES: [ChaosSite; 7] = [
     ChaosSite::ComposePanic,
     ChaosSite::ExecutePanic,
     ChaosSite::AllocFail,
     ChaosSite::SlowPath,
+    ChaosSite::DemoteTorn,
+    ChaosSite::ManifestTorn,
+    ChaosSite::WarmAbort,
 ];
 
 impl ChaosSite {
@@ -62,6 +74,9 @@ impl ChaosSite {
             ChaosSite::ExecutePanic => "execute_panic",
             ChaosSite::AllocFail => "alloc_fail",
             ChaosSite::SlowPath => "slow_path",
+            ChaosSite::DemoteTorn => "demote_torn",
+            ChaosSite::ManifestTorn => "manifest_torn",
+            ChaosSite::WarmAbort => "warm_abort",
         }
     }
 
@@ -73,6 +88,9 @@ impl ChaosSite {
             0xe703_7ed1_a0b4_28db,
             0x8ebc_6af0_9c88_c6e3,
             0x5899_65cc_7537_4cc3,
+            0x1d8e_4e27_c47d_124f,
+            0xeb44_accb_917f_9e91,
+            0x9c6e_6877_736c_46e3,
         ][self as usize]
     }
 }
@@ -85,7 +103,7 @@ pub struct ChaosPlan {
     pub seed: u64,
     /// Injection rate per site, in per-mille (0..=1000), indexed by
     /// `ChaosSite as usize`.
-    pub permille: [u16; 4],
+    pub permille: [u16; 7],
 }
 
 impl ChaosPlan {
@@ -93,7 +111,7 @@ impl ChaosPlan {
     pub fn disabled(seed: u64) -> Self {
         ChaosPlan {
             seed,
-            permille: [0; 4],
+            permille: [0; 7],
         }
     }
 
@@ -101,7 +119,7 @@ impl ChaosPlan {
     pub fn uniform(seed: u64, permille: u16) -> Self {
         ChaosPlan {
             seed,
-            permille: [permille; 4],
+            permille: [permille; 7],
         }
     }
 
@@ -116,8 +134,8 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<ChaosPlan>> = Mutex::new(None);
 #[allow(clippy::declare_interior_mutable_const)]
 const ZERO: AtomicU64 = AtomicU64::new(0);
-static DECISIONS: [AtomicU64; 4] = [ZERO; 4];
-static INJECTED: [AtomicU64; 4] = [ZERO; 4];
+static DECISIONS: [AtomicU64; 7] = [ZERO; 7];
+static INJECTED: [AtomicU64; 7] = [ZERO; 7];
 
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -101,7 +101,7 @@ impl<T: AtomicScalar> CompositionPlan<T> {
     }
 }
 
-enum PreparedKernel<T: AtomicScalar> {
+pub(crate) enum PreparedKernel<T: AtomicScalar> {
     Cell {
         config: CellConfig,
         kernel: CellKernel<T>,
@@ -118,16 +118,16 @@ enum PreparedKernel<T: AtomicScalar> {
 /// subsequent [`PreparedPlan::run`] is a pure kernel execution with no
 /// re-validation, feature extraction, or construction cost.
 pub struct PreparedPlan<T: AtomicScalar> {
-    kernel: PreparedKernel<T>,
+    pub(crate) kernel: PreparedKernel<T>,
     /// Dense-operand width the plan was tuned for (Algorithm 3's `j`).
     /// The plan stays *correct* for any width, but bucket widths are only
     /// optimal near `tuned_j`.
     pub tuned_j: usize,
     /// Quantized matrix-family features the execution tile was planned
     /// against (kept so fused runs can re-plan at the fused width).
-    features: TileFeatures,
+    pub(crate) features: TileFeatures,
     /// The cost-model-tuned execution tile bound into the kernel.
-    tile: TileParams,
+    pub(crate) tile: TileParams,
     /// Wall-clock overhead breakdown of the one-off construction.
     pub overhead: OverheadBreakdown,
     /// Per-stage wall clock and allocation counters of the construction.
@@ -231,6 +231,17 @@ impl<T: AtomicScalar> PreparedPlan<T> {
     /// format — the quantity the serving layer's byte budget charges.
     pub fn format_bytes(&self) -> usize {
         self.kernel().format_bytes()
+    }
+
+    /// Reconstruct the CSR operand the plan was composed from. Lossless
+    /// on both paths (CELL ↔ CSR conversion is a tested property), so
+    /// the serving layer's disk tier can re-derive a decoded record's
+    /// fingerprint and prove it still describes the matrix it claims to.
+    pub fn reconstruct_csr(&self) -> CsrMatrix<T> {
+        match &self.kernel {
+            PreparedKernel::Cell { kernel, .. } => kernel.cell().to_csr(),
+            PreparedKernel::FixedCsr(kernel) => kernel.csr().clone(),
+        }
     }
 
     /// Execute `C = A · B` with the prebuilt kernel.

@@ -68,6 +68,11 @@ pub enum LfError {
         /// What ran out.
         what: String,
     },
+    /// A persisted plan record failed decoding or validation (bad
+    /// framing, checksum mismatch, version drift, hostile contents).
+    /// The record is rejected — skipped, counted, never served — and
+    /// the request path falls back to a fresh composition.
+    PlanDecode(crate::codec::CodecError),
 }
 
 impl LfError {
@@ -80,6 +85,7 @@ impl LfError {
             LfError::ComposePanicked { .. } => "compose_panicked",
             LfError::ExecutePanicked { .. } => "execute_panicked",
             LfError::ResourceExhausted { .. } => "resource_exhausted",
+            LfError::PlanDecode(_) => "plan_decode",
         }
     }
 
@@ -110,6 +116,7 @@ impl fmt::Display for LfError {
                 write!(f, "execution panicked: {detail}")
             }
             LfError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
+            LfError::PlanDecode(e) => write!(f, "plan record rejected: {e}"),
         }
     }
 }
@@ -118,6 +125,7 @@ impl std::error::Error for LfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LfError::InvalidInput(e) => Some(e),
+            LfError::PlanDecode(e) => Some(e),
             _ => None,
         }
     }
@@ -126,6 +134,12 @@ impl std::error::Error for LfError {
 impl From<SparseError> for LfError {
     fn from(e: SparseError) -> Self {
         LfError::InvalidInput(e)
+    }
+}
+
+impl From<crate::codec::CodecError> for LfError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        LfError::PlanDecode(e)
     }
 }
 

@@ -20,6 +20,7 @@
 //! the one-off cost §5.1 argues is amortized; the result can be saved and
 //! shipped as a [`ModelBundle`].
 
+pub mod codec;
 pub mod composer;
 pub mod error;
 pub mod predictor;
@@ -28,6 +29,7 @@ pub mod profile;
 pub mod selector;
 pub mod training;
 
+pub use codec::{decode_plan, encode_plan, CodecError};
 pub use composer::{CompositionPlan, LiteForm, OverheadBreakdown, PlanKind, PreparedPlan};
 pub use error::{panic_detail, LfError, LfResult};
 pub use predictor::PartitionPredictor;

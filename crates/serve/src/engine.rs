@@ -49,6 +49,7 @@
 use crate::batch::{Admission, BatchBoard, Member, Resolution, ResolveGuard};
 use crate::fingerprint::Fingerprint;
 use crate::planner::Planner;
+use crate::store::{Placement, PlanStore, StoreConfig};
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::cancel::{self, CancelToken};
 use lf_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
@@ -95,6 +96,18 @@ pub struct ServeConfig {
     /// (reaching it closes the window early). A request at least this
     /// wide on its own always runs solo. Ignored when coalescing is off.
     pub max_batch_j: usize,
+    /// Directory for the disk tier of the plan cache (`None` disables
+    /// it — the default). With a store, RAM-evicted plans are demoted
+    /// to disk instead of dropped, RAM misses check disk before
+    /// composing, and engine construction **warms** the cache from the
+    /// directory (every record strictly re-validated; failures are
+    /// counted in `warm_rejected` and never served). See DESIGN.md §13.
+    pub store_dir: Option<String>,
+    /// Byte budget for the disk tier's record files (`0` = unbounded).
+    /// Exceeding it evicts records by the placement policy's score.
+    pub disk_budget_bytes: usize,
+    /// Which placement policy ranks disk-tier records for retention.
+    pub placement: Placement,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +120,9 @@ impl Default for ServeConfig {
             reject_nonfinite: true,
             batch_window_us: 0,
             max_batch_j: 256,
+            store_dir: None,
+            disk_budget_bytes: 0,
+            placement: Placement::CostAware,
         }
     }
 }
@@ -197,6 +213,28 @@ pub struct ServeStats {
     pub failed: u64,
     /// Plans evicted to make room under the byte budget.
     pub evictions: u64,
+    /// Bytes of evicted plans that were **dropped outright** — no disk
+    /// tier, the store write failed, or the plan was poisoned. With
+    /// `demotions`, this splits every eviction by what happened to the
+    /// bytes.
+    pub evicted_bytes: u64,
+    /// Evicted plans successfully demoted to the disk tier (a later
+    /// miss can promote them back instead of recomposing).
+    pub demotions: u64,
+    /// RAM misses answered by a validated disk-tier record. Disk hits
+    /// land in the `hits` ledger class; this counter splits them out.
+    pub disk_hits: u64,
+    /// Disk-tier records re-admitted into the RAM cache (a disk hit
+    /// whose plan also fit its shard's budget slice).
+    pub promotions: u64,
+    /// Plans loaded into RAM by startup cache warming from the disk
+    /// tier (each strictly re-validated first).
+    pub warm_loaded: u64,
+    /// Persisted records rejected by strict validation — bad framing,
+    /// checksum mismatch, version drift, stale fingerprint — at warm or
+    /// promotion time. Rejected records are deleted and recomposed on
+    /// demand; they are **never served**.
+    pub warm_rejected: u64,
     /// Plans too large for their shard's budget slice (served, never
     /// admitted).
     pub oversized: u64,
@@ -225,6 +263,9 @@ pub struct ServeStats {
     pub cached_plans: usize,
     /// Bytes currently charged against the budget.
     pub cached_bytes: usize,
+    /// Bytes currently held by the disk tier's record files (0 when the
+    /// store is disabled).
+    pub store_bytes: usize,
 }
 
 impl ServeStats {
@@ -251,13 +292,18 @@ impl ServeStats {
 struct PlanSlot<T: AtomicScalar> {
     plan: PreparedPlan<T>,
     poisoned: AtomicBool,
+    /// Measured compose cost, nanoseconds — what a miss on this plan
+    /// would re-pay. Travels with the plan into the disk tier, where
+    /// the cost-aware placement policy ranks on it.
+    cost_ns: u64,
 }
 
 impl<T: AtomicScalar> PlanSlot<T> {
-    fn new(plan: PreparedPlan<T>) -> Arc<Self> {
+    fn new(plan: PreparedPlan<T>, cost_ns: u64) -> Arc<Self> {
         Arc::new(PlanSlot {
             plan,
             poisoned: AtomicBool::new(false),
+            cost_ns,
         })
     }
 }
@@ -266,6 +312,9 @@ struct Entry<T: AtomicScalar> {
     slot: Arc<PlanSlot<T>>,
     bytes: usize,
     last_used: u64,
+    /// Cache hits this entry served (seeds the disk tier's frequency
+    /// accounting when the entry is demoted).
+    uses: u64,
 }
 
 struct Shard<T: AtomicScalar> {
@@ -281,6 +330,12 @@ struct Counters {
     degraded: AtomicU64,
     failed: AtomicU64,
     evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    demotions: AtomicU64,
+    disk_hits: AtomicU64,
+    promotions: AtomicU64,
+    warm_loaded: AtomicU64,
+    warm_rejected: AtomicU64,
     oversized: AtomicU64,
     quarantined: AtomicU64,
     batches: AtomicU64,
@@ -331,10 +386,20 @@ pub struct ServeEngine<T: AtomicScalar, P> {
     counters: Counters,
     /// Open admission windows for same-fingerprint coalescing.
     coalescer: BatchBoard<T>,
+    /// The disk tier (`None` when `store_dir` is unset or the directory
+    /// could not be opened — the engine then runs RAM-only).
+    store: Option<PlanStore<T>>,
 }
 
 impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
-    /// Build an engine over a planner.
+    /// Build an engine over a planner. When the config names a
+    /// `store_dir`, the disk tier is opened (stray temp files from a
+    /// crash are swept) and the RAM cache is **warmed** from it:
+    /// records load in placement-score order, each strictly
+    /// re-validated — framing CRC, plan-blob CRC, structural bounds,
+    /// fingerprint re-check — until the RAM byte budget is reached.
+    /// A store directory that cannot be opened degrades the engine to
+    /// RAM-only rather than failing construction.
     pub fn new(planner: P, config: ServeConfig) -> Self {
         let shards = (0..config.shards.max(1))
             .map(|_| {
@@ -344,14 +409,101 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                 })
             })
             .collect();
-        ServeEngine {
+        let store = config.store_dir.as_ref().and_then(|dir| {
+            PlanStore::open(StoreConfig {
+                dir: dir.into(),
+                disk_budget_bytes: config.disk_budget_bytes,
+                placement: config.placement,
+            })
+            .ok()
+        });
+        let engine = ServeEngine {
             planner,
             config,
             shards,
             tick: AtomicU64::new(0),
             counters: Counters::default(),
             coalescer: BatchBoard::new(),
+            store,
+        };
+        engine.warm_from_disk();
+        engine
+    }
+
+    /// Warm the RAM cache from the disk tier (no-op without one).
+    /// Loads records highest-retention-score first and stops at the RAM
+    /// byte budget, so warming never triggers its own eviction churn.
+    /// Every record is strictly re-validated by [`PlanStore::get`];
+    /// rejections count in `warm_rejected` and the record is deleted.
+    fn warm_from_disk(&self) {
+        let Some(store) = &self.store else { return };
+        // Files the store already swept at open (unreadable header) are
+        // rejections too — same contract: skipped, counted, not served.
+        self.counters
+            .warm_rejected
+            .fetch_add(store.swept_corrupt() as u64, Ordering::Relaxed);
+        let mut loaded_bytes = 0usize;
+        for ((fp, j), _) in store.warm_order() {
+            if loaded_bytes >= self.config.byte_budget {
+                break;
+            }
+            #[cfg(feature = "chaos")]
+            {
+                use lf_check::chaos::{decide, ChaosSite};
+                if decide(ChaosSite::WarmAbort) {
+                    // Simulated kill mid-warm: the engine comes up with
+                    // a partial cache. Correctness must not depend on
+                    // warming finishing.
+                    break;
+                }
+            }
+            match store.get(&fp, j) {
+                Ok(Some((plan, meta))) => {
+                    let bytes = plan.format_bytes();
+                    let slot = PlanSlot::new(plan, meta.cost_ns);
+                    if self.admit_with((fp, j), slot, meta.uses.saturating_sub(1)) {
+                        self.counters.warm_loaded.fetch_add(1, Ordering::Relaxed);
+                        loaded_bytes += bytes;
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.counters.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
+    }
+
+    /// Persist every currently cached RAM plan to the disk tier and
+    /// rewrite the manifest — the snapshot a restart warms from.
+    /// Returns the number of plans written, or `Ok(0)` without a store.
+    /// Poisoned slots are skipped (a quarantined plan must never
+    /// resurrect through a snapshot).
+    pub fn snapshot(&self) -> LfResult<usize> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        // Clone the Arcs out under each shard lock, write behind.
+        let mut plans = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_unpoisoned(shard);
+            for (key, e) in &shard.map {
+                if !e.slot.poisoned.load(Ordering::Relaxed) {
+                    plans.push((*key, Arc::clone(&e.slot), e.uses));
+                }
+            }
+        }
+        let mut written = 0usize;
+        for ((fp, j), slot, uses) in plans {
+            store.put(&fp, j, &slot.plan, slot.cost_ns, uses)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// The disk tier's placement-policy name, when a store is open.
+    pub fn store_policy(&self) -> Option<&'static str> {
+        self.store.as_ref().map(|s| s.policy_name())
     }
 
     /// The planner behind the engine.
@@ -542,6 +694,20 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                 })
             }
             None => {
+                // RAM miss: a validated disk-tier record beats a fresh
+                // compose. Promotions are `hits` in the ledger (the
+                // plan was cached, just colder), split out by
+                // `disk_hits`.
+                if let Some(slot) = self.try_promote(&key) {
+                    let (result, fell_back) = self.execute_guarded(&key, &slot, csr, b, digest)?;
+                    return Ok(Served {
+                        result,
+                        hit: true,
+                        degraded: fell_back,
+                        compose: None,
+                        batched: false,
+                    });
+                }
                 let slot = self.compose_guarded(digest, csr, j)?;
                 let profile = slot.plan.profile;
                 // Degraded fallback plans are served but never cached:
@@ -557,6 +723,30 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     compose: Some(profile),
                     batched: false,
                 })
+            }
+        }
+    }
+
+    /// Try to answer a RAM miss from the disk tier. A validated record
+    /// is decoded, counted (`disk_hits`), and re-admitted into RAM
+    /// (`promotions` — unless oversized for its shard slice). A record
+    /// that fails strict validation bumps `warm_rejected` (it was
+    /// deleted by the store) and the caller composes fresh.
+    fn try_promote(&self, key: &(Fingerprint, usize)) -> Option<Arc<PlanSlot<T>>> {
+        let store = self.store.as_ref()?;
+        match store.get(&key.0, key.1) {
+            Ok(Some((plan, meta))) => {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let slot = PlanSlot::new(plan, meta.cost_ns);
+                if self.admit_with(*key, Arc::clone(&slot), meta.uses) {
+                    self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(slot)
+            }
+            Ok(None) => None,
+            Err(_) => {
+                self.counters.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                None
             }
         }
     }
@@ -669,7 +859,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         let total_j: usize = members.iter().map(|m| m.b.cols()).sum();
         let key = (*fp, total_j);
         let digest = Self::digest(fp, total_j);
-        let (slot, hit, compose) = match self.lookup(&key) {
+        let (slot, hit, compose) = match self.lookup(&key).or_else(|| self.try_promote(&key)) {
             Some(slot) => (slot, true, None),
             None => match self.compose_guarded(digest, csr, total_j) {
                 Ok(slot) => {
@@ -832,7 +1022,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     // the plan is dropped, not cached.
                     return Err(LfError::DeadlineExceeded { stage: "compose" });
                 }
-                Ok(PlanSlot::new(plan))
+                Ok(PlanSlot::new(plan, (stats.wall_s * 1e9) as u64))
             }
             Err(payload) => {
                 // A panic the planner did not contain itself (a
@@ -924,6 +1114,12 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             let evicted = shard.map.remove(key).expect("entry just observed");
             shard.bytes -= evicted.bytes;
         }
+        drop(shard);
+        // Purge the disk tier too: a poisoned plan must not resurrect
+        // through a later promotion or a restart warm.
+        if let Some(store) = &self.store {
+            store.remove(&key.0, key.1);
+        }
     }
 
     fn lookup(&self, key: &(Fingerprint, usize)) -> Option<Arc<PlanSlot<T>>> {
@@ -938,6 +1134,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             return None;
         }
         entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        entry.uses += 1;
         Some(Arc::clone(&entry.slot))
     }
 
@@ -946,37 +1143,80 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
     /// bigger than the whole slice is oversized (served, not cached); a
     /// concurrent insert of the same key wins and this plan just drops.
     fn admit(&self, key: (Fingerprint, usize), slot: Arc<PlanSlot<T>>) {
+        self.admit_with(key, slot, 0);
+    }
+
+    /// [`admit`](Self::admit) with explicit frequency seeding (warm
+    /// loads and promotions carry their disk-tier use counts back into
+    /// RAM). Returns whether the plan was inserted.
+    ///
+    /// Eviction is **write-behind demoting**: victims leave the shard
+    /// under the lock, then — with no lock held — each is offered to the
+    /// disk tier. A successful write counts as a demotion; a failed
+    /// write (or no store) counts the plan's bytes as dropped
+    /// (`evicted_bytes`). Either way the RAM budget was already
+    /// honored.
+    fn admit_with(&self, key: (Fingerprint, usize), slot: Arc<PlanSlot<T>>, uses: u64) -> bool {
         debug_assert!(!slot.plan.degraded, "degraded plans are never cached");
         let bytes = slot.plan.format_bytes();
         let per_shard = (self.config.byte_budget / self.shards.len()).max(1);
         if bytes > per_shard {
             self.counters.oversized.fetch_add(1, Ordering::Relaxed);
-            return;
+            return false;
         }
-        let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
-        if shard.map.contains_key(&key) {
-            return;
+        let mut victims = Vec::new();
+        let inserted = {
+            let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
+            if shard.map.contains_key(&key) {
+                false
+            } else {
+                while shard.bytes + bytes > per_shard {
+                    let victim = shard
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| *k)
+                        .expect("bytes > 0 implies a cached entry");
+                    let evicted = shard.map.remove(&victim).expect("victim exists");
+                    shard.bytes -= evicted.bytes;
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    victims.push((victim, evicted));
+                }
+                shard.bytes += bytes;
+                shard.map.insert(
+                    key,
+                    Entry {
+                        slot,
+                        bytes,
+                        last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+                        uses,
+                    },
+                );
+                true
+            }
+        };
+        for ((vfp, vj), entry) in victims {
+            self.demote(&vfp, vj, &entry);
         }
-        while shard.bytes + bytes > per_shard {
-            let victim = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("bytes > 0 implies a cached entry");
-            let evicted = shard.map.remove(&victim).expect("victim exists");
-            shard.bytes -= evicted.bytes;
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        inserted
+    }
+
+    /// Offer an evicted RAM entry to the disk tier (write-behind; no
+    /// shard lock is held). Poisoned plans are never demoted.
+    fn demote(&self, fp: &Fingerprint, j: usize, entry: &Entry<T>) {
+        let demoted = match &self.store {
+            Some(store) if !entry.slot.poisoned.load(Ordering::Relaxed) => store
+                .put(fp, j, &entry.slot.plan, entry.slot.cost_ns, entry.uses)
+                .is_ok(),
+            _ => false,
+        };
+        if demoted {
+            self.counters.demotions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters
+                .evicted_bytes
+                .fetch_add(entry.bytes as u64, Ordering::Relaxed);
         }
-        shard.bytes += bytes;
-        shard.map.insert(
-            key,
-            Entry {
-                slot,
-                bytes,
-                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
-            },
-        );
     }
 
     /// Drop every cached plan (counters are preserved).
@@ -1004,6 +1244,12 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             degraded: c.degraded.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
+            evicted_bytes: c.evicted_bytes.load(Ordering::Relaxed),
+            demotions: c.demotions.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            promotions: c.promotions.load(Ordering::Relaxed),
+            warm_loaded: c.warm_loaded.load(Ordering::Relaxed),
+            warm_rejected: c.warm_rejected.load(Ordering::Relaxed),
             oversized: c.oversized.load(Ordering::Relaxed),
             quarantined: c.quarantined.load(Ordering::Relaxed),
             cold_compose: StageStats {
@@ -1021,6 +1267,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             batch_wait_s: c.batch_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
             cached_plans: plans,
             cached_bytes: bytes,
+            store_bytes: self.store.as_ref().map_or(0, |s| s.bytes() as usize),
         }
     }
 }

@@ -51,7 +51,11 @@ pub(crate) mod batch;
 pub mod engine;
 pub mod fingerprint;
 pub mod planner;
+pub mod store;
 
 pub use engine::{MatrixHandle, ServeConfig, ServeEngine, ServeOutcome, ServeStats};
 pub use fingerprint::Fingerprint;
 pub use planner::{FixedCellPlanner, PinnedLiteForm, Planner, ResilientPlanner};
+pub use store::{
+    CostAware, LruBytes, Placement, PlacementPolicy, PlanStore, RecordMeta, StoreConfig,
+};

@@ -1,0 +1,675 @@
+//! The disk tier of the plan cache: a crash-safe, byte-budgeted record
+//! store behind the sharded RAM LRU (DESIGN.md §13).
+//!
+//! A [`PlanStore`] keeps one file per `(fingerprint, j)` plan record in
+//! a flat directory, plus a manifest carrying the placement metadata
+//! (use counts, recompose cost) that should survive a restart. The
+//! serving engine demotes RAM-evicted plans here instead of dropping
+//! them, promotes records back on a RAM miss, and warms the cache from
+//! the directory at startup — so a process restart is no longer a
+//! cold-compose storm.
+//!
+//! ## Crash safety
+//!
+//! Every write is **atomic at the file level**: the record (or
+//! manifest) is written to a `*.tmp` sibling, `fsync`ed, `rename`d into
+//! place, and the directory `fsync`ed. A crash mid-write therefore
+//! leaves either the old state or a stray `*.tmp` — never a readable
+//! half-record under a final name. Stray temp files are swept on open.
+//! On top of that, every record carries its own CRC-32 and the plan
+//! blob inside carries another (`liteform_core::codec`), so even bytes
+//! torn by layers below the rename (bit rot, lying disks) are rejected,
+//! counted, and recomposed — never served.
+//!
+//! The manifest is advisory: it persists placement *metadata*, not
+//! existence. Ground truth is the record files themselves, so a crash
+//! between a record rename and the manifest rewrite merely resets that
+//! record's use count — the plan itself survives and is still warmed.
+//!
+//! ## Placement
+//!
+//! What to keep on a full disk tier is a policy question with real
+//! tension: pure LRU-by-bytes is scan-resistant and simple, but a plan
+//! that is cheap to recompose is a poor use of budget compared to one
+//! whose composition cost dwarfs its footprint. [`PlacementPolicy`]
+//! abstracts the ranking; [`LruBytes`] and [`CostAware`] (frequency ×
+//! recompose-cost per byte) are provided, selected by
+//! [`Placement`] in the serve config.
+
+use crate::fingerprint::Fingerprint;
+use lf_sim::atomicf::AtomicScalar;
+use liteform_core::codec::{self, ByteReader, ByteWriter, CodecError};
+use liteform_core::{LfError, LfResult, PreparedPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Record-file magic: "LFPR" (LiteForm Plan Record).
+const RECORD_MAGIC: [u8; 4] = *b"LFPR";
+/// Manifest magic: "LFPM" (LiteForm Plan Manifest).
+const MANIFEST_MAGIC: [u8; 4] = *b"LFPM";
+/// Store format version (records and manifest move together).
+const STORE_VERSION: u16 = 1;
+/// The manifest's file name inside the store directory.
+const MANIFEST_NAME: &str = "manifest.lfm";
+
+/// Which placement/eviction policy the disk tier runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Evict the least-recently-used record first, ignoring size and
+    /// recompose cost.
+    LruBytes,
+    /// Evict the record with the lowest `(uses + 1) × recompose-cost /
+    /// bytes` first: a frequently hit plan that is expensive to rebuild
+    /// and small on disk is the last to go.
+    CostAware,
+}
+
+/// Per-record accounting the placement policies rank on, persisted in
+/// the manifest so a restart does not forget which plans earn their
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecordMeta {
+    /// Record size on disk, bytes.
+    pub bytes: u64,
+    /// Times this record was promoted or warm-loaded (a proxy for
+    /// request frequency at this tier).
+    pub uses: u64,
+    /// Measured wall-clock cost of composing this plan, nanoseconds —
+    /// what a miss would re-pay.
+    pub cost_ns: u64,
+    /// Logical recency tick of the last touch.
+    pub last_used: u64,
+}
+
+/// Ranks records for retention on a full disk tier. Higher scores are
+/// kept; the lowest-scoring record is evicted first.
+pub trait PlacementPolicy: Send + Sync {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Retention score for a record.
+    fn retention_score(&self, meta: &RecordMeta) -> f64;
+}
+
+/// Least-recently-used: score is the recency tick.
+pub struct LruBytes;
+
+impl PlacementPolicy for LruBytes {
+    fn name(&self) -> &'static str {
+        "lru_bytes"
+    }
+
+    fn retention_score(&self, meta: &RecordMeta) -> f64 {
+        meta.last_used as f64
+    }
+}
+
+/// Frequency-weighted recompose-cost-per-byte: keeping a record is
+/// worth `(uses + 1) × cost_ns / bytes` — the compose work a byte of
+/// budget is expected to save.
+pub struct CostAware;
+
+impl PlacementPolicy for CostAware {
+    fn name(&self) -> &'static str {
+        "cost_aware"
+    }
+
+    fn retention_score(&self, meta: &RecordMeta) -> f64 {
+        let bytes = meta.bytes.max(1) as f64;
+        (meta.uses + 1) as f64 * meta.cost_ns.max(1) as f64 / bytes
+    }
+}
+
+impl Placement {
+    fn policy(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            Placement::LruBytes => Box::new(LruBytes),
+            Placement::CostAware => Box::new(CostAware),
+        }
+    }
+}
+
+/// Disk-tier configuration (the serve config owns the user-facing
+/// knobs; this is the resolved form the store runs on).
+pub struct StoreConfig {
+    /// Directory holding record files and the manifest.
+    pub dir: PathBuf,
+    /// Byte budget for record files. Exceeding it evicts records by
+    /// placement score. `0` means unbounded.
+    pub disk_budget_bytes: usize,
+    /// The placement/eviction policy.
+    pub placement: Placement,
+}
+
+struct IndexEntry {
+    meta: RecordMeta,
+}
+
+struct StoreState {
+    index: HashMap<(Fingerprint, usize), IndexEntry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// The disk tier: one record file per plan, a manifest of placement
+/// metadata, atomic writes, strict read-side validation.
+pub struct PlanStore<T: AtomicScalar> {
+    dir: PathBuf,
+    budget: usize,
+    policy: Box<dyn PlacementPolicy>,
+    state: Mutex<StoreState>,
+    /// Record files whose header was unreadable at open — removed and
+    /// counted, so the warm path can report them as rejections.
+    swept_corrupt: usize,
+    _scalar: PhantomData<fn() -> T>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn io_err(what: &str, e: std::io::Error) -> LfError {
+    LfError::ResourceExhausted {
+        what: format!("plan store {what}: {e}"),
+    }
+}
+
+/// `fsync` a directory so a just-renamed entry is durable.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Atomically publish `bytes` at `path` (same-directory temp + fsync +
+/// rename + directory fsync). Under the chaos tier, `torn_site` can
+/// simulate a crash mid-write: a truncated temp file is left behind and
+/// the rename never happens — exactly the on-disk state a real kill
+/// would leave.
+fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    #[allow(unused_variables)] torn_site: lf_check::chaos::ChaosSite,
+) -> LfResult<()> {
+    let dir = path.parent().expect("store paths always have a parent");
+    let tmp = path.with_extension("tmp");
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+    #[cfg(feature = "chaos")]
+    {
+        if lf_check::chaos::decide(torn_site) {
+            // Simulated crash: half the bytes reach the temp file, no
+            // rename, no manifest update. The store's caller sees an
+            // error; a restart must recover from exactly this state.
+            let half = bytes.len() / 2;
+            let _ = f.write_all(&bytes[..half]);
+            let _ = f.sync_all();
+            return Err(LfError::ResourceExhausted {
+                what: format!("chaos: torn write at {}", torn_site.name()),
+            });
+        }
+    }
+    f.write_all(bytes).map_err(|e| io_err("write temp", e))?;
+    f.sync_all().map_err(|e| io_err("fsync temp", e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", e))?;
+    sync_dir(dir).map_err(|e| io_err("fsync dir", e))?;
+    Ok(())
+}
+
+fn write_fingerprint(w: &mut ByteWriter, fp: &Fingerprint) {
+    w.u64(fp.rows as u64);
+    w.u64(fp.cols as u64);
+    w.u64(fp.nnz as u64);
+    w.u64(fp.row_structure);
+    w.u64(fp.col_structure);
+    w.u64(fp.values);
+}
+
+fn read_fingerprint(r: &mut ByteReader<'_>) -> Result<Fingerprint, CodecError> {
+    Ok(Fingerprint {
+        rows: r.len(usize::MAX >> 8, "fp rows")?,
+        cols: r.len(usize::MAX >> 8, "fp cols")?,
+        nnz: r.len(usize::MAX >> 8, "fp nnz")?,
+        row_structure: r.u64()?,
+        col_structure: r.u64()?,
+        values: r.u64()?,
+    })
+}
+
+impl<T: AtomicScalar> PlanStore<T> {
+    /// Open (or create) a store directory: sweep stray temp files from
+    /// interrupted writes, index the record files present, and fold in
+    /// whatever placement metadata the manifest preserved.
+    ///
+    /// Indexing reads only each record's fixed-size header (magic,
+    /// version, key); full validation — both CRCs, structural bounds,
+    /// the fingerprint re-check — runs when a record is actually loaded,
+    /// so a corrupt record costs its warm/promotion attempt, never the
+    /// open.
+    pub fn open(config: StoreConfig) -> LfResult<Self> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err("create dir", e))?;
+        let mut state = StoreState {
+            index: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        };
+        let manifest_meta = read_manifest(&config.dir.join(MANIFEST_NAME)).unwrap_or_default();
+        let mut swept_corrupt = 0usize;
+        let entries = fs::read_dir(&config.dir).map_err(|e| io_err("read dir", e))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // A crash mid-write left this; the rename never happened
+                // so nothing references it. Sweep it.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if !name.ends_with(".lfp") {
+                continue;
+            }
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Ok((fp, j)) = record_key(&bytes) else {
+                // Unreadable header under a final name: not a state an
+                // atomic writer produces, so treat it as corruption and
+                // remove it (counted, so warming can report it) rather
+                // than re-reporting it every restart.
+                let _ = fs::remove_file(&path);
+                swept_corrupt += 1;
+                continue;
+            };
+            let mut meta = manifest_meta.get(&(fp, j)).copied().unwrap_or_default();
+            meta.bytes = bytes.len() as u64;
+            state.tick = state.tick.max(meta.last_used);
+            state.bytes += meta.bytes;
+            state.index.insert((fp, j), IndexEntry { meta });
+        }
+        Ok(PlanStore {
+            dir: config.dir,
+            budget: config.disk_budget_bytes,
+            policy: config.placement.policy(),
+            state: Mutex::new(state),
+            swept_corrupt,
+            _scalar: PhantomData,
+        })
+    }
+
+    /// Record files removed at open because their header was
+    /// unreadable (wrong magic/version or truncated before the key).
+    pub fn swept_corrupt(&self) -> usize {
+        self.swept_corrupt
+    }
+
+    /// The active placement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Bytes currently held in record files.
+    pub fn bytes(&self) -> u64 {
+        lock(&self.state).bytes
+    }
+
+    /// Number of records currently indexed.
+    pub fn records(&self) -> usize {
+        lock(&self.state).index.len()
+    }
+
+    fn record_path(&self, fp: &Fingerprint, j: usize) -> PathBuf {
+        self.dir.join(format!("p{:016x}-{j}.lfp", fp.digest()))
+    }
+
+    /// Demote a plan to disk. Evicts lowest-scoring records to fit the
+    /// byte budget, then publishes the record atomically and rewrites
+    /// the manifest. On any failure the store's on-disk state is either
+    /// untouched or missing only evicted records — never torn.
+    pub fn put(
+        &self,
+        fp: &Fingerprint,
+        j: usize,
+        plan: &PreparedPlan<T>,
+        cost_ns: u64,
+        uses: u64,
+    ) -> LfResult<()> {
+        let blob = codec::encode_plan(plan)?;
+        let mut record = ByteWriter::with_capacity(blob.len() + 96);
+        record.bytes(&RECORD_MAGIC);
+        record.u16(STORE_VERSION);
+        write_fingerprint(&mut record, fp);
+        record.u64(j as u64);
+        record.u64(cost_ns);
+        record.u64(blob.len() as u64);
+        record.bytes(&blob);
+        record.crc_trailer();
+        let record = record.into_bytes();
+
+        // Make room first (under the index lock; file deletion is
+        // idempotent so a crash between delete and insert only shrinks
+        // the tier).
+        let mut victims = Vec::new();
+        {
+            let mut st = lock(&self.state);
+            st.tick += 1;
+            let tick = st.tick;
+            if self.budget > 0 {
+                let incoming = record.len() as u64;
+                while st.bytes + incoming > self.budget as u64 && !st.index.is_empty() {
+                    let victim = st
+                        .index
+                        .iter()
+                        .filter(|(k, _)| **k != (*fp, j))
+                        .min_by(|a, b| {
+                            self.policy
+                                .retention_score(&a.1.meta)
+                                .total_cmp(&self.policy.retention_score(&b.1.meta))
+                        })
+                        .map(|(k, _)| *k);
+                    let Some(key) = victim else { break };
+                    let e = st.index.remove(&key).expect("victim indexed");
+                    st.bytes -= e.meta.bytes;
+                    victims.push(key);
+                }
+            }
+            // Replace-in-place accounting: an existing record for this
+            // key is about to be overwritten.
+            if let Some(old) = st.index.remove(&(*fp, j)) {
+                st.bytes -= old.meta.bytes;
+            }
+            st.bytes += record.len() as u64;
+            st.index.insert(
+                (*fp, j),
+                IndexEntry {
+                    meta: RecordMeta {
+                        bytes: record.len() as u64,
+                        uses,
+                        cost_ns,
+                        last_used: tick,
+                    },
+                },
+            );
+        }
+        for (vfp, vj) in &victims {
+            let _ = fs::remove_file(self.record_path(vfp, *vj));
+        }
+        let path = self.record_path(fp, j);
+        if let Err(e) = atomic_write(&path, &record, lf_check::chaos::ChaosSite::DemoteTorn) {
+            // The record never became visible: roll the index back.
+            let mut st = lock(&self.state);
+            if let Some(old) = st.index.remove(&(*fp, j)) {
+                st.bytes -= old.meta.bytes;
+            }
+            return Err(e);
+        }
+        self.write_manifest()
+    }
+
+    /// Load a record, fully validated: store framing CRC, key equality,
+    /// plan-blob decode (its own CRC + structural bounds), and a
+    /// **fingerprint re-check** — the decoded plan's operand is
+    /// reconstructed and re-fingerprinted, proving the record still
+    /// describes the matrix it claims. Any failure deletes the record
+    /// and returns the typed rejection; `Ok(None)` is a clean miss.
+    pub fn get(
+        &self,
+        fp: &Fingerprint,
+        j: usize,
+    ) -> LfResult<Option<(PreparedPlan<T>, RecordMeta)>> {
+        {
+            let st = lock(&self.state);
+            if !st.index.contains_key(&(*fp, j)) {
+                return Ok(None);
+            }
+        }
+        let path = self.record_path(fp, j);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                // Indexed but unreadable (raced removal, IO error):
+                // drop the index entry and treat as a miss.
+                self.forget(fp, j);
+                return Ok(None);
+            }
+        };
+        match self.validate_record(&bytes, fp, j) {
+            Ok(plan) => {
+                let mut st = lock(&self.state);
+                st.tick += 1;
+                let tick = st.tick;
+                let meta = match st.index.get_mut(&(*fp, j)) {
+                    Some(e) => {
+                        e.meta.uses += 1;
+                        e.meta.last_used = tick;
+                        e.meta
+                    }
+                    None => RecordMeta::default(),
+                };
+                Ok(Some((plan, meta)))
+            }
+            Err(e) => {
+                // Rejection is terminal for the record: corrupted bytes
+                // are never re-tried, never served.
+                let _ = fs::remove_file(&path);
+                self.forget(fp, j);
+                Err(e)
+            }
+        }
+    }
+
+    /// Parse and strictly validate one record against the key it is
+    /// expected to hold.
+    fn validate_record(
+        &self,
+        bytes: &[u8],
+        fp: &Fingerprint,
+        j: usize,
+    ) -> LfResult<PreparedPlan<T>> {
+        let (stored_fp, stored_j, blob) = parse_record(bytes)?;
+        if stored_fp != *fp || stored_j != j {
+            return Err(LfError::PlanDecode(CodecError::BadField(
+                "record key mismatch",
+            )));
+        }
+        let plan = codec::decode_plan::<T>(blob)?;
+        // Fingerprint re-check: the plan's buckets must still encode the
+        // exact matrix the record is keyed by. This catches records that
+        // pass both CRCs but were written for a different matrix (or a
+        // stale version of this one).
+        let refp = Fingerprint::of_csr(&plan.reconstruct_csr());
+        if refp != *fp {
+            return Err(LfError::PlanDecode(CodecError::BadField(
+                "stale fingerprint",
+            )));
+        }
+        Ok(plan)
+    }
+
+    /// Remove a record (quarantine purge, or explicit invalidation).
+    pub fn remove(&self, fp: &Fingerprint, j: usize) {
+        let _ = fs::remove_file(self.record_path(fp, j));
+        self.forget(fp, j);
+        let _ = self.write_manifest();
+    }
+
+    fn forget(&self, fp: &Fingerprint, j: usize) {
+        let mut st = lock(&self.state);
+        if let Some(e) = st.index.remove(&(*fp, j)) {
+            st.bytes -= e.meta.bytes;
+        }
+    }
+
+    /// The keys currently on disk, highest retention score first — the
+    /// order cache warming should load them in.
+    pub fn warm_order(&self) -> Vec<((Fingerprint, usize), RecordMeta)> {
+        let st = lock(&self.state);
+        let mut keys: Vec<_> = st.index.iter().map(|(k, e)| (*k, e.meta)).collect();
+        keys.sort_by(|a, b| {
+            self.policy
+                .retention_score(&b.1)
+                .total_cmp(&self.policy.retention_score(&a.1))
+        });
+        keys
+    }
+
+    /// Persist the manifest (placement metadata for every indexed
+    /// record) atomically.
+    pub fn write_manifest(&self) -> LfResult<()> {
+        let mut w = ByteWriter::new();
+        w.bytes(&MANIFEST_MAGIC);
+        w.u16(STORE_VERSION);
+        {
+            let st = lock(&self.state);
+            w.u64(st.index.len() as u64);
+            for ((fp, j), e) in &st.index {
+                write_fingerprint(&mut w, fp);
+                w.u64(*j as u64);
+                w.u64(e.meta.bytes);
+                w.u64(e.meta.uses);
+                w.u64(e.meta.cost_ns);
+                w.u64(e.meta.last_used);
+            }
+        }
+        w.crc_trailer();
+        atomic_write(
+            &self.dir.join(MANIFEST_NAME),
+            w.as_bytes(),
+            lf_check::chaos::ChaosSite::ManifestTorn,
+        )
+    }
+}
+
+/// Parse a record's framing: magic, version, key, blob, trailing CRC
+/// over everything before it.
+fn parse_record(bytes: &[u8]) -> Result<(Fingerprint, usize, &[u8]), LfError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4).map_err(LfError::PlanDecode)? != RECORD_MAGIC {
+        return Err(LfError::PlanDecode(CodecError::BadMagic));
+    }
+    let version = r.u16().map_err(LfError::PlanDecode)?;
+    if version != STORE_VERSION {
+        return Err(LfError::PlanDecode(CodecError::UnsupportedVersion(version)));
+    }
+    let fp = read_fingerprint(&mut r).map_err(LfError::PlanDecode)?;
+    let j = r
+        .len(usize::MAX >> 8, "record j")
+        .map_err(LfError::PlanDecode)?;
+    let _cost_ns = r.u64().map_err(LfError::PlanDecode)?;
+    let blob_len = r
+        .len(r.remaining().saturating_sub(4), "record blob len")
+        .map_err(LfError::PlanDecode)?;
+    let crc_at = bytes.len() - r.remaining() + blob_len;
+    let blob = r.bytes(blob_len).map_err(LfError::PlanDecode)?;
+    let stored_crc = r.u32().map_err(LfError::PlanDecode)?;
+    if r.remaining() != 0 {
+        return Err(LfError::PlanDecode(CodecError::BadField(
+            "record trailing bytes",
+        )));
+    }
+    if codec::crc32(&bytes[..crc_at]) != stored_crc {
+        return Err(LfError::PlanDecode(CodecError::ChecksumMismatch));
+    }
+    Ok((fp, j, blob))
+}
+
+/// Read just the key from a record's header (used to index the
+/// directory on open; no CRC work).
+fn record_key(bytes: &[u8]) -> Result<(Fingerprint, usize), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4)? != RECORD_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != STORE_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let fp = read_fingerprint(&mut r)?;
+    let j = r.len(usize::MAX >> 8, "record j")?;
+    Ok((fp, j))
+}
+
+/// Read the manifest's metadata map; any framing or checksum problem
+/// yields `None` (the manifest is advisory — record files are ground
+/// truth).
+fn read_manifest(path: &Path) -> Option<HashMap<(Fingerprint, usize), RecordMeta>> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < 4 {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().ok()?);
+    if codec::crc32(body) != stored_crc {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    if r.bytes(4).ok()? != MANIFEST_MAGIC {
+        return None;
+    }
+    if r.u16().ok()? != STORE_VERSION {
+        return None;
+    }
+    let n = r.len(r.remaining() / 96, "manifest entries").ok()?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let fp = read_fingerprint(&mut r).ok()?;
+        let j = r.len(usize::MAX >> 8, "manifest j").ok()?;
+        let meta = RecordMeta {
+            bytes: r.u64().ok()?,
+            uses: r.u64().ok()?,
+            cost_ns: r.u64().ok()?,
+            last_used: r.u64().ok()?,
+        };
+        map.insert((fp, j), meta);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_scores_rank_as_documented() {
+        let cheap_big = RecordMeta {
+            bytes: 1 << 20,
+            uses: 0,
+            cost_ns: 1_000,
+            last_used: 10,
+        };
+        let dear_small = RecordMeta {
+            bytes: 1 << 10,
+            uses: 5,
+            cost_ns: 50_000_000,
+            last_used: 1,
+        };
+        // LRU keeps the recently used one regardless of value.
+        assert!(LruBytes.retention_score(&cheap_big) > LruBytes.retention_score(&dear_small));
+        // Cost-aware keeps the hot, expensive, small one.
+        assert!(
+            CostAware.retention_score(&dear_small) > CostAware.retention_score(&cheap_big),
+            "cost-aware must rank recompose value per byte"
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("lf-store-manifest-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store: PlanStore<f64> = PlanStore::open(StoreConfig {
+            dir: dir.clone(),
+            disk_budget_bytes: 0,
+            placement: Placement::CostAware,
+        })
+        .unwrap();
+        store.write_manifest().unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        assert!(read_manifest(&path).is_some());
+        // Flip one byte: the manifest must be rejected wholesale.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_manifest(&path).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

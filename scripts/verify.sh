@@ -15,7 +15,9 @@
 #             and the serving-engine stress suite at raised thread and
 #             iteration counts (including the same-fingerprint request-
 #             coalescing storm and the batched-vs-solo bitwise property
-#             suite), both in release mode;
+#             suite), plus the plan-codec serialization suite (round-
+#             trip + 2000-mutation decoder fuzz) and the store crash-
+#             recovery suite, all in release mode;
 #   --check   appends the verification tier (lf-check): the model
 #             checker's self-tests, the model-checked pool-protocol,
 #             plan-cache, and quarantine scenarios (including the
@@ -28,7 +30,10 @@
 #             failures, forced slow paths) at 16 threads x 200
 #             iterations per thread, release mode, across three seeds —
 #             asserting no deadlocks, no wrong bytes, the exact outcome
-#             ledger, and an achieved fault rate of >= 5% of requests.
+#             ledger, and an achieved fault rate of >= 5% of requests —
+#             and the plan-store kill-and-restart scenarios (torn
+#             demotion, torn manifest, aborted warm) asserting recovery
+#             never serves wrong bytes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +88,10 @@ if [[ "$RUN_STRESS" == "1" ]]; then
   cargo test --release -p liteform-core --test batched_run -q
   echo "==> serve cache properties (release)"
   cargo test --release -p lf-serve --test cache_properties -q
+  echo "==> plan-codec serialization suite (release)"
+  cargo test --release -p liteform-core --test plan_codec -q
+  echo "==> store crash-recovery suite (release)"
+  cargo test --release -p lf-serve --test store_recovery -q
 fi
 
 if [[ "$RUN_CHECK" == "1" ]]; then
@@ -114,6 +123,8 @@ if [[ "$RUN_CHAOS" == "1" ]]; then
     LF_CHAOS_SEED="$seed" LF_CHAOS_THREADS=16 LF_CHAOS_ITERS=200 \
       cargo test --release -p lf-serve --features chaos --test chaos -q
   done
+  echo "==> store kill-and-restart scenarios (chaos kill points, release)"
+  cargo test --release -p lf-serve --features chaos --test store_recovery -q
 fi
 
 echo "verify: OK"
