@@ -491,6 +491,10 @@ fn materialize_bucket<T: Scalar>(
         row_ind.push(r);
         let (s, e) = (s as usize, e as usize);
         let len = e - s;
+        // SAFETY: `s..e` is in-bounds of the CSR arrays and `out + len`
+        // never exceeds the reserved `total` (the planner contract
+        // stated above the loop), so every pointer offset below stays
+        // inside its allocation.
         unsafe {
             if len < 32 {
                 // Short fragments: an element loop beats two memcpy

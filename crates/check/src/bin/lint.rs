@@ -1,278 +1,85 @@
-//! Source-invariant lint pass, run by `scripts/verify.sh` (and CI).
+//! Source-invariant lint driver: runs the [`lf_check::rules`] registry
+//! over the workspace via the [`lf_check::lint`] engine.
 //!
-//! Rules:
+//! ```text
+//! lint [ROOT] [--json[=PATH]] [--no-suppress] [--rules]
+//! ```
 //!
-//! 1. **`unsafe` needs a justification.** Every `unsafe` keyword on a
-//!    code line (block, fn, impl) must have a `// SAFETY:` comment — or,
-//!    for `unsafe fn` declarations, a `# Safety` doc section — on the
-//!    same line or within the preceding window of lines. The check is
-//!    token-level (comments and string literals are stripped first), so
-//!    prose mentioning unsafety never trips it.
+//! * `ROOT` — workspace root to scan (default: two levels above this
+//!   crate's manifest, i.e. the repo root).
+//! * `--json[=PATH]` — emit the machine-readable report (findings +
+//!   suppressed findings + file count) to stdout or `PATH`; CI uploads
+//!   this as the findings artifact.
+//! * `--no-suppress` — ignore `lf-lint: allow` comments; the
+//!   seeded-bug regression tests use this mode to prove each rule
+//!   still rediscovers its planted inversion.
+//! * `--rules` — list the registry and exit.
 //!
-//! 2. **Atomic `Ordering` whitelist.** Outside `crates/sim` and
-//!    `crates/check` (the engine's sync layer), only
-//!    `Ordering::Relaxed` is allowed: all cross-thread *protocol*
-//!    ordering must come from the pool's lock/condvar layer, which the
-//!    model checker covers. A stronger ordering elsewhere is either
-//!    unnecessary or a protocol the checker cannot see. `cmp::Ordering`
-//!    variants are unaffected.
-//!
-//! The third invariant of the verification tentpole — hot kernel paths
-//! must not allocate — is a runtime property and lives in the
-//! `hot_path_allocs` test in `lf-kernels` (counting global allocator),
-//! not here.
-//!
-//! Exit status: 0 when clean, 1 with findings (one `path:line` per
-//! finding), 2 on usage/IO errors.
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/I/O error.
 
-use std::path::{Path, PathBuf};
+use lf_check::lint::{self, Workspace};
+use lf_check::rules::default_rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-/// How many lines above an `unsafe` token a SAFETY justification may
-/// sit. Wide enough for an `unsafe impl` block whose comment covers all
-/// its methods (`GlobalAlloc` in `lf-sim` spans ~25 lines).
-const SAFETY_WINDOW: usize = 30;
-
-const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
-
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    msg: String,
-}
-
-fn main() {
-    let root = match std::env::args().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => default_root(),
-    };
-    if !root.join("Cargo.toml").is_file() {
-        eprintln!("lint: {} does not look like the repo root", root.display());
-        std::process::exit(2);
-    }
-    let mut files = Vec::new();
-    for top in ["crates", "src", "examples", "shims"] {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
-    let mut findings = Vec::new();
-    let mut unsafe_sites = 0usize;
-    for file in &files {
-        let Ok(text) = std::fs::read_to_string(file) else {
-            eprintln!("lint: unreadable file {}", file.display());
-            std::process::exit(2);
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        unsafe_sites += lint_file(rel, &text, &mut findings);
-    }
-    if findings.is_empty() {
-        println!(
-            "lint: OK ({} files, {unsafe_sites} unsafe sites, all justified; \
-             orderings whitelisted)",
-            files.len()
-        );
-        return;
-    }
-    for f in &findings {
-        println!("{}:{}: [{}] {}", f.file.display(), f.line, f.rule, f.msg);
-    }
-    println!("lint: {} finding(s)", findings.len());
-    std::process::exit(1);
-}
-
-/// The workspace root, two levels above this crate's manifest.
 fn default_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .unwrap_or_else(|_| PathBuf::from("."))
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut honor_suppressions = true;
+    for arg in std::env::args().skip(1) {
+        if arg == "--no-suppress" {
+            honor_suppressions = false;
+        } else if arg == "--json" {
+            json = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json = Some(Some(PathBuf::from(path)));
+        } else if arg == "--rules" {
+            for rule in default_rules() {
+                println!("{:<22} {}", rule.name(), rule.describe());
+            }
+            return ExitCode::SUCCESS;
+        } else if arg.starts_with('-') {
+            eprintln!("lint: unknown option `{arg}`");
+            return ExitCode::from(2);
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("lint: more than one ROOT argument");
+            return ExitCode::from(2);
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
     };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if name.starts_with('.') || name == "target" {
-            continue;
-        }
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Lint one file; returns the number of `unsafe` sites seen.
-fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) -> usize {
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let code_lines = strip_non_code(&raw_lines);
-    let in_sync_layer = {
-        let p = rel.to_string_lossy().replace('\\', "/");
-        p.starts_with("crates/sim/") || p.starts_with("crates/check/")
-    };
-    let mut sites = 0usize;
-    for (idx, code) in code_lines.iter().enumerate() {
-        if contains_word(code, "unsafe") {
-            sites += 1;
-            if !safety_comment_near(&raw_lines, idx) {
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: idx + 1,
-                    rule: "unsafe-needs-safety",
-                    msg: format!(
-                        "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
-                         section) within the preceding {SAFETY_WINDOW} lines"
-                    ),
-                });
+    let report = lint::run(&ws, &default_rules(), honor_suppressions);
+    match &json {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, lint::render_json(&report)) {
+                eprintln!("lint: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
             }
+            eprint!("{}", lint::render_human(&report));
         }
-        if !in_sync_layer {
-            for ord in non_relaxed_orderings(code) {
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: idx + 1,
-                    rule: "ordering-whitelist",
-                    msg: format!(
-                        "atomic Ordering::{ord} outside crates/sim|crates/check: only \
-                         Relaxed is whitelisted there; protocol ordering belongs in \
-                         the engine's model-checked sync layer"
-                    ),
-                });
-            }
+        Some(None) => {
+            print!("{}", lint::render_json(&report));
+            eprint!("{}", lint::render_human(&report));
         }
+        None => print!("{}", lint::render_human(&report)),
     }
-    sites
-}
-
-/// Is there a SAFETY justification on this line or within the window of
-/// lines above it?
-fn safety_comment_near(raw_lines: &[&str], idx: usize) -> bool {
-    let lo = idx.saturating_sub(SAFETY_WINDOW);
-    raw_lines[lo..=idx]
-        .iter()
-        .any(|l| l.contains("SAFETY:") || l.contains("# Safety"))
-}
-
-/// Atomic memory orderings other than `Relaxed` referenced on this line.
-fn non_relaxed_orderings(code: &str) -> Vec<&'static str> {
-    let mut found = Vec::new();
-    let mut rest = code;
-    while let Some(pos) = rest.find("Ordering::") {
-        rest = &rest[pos + "Ordering::".len()..];
-        let ident: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if let Some(&ord) = ATOMIC_ORDERINGS
-            .iter()
-            .find(|&&o| o == ident && o != "Relaxed")
-        {
-            found.push(ord);
-        }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    found
-}
-
-/// `needle` appears in `hay` delimited by non-identifier characters.
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = !hay[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
-/// Replace comments and string/char literal contents with spaces so the
-/// token scans above only see code. Line-based state machine: tracks
-/// `/* */` block comments across lines; handles `//` line comments,
-/// `"..."` strings with escapes, and `'c'` char literals (lifetimes are
-/// left alone). Raw strings are treated as ordinary strings, which is
-/// conservative but sufficient for this codebase.
-fn strip_non_code(raw_lines: &[&str]) -> Vec<String> {
-    let mut out = Vec::with_capacity(raw_lines.len());
-    let mut in_block_comment = false;
-    for line in raw_lines {
-        let mut code = String::with_capacity(line.len());
-        let chars: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            if in_block_comment {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match chars[i] {
-                '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if chars.get(i + 1) == Some(&'*') => {
-                    in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    code.push(' ');
-                    i += 1;
-                    while i < chars.len() {
-                        match chars[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-                '\'' => {
-                    // Char literal ('x', '\n', '\'') vs lifetime ('a).
-                    let is_char_lit = matches!(chars.get(i + 1), Some('\\'))
-                        || matches!(chars.get(i + 2), Some('\''));
-                    if is_char_lit {
-                        code.push(' ');
-                        i += 1;
-                        while i < chars.len() {
-                            match chars[i] {
-                                '\\' => i += 2,
-                                '\'' => {
-                                    i += 1;
-                                    break;
-                                }
-                                _ => i += 1,
-                            }
-                        }
-                    } else {
-                        code.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        out.push(code);
-    }
-    out
 }

@@ -26,19 +26,34 @@
 //!    on overlap or out-of-bounds — so every ordinary test run doubles
 //!    as a race check. Release builds compile it to a no-op ZST.
 //!
-//! 3. **Source-invariant lints** (`src/bin/lint.rs`, run by
-//!    `scripts/verify.sh`): every `unsafe` site must carry a
-//!    `// SAFETY:` (or `# Safety`) justification, and atomic memory
-//!    `Ordering`s outside the engine's sync layer must come from a
-//!    whitelist.
+//! 3. **Source-invariant lints** ([`lint`] + [`rules`], driven by
+//!    `src/bin/lint.rs` and `scripts/verify.sh`): a token-level lexer
+//!    ([`lex`]) feeds a rule engine that checks the workspace's
+//!    cross-cutting contracts — SAFETY-justified `unsafe`, the atomic
+//!    ordering whitelist, the declared lock hierarchy, panic-free
+//!    request/kernel paths, bitwise-determinism constructs, and the
+//!    exhaustive error→ledger-class mapping — with inline
+//!    `lf-lint: allow(rule): reason` suppressions and JSON output for
+//!    CI artifacts.
 //!
-//! 4. **Deterministic fault injection** ([`chaos`]): a seeded,
+//! 4. **A vector-clock happens-before race detector** ([`hb`]): the
+//!    dynamic complement to the bounded checker. The [`sync`] shims
+//!    record lock release→acquire, atomic release→acquire, and
+//!    spawn/join edges; [`hb::Tracked`] locations check every access
+//!    against per-location shadow words, so a missing lock is reported
+//!    deterministically regardless of the schedule the OS picks.
+//!
+//! 5. **Deterministic fault injection** ([`chaos`]): a seeded,
 //!    process-global plan that tells instrumented call sites in the
 //!    serving layer when to panic, fail an allocation, or take the slow
 //!    path — the fault source for the chaos tier's ledger and
 //!    degradation assertions. Inert unless a plan is installed.
 
 pub mod chaos;
+pub mod hb;
+pub mod lex;
+pub mod lint;
+pub mod rules;
 pub mod sched;
 pub mod shadow;
 pub mod sync;

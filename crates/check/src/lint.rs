@@ -1,0 +1,541 @@
+//! The lint rule engine: workspace loading, rule registry, inline
+//! suppressions, and human/JSON reporting.
+//!
+//! A [`Workspace`] is every `.rs` file under the scanned roots, each
+//! lexed once (see [`crate::lex`]). [`Rule`]s are workspace-wide —
+//! cross-file rules like lock-order propagation see everything — and
+//! append [`Finding`]s. The engine then applies inline suppressions:
+//!
+//! ```text
+//! // lf-lint: allow(lock-order): tear-down order is covered by the model checker
+//! ```
+//!
+//! A suppression covers findings of the named rule(s) on its own line
+//! (trailing comment) or on the next code line (standalone comment).
+//! The reason after the second `:` is **mandatory**: a reason-less
+//! suppression stays inert and is itself reported
+//! (`suppression-needs-reason`), and a suppression that matches no
+//! finding is reported too (`unused-suppression`) so stale allows
+//! cannot hide future regressions. Running with suppressions ignored
+//! (`--no-suppress`) is how the seeded-bug regression tests prove each
+//! rule still rediscovers its planted inversion.
+
+use crate::lex::{self, ItemIndex, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file plus its derived indexes.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes
+    /// for findings and fixtures).
+    pub path: String,
+    /// The raw source text.
+    pub text: String,
+    /// Token stream from [`lex::lex`].
+    pub toks: Vec<Tok>,
+    /// Delimiter partner map from [`lex::match_delims`].
+    pub pair: Vec<Option<usize>>,
+    /// Item index (fns/impls/mods with bodies and test gating).
+    pub items: ItemIndex,
+    /// Parsed `lf-lint:` suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// Combined delimiter nesting depth per token (depth of the
+    /// *enclosing* groups; an `Open` token has the depth outside it).
+    pub depth: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Build a file from its path and text.
+    pub fn new(path: String, text: String) -> Self {
+        let toks = lex::lex(&text);
+        let pair = lex::match_delims(&toks);
+        let items = ItemIndex::build(&text, &toks, &pair);
+        let suppressions = parse_suppressions(&text, &toks);
+        let mut depth = vec![0u32; toks.len()];
+        let mut d = 0u32;
+        for (i, t) in toks.iter().enumerate() {
+            match t.kind {
+                TokKind::Open(_) => {
+                    depth[i] = d;
+                    d += 1;
+                }
+                TokKind::Close(_) => {
+                    d = d.saturating_sub(1);
+                    depth[i] = d;
+                }
+                _ => depth[i] = d,
+            }
+        }
+        SourceFile {
+            path,
+            text,
+            toks,
+            pair,
+            items,
+            suppressions,
+            depth,
+        }
+    }
+
+    /// The source text of token `i`.
+    pub fn tok_text(&self, i: usize) -> &str {
+        let t = &self.toks[i];
+        &self.text[t.lo..t.hi]
+    }
+
+    /// Is token `i` an ident spelling exactly `s`?
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.toks[i].kind == TokKind::Ident && self.tok_text(i) == s
+    }
+}
+
+/// One parsed `// lf-lint: allow(rule[, rule…]): reason` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line of the comment itself.
+    pub line: usize,
+    /// The rule names inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// The justification after the closing `):`, trimmed. Empty means
+    /// the suppression is inert and gets flagged.
+    pub reason: String,
+    /// The lines this suppression covers: its own line and, for a
+    /// standalone comment, the next line holding code.
+    pub covers: Vec<usize>,
+}
+
+fn parse_suppressions(text: &str, toks: &[Tok]) -> Vec<Suppression> {
+    // Lines that carry at least one non-comment token, for mapping a
+    // standalone suppression comment to the statement below it.
+    let code_lines: Vec<usize> = {
+        let mut v: Vec<usize> = toks
+            .iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.line)
+            .collect();
+        v.dedup();
+        v
+    };
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = &text[t.lo..t.hi];
+        // Doc comments only *describe* the syntax; a real suppression is
+        // a plain `//` comment.
+        if body.starts_with("///") || body.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = body.find("lf-lint:") else {
+            continue;
+        };
+        let rest = body[at + "lf-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix(':').map_or("", |r| r.trim()).to_string();
+        let own_line_has_code = code_lines.binary_search(&t.line).is_ok();
+        let mut covers = vec![t.line];
+        if !own_line_has_code {
+            if let Some(&next) = code_lines.iter().find(|&&l| l > t.line) {
+                covers.push(next);
+            }
+        }
+        out.push(Suppression {
+            line: t.line,
+            rules,
+            reason,
+            covers,
+        });
+    }
+    out
+}
+
+/// A workspace: every scanned file, lexed and indexed.
+pub struct Workspace {
+    /// The files, in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load all `.rs` files under `root`'s scanned directories
+    /// (`crates`, `src`, `examples`, `shims`, `tests`, and any
+    /// `benches/` inside those). Skips `target/` and the lint's own
+    /// known-bad fixture corpus (`lint_fixtures/`).
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut paths = Vec::new();
+        for dir in ["crates", "src", "examples", "shims", "tests", "benches"] {
+            collect_rs_files(&root.join(dir), &mut paths)?;
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for p in paths {
+            let text = std::fs::read_to_string(&p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::new(rel, text));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Build a workspace from in-memory `(path, text)` pairs — used by
+    /// the fixture tests.
+    pub fn from_sources(sources: Vec<(String, String)>) -> Self {
+        Workspace {
+            files: sources
+                .into_iter()
+                .map(|(p, t)| SourceFile::new(p, t))
+                .collect(),
+        }
+    }
+
+    /// The first file whose path ends with `suffix`.
+    pub fn file_ending_with(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path.ends_with(suffix))
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "lint_fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// One reported defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The rule that fired (stable kebab-case name).
+    pub rule: &'static str,
+    /// Human-readable description of the defect and the expected fix.
+    pub msg: String,
+}
+
+impl Finding {
+    fn sort_key(&self) -> (String, usize, &'static str, String) {
+        (self.file.clone(), self.line, self.rule, self.msg.clone())
+    }
+}
+
+/// A source-invariant rule: inspects the whole workspace, appends
+/// findings.
+pub trait Rule {
+    /// Stable kebab-case rule name, used in findings and `allow(…)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `lint --rules` style listings and docs.
+    fn describe(&self) -> &'static str;
+    /// Run the rule over `ws`, appending to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Result of an engine run: surviving findings plus the suppressed ones
+/// (kept for the JSON report so CI artifacts show what was waived).
+pub struct LintReport {
+    /// Findings that survived suppression — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Findings waived by a suppression with a reason.
+    pub suppressed: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Run `rules` over `ws`. With `honor_suppressions`, findings covered
+/// by a reasoned `lf-lint: allow` move to [`LintReport::suppressed`],
+/// reason-less suppressions produce `suppression-needs-reason`
+/// findings, and suppressions that matched nothing produce
+/// `unused-suppression` findings. With it off (the seeded-bug
+/// regression mode) raw findings are returned as-is.
+pub fn run(ws: &Workspace, rules: &[Box<dyn Rule>], honor_suppressions: bool) -> LintReport {
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(ws, &mut raw);
+    }
+    raw.sort_by_key(|f| f.sort_key());
+    raw.dedup();
+    if !honor_suppressions {
+        return LintReport {
+            findings: raw,
+            suppressed: Vec::new(),
+            files_scanned: ws.files.len(),
+        };
+    }
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    // (file idx, suppression idx) -> used?
+    let mut used: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (si, _) in f.suppressions.iter().enumerate() {
+            used.insert((fi, si), false);
+        }
+    }
+    for finding in raw {
+        let hit = ws
+            .files
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.path == finding.file)
+            .and_then(|(fi, f)| {
+                f.suppressions.iter().enumerate().find_map(|(si, s)| {
+                    let applies = s.covers.contains(&finding.line)
+                        && s.rules.iter().any(|r| r == finding.rule);
+                    (applies && !s.reason.is_empty()).then_some((fi, si))
+                })
+            });
+        match hit {
+            Some(key) => {
+                used.insert(key, true);
+                suppressed.push(finding);
+            }
+            None => findings.push(finding),
+        }
+    }
+    for ((fi, si), was_used) in used {
+        let f = &ws.files[fi];
+        let s = &f.suppressions[si];
+        if s.reason.is_empty() {
+            findings.push(Finding {
+                file: f.path.clone(),
+                line: s.line,
+                rule: "suppression-needs-reason",
+                msg: format!(
+                    "suppression for `{}` has no reason; write \
+                     `// lf-lint: allow({}): <why this is sound>`",
+                    s.rules.join(", "),
+                    s.rules.join(", "),
+                ),
+            });
+        } else if !was_used {
+            findings.push(Finding {
+                file: f.path.clone(),
+                line: s.line,
+                rule: "unused-suppression",
+                msg: format!(
+                    "suppression for `{}` matched no finding; remove it so it \
+                     cannot mask a future regression",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.sort_key());
+    LintReport {
+        findings,
+        suppressed,
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Render findings for terminals: `path:line: [rule] message`.
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+    }
+    let _ = writeln!(
+        out,
+        "lint: {} finding(s), {} suppressed, {} file(s) scanned",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    );
+    out
+}
+
+/// Render the report as a JSON document (hand-rolled: lf-check has no
+/// dependencies). Schema: `{"findings": [{file, line, rule, msg}…],
+/// "suppressed": […], "files_scanned": n}`.
+pub fn render_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn list(findings: &[Finding]) -> String {
+        let items: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"msg\":\"{}\"}}",
+                    esc(&f.file),
+                    f.line,
+                    esc(f.rule),
+                    esc(&f.msg)
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+    format!(
+        "{{\"findings\":{},\"suppressed\":{},\"files_scanned\":{}}}\n",
+        list(&report.findings),
+        list(&report.suppressed),
+        report.files_scanned
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeRule;
+    impl Rule for FakeRule {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn describe(&self) -> &'static str {
+            "fires on the ident `boom`"
+        }
+        fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+            for f in &ws.files {
+                for i in 0..f.toks.len() {
+                    if f.is_ident(i, "boom") {
+                        out.push(Finding {
+                            file: f.path.clone(),
+                            line: f.toks[i].line,
+                            rule: "fake",
+                            msg: "boom".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn rules() -> Vec<Box<dyn Rule>> {
+        vec![Box::new(FakeRule)]
+    }
+
+    #[test]
+    fn trailing_suppression_with_reason_waives() {
+        let ws = Workspace::from_sources(vec![(
+            "a.rs".into(),
+            "fn f() { boom(); } // lf-lint: allow(fake): test harness\n".into(),
+        )]);
+        let report = run(&ws, &rules(), true);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        // And --no-suppress still sees it.
+        let raw = run(&ws, &rules(), false);
+        assert_eq!(raw.findings.len(), 1);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let ws = Workspace::from_sources(vec![(
+            "a.rs".into(),
+            "// lf-lint: allow(fake): covered below\n\nfn f() { boom(); }\n".into(),
+        )]);
+        let report = run(&ws, &rules(), true);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_inert_and_flagged() {
+        let ws = Workspace::from_sources(vec![(
+            "a.rs".into(),
+            "fn f() { boom(); } // lf-lint: allow(fake)\n".into(),
+        )]);
+        let report = run(&ws, &rules(), true);
+        let rules_fired: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules_fired.contains(&"fake"), "{rules_fired:?}");
+        assert!(
+            rules_fired.contains(&"suppression-needs-reason"),
+            "{rules_fired:?}"
+        );
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let ws = Workspace::from_sources(vec![(
+            "a.rs".into(),
+            "fn f() {} // lf-lint: allow(fake): nothing here\n".into(),
+        )]);
+        let report = run(&ws, &rules(), true);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn wrong_rule_name_does_not_waive() {
+        let ws = Workspace::from_sources(vec![(
+            "a.rs".into(),
+            "fn f() { boom(); } // lf-lint: allow(other): misnamed\n".into(),
+        )]);
+        let report = run(&ws, &rules(), true);
+        let rules_fired: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules_fired.contains(&"fake"));
+        assert!(rules_fired.contains(&"unused-suppression"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let report = LintReport {
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "fake",
+                msg: "uses `\"x\\y\"`".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains(r#"\"x\\y\""#), "{json}");
+        assert!(json.contains("\"files_scanned\":1"), "{json}");
+    }
+}

@@ -1,0 +1,102 @@
+//! `determinism`: plan- and result-affecting code under
+//! `crates/kernels` and `crates/core` must be bitwise-deterministic.
+//!
+//! PR 7's contract: batched, tiled, SIMD, and scalar execution agree
+//! bit-for-bit because every kernel accumulates in ascending-k order
+//! with plain mul-then-add. Three construct classes silently break
+//! that contract:
+//!
+//! * `mul_add` — hardware FMA keeps the infinitely-precise product,
+//!   so `a.mul_add(b, c)` differs from `a * b + c` in the last ulp and
+//!   varies with codegen;
+//! * `HashMap`/`HashSet` — iteration order is seeded per-process, so
+//!   any plan or output assembled by iterating one is
+//!   run-to-run nondeterministic (use `BTreeMap`/`BTreeSet` or sort);
+//! * `Instant::now`/`SystemTime::now` — wall-clock reads in planning
+//!   code make plan selection load-dependent.
+//!
+//! Test modules are exempt (tests time things and hash freely).
+
+use crate::lex::{next_code, TokKind};
+use crate::lint::{Finding, Rule, SourceFile, Workspace};
+
+/// See the module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn describe(&self) -> &'static str {
+        "no mul_add / hash-iteration / wall-clock in result-affecting kernel + core code"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            if !(f.path.starts_with("crates/kernels/src/")
+                || f.path.starts_with("crates/core/src/"))
+            {
+                continue;
+            }
+            for i in 0..f.toks.len() {
+                if f.toks[i].kind != TokKind::Ident || f.items.in_test(i) {
+                    continue;
+                }
+                match f.tok_text(i) {
+                    "mul_add" => self.push(
+                        f,
+                        i,
+                        out,
+                        "`mul_add` fuses the product at infinite precision; the \
+                         determinism contract requires plain mul-then-add so all \
+                         engines agree bitwise",
+                    ),
+                    "HashMap" | "HashSet" => self.push(
+                        f,
+                        i,
+                        out,
+                        "hash collections have per-process iteration order; anything \
+                         feeding plan or output order must use BTreeMap/BTreeSet or \
+                         sort explicitly",
+                    ),
+                    "Instant" | "SystemTime" if is_now_call(f, i) => self.push(
+                        f,
+                        i,
+                        out,
+                        "wall-clock read in plan/result-affecting code makes behavior \
+                         load-dependent",
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+impl Determinism {
+    fn push(&self, f: &SourceFile, i: usize, out: &mut Vec<Finding>, msg: &str) {
+        out.push(Finding {
+            file: f.path.clone(),
+            line: f.toks[i].line,
+            rule: self.name(),
+            msg: msg.into(),
+        });
+    }
+}
+
+/// `Instant :: now` / `SystemTime :: now` (a bare type mention, e.g. in
+/// a signature returning `Instant`, is fine — only the clock *read* is
+/// nondeterministic).
+fn is_now_call(f: &SourceFile, i: usize) -> bool {
+    let Some(c1) = next_code(&f.toks, i + 1) else {
+        return false;
+    };
+    let Some(c2) = next_code(&f.toks, c1 + 1) else {
+        return false;
+    };
+    let Some(m) = next_code(&f.toks, c2 + 1) else {
+        return false;
+    };
+    matches!(f.toks[c1].kind, TokKind::Punct(':'))
+        && matches!(f.toks[c2].kind, TokKind::Punct(':'))
+        && f.is_ident(m, "now")
+}

@@ -1,0 +1,69 @@
+//! `ordering-whitelist`: atomic memory orderings outside the
+//! verification crates must be `Relaxed`.
+//!
+//! The production code's atomics are all counters and flags whose
+//! cross-thread visibility is provided by the surrounding locks;
+//! acquire/release orderings there would paper over a missing lock
+//! instead of surfacing it under the model checker. Stronger orderings
+//! are reserved for `crates/sim` (the instrumented shim layer) and
+//! `crates/check` (the checker itself). Ported from PR 4's line
+//! scanner onto the lexer: `Ordering::Acquire` in a string literal or
+//! comment no longer trips it, and `cmp::Ordering::Less` never did.
+
+use crate::lex::TokKind;
+use crate::lint::{Finding, Rule, Workspace};
+
+/// See the module docs.
+pub struct OrderingWhitelist;
+
+const FORBIDDEN: [&str; 4] = ["Acquire", "Release", "AcqRel", "SeqCst"];
+
+impl Rule for OrderingWhitelist {
+    fn name(&self) -> &'static str {
+        "ordering-whitelist"
+    }
+    fn describe(&self) -> &'static str {
+        "only Relaxed atomic orderings outside crates/sim and crates/check"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            if f.path.starts_with("crates/sim/") || f.path.starts_with("crates/check/") {
+                continue;
+            }
+            for i in 0..f.toks.len() {
+                if !f.is_ident(i, "Ordering") {
+                    continue;
+                }
+                // Ordering :: <Variant>
+                let Some(c1) = crate::lex::next_code(&f.toks, i + 1) else {
+                    continue;
+                };
+                if !matches!(f.toks[c1].kind, TokKind::Punct(':')) {
+                    continue;
+                }
+                let Some(c2) = crate::lex::next_code(&f.toks, c1 + 1) else {
+                    continue;
+                };
+                if !matches!(f.toks[c2].kind, TokKind::Punct(':')) {
+                    continue;
+                }
+                let Some(v) = crate::lex::next_code(&f.toks, c2 + 1) else {
+                    continue;
+                };
+                let name = f.tok_text(v);
+                if f.toks[v].kind == TokKind::Ident && FORBIDDEN.contains(&name) {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line: f.toks[v].line,
+                        rule: self.name(),
+                        msg: format!(
+                            "atomic ordering `{name}` outside crates/sim + crates/check; \
+                             production atomics are Relaxed counters — cross-thread \
+                             visibility belongs to the locks"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! `unsafe-needs-safety`: every `unsafe` token must carry an attached
+//! `SAFETY:` justification.
+//!
+//! PR 4's version accepted any `SAFETY:` comment within a fixed
+//! 30-line window above the `unsafe` — which both missed justifications
+//! for long items and silently accepted a stale comment 25 lines above
+//! unrelated code. This version attaches comments the way rustdoc
+//! does: a justification counts only if it sits on the same line as the
+//! `unsafe`, or in the comment/attribute run *directly above the
+//! statement or item* that contains it (nothing but attributes, doc
+//! comments, and qualifier keywords in between). An `unsafe fn` or
+//! member inside a justified `unsafe impl`/`unsafe fn` inherits the
+//! enclosing item's justification — the contract is stated once, at the
+//! boundary that owns it.
+
+use crate::lex::{Delim, ItemKind, Tok, TokKind};
+use crate::lint::{Finding, Rule, SourceFile, Workspace};
+
+/// See the module docs.
+pub struct UnsafeNeedsSafety;
+
+const JUSTIFICATIONS: [&str; 2] = ["SAFETY:", "# Safety"];
+
+impl Rule for UnsafeNeedsSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety"
+    }
+    fn describe(&self) -> &'static str {
+        "every `unsafe` must have a SAFETY: comment attached to its statement or item"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            for i in 0..f.toks.len() {
+                if !f.is_ident(i, "unsafe") {
+                    continue;
+                }
+                if justified_at(f, i) || inherited(f, i) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: f.toks[i].line,
+                    rule: self.name(),
+                    msg: "`unsafe` without an attached `// SAFETY:` justification \
+                          (same line, or the comment run directly above the statement/item)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Same-line or statement-attached justification for the `unsafe`
+/// token at `i`.
+fn justified_at(f: &SourceFile, i: usize) -> bool {
+    let line = f.toks[i].line;
+    // Same line: a trailing (or leading) comment on the unsafe's line.
+    let same_line = f
+        .toks
+        .iter()
+        .any(|t| t.is_comment() && t.line == line && has_justification(&f.text[t.lo..t.hi]));
+    if same_line {
+        return true;
+    }
+    attachment_justified(f, statement_start(f, i))
+}
+
+/// The enclosing `unsafe fn` / `unsafe impl` items, innermost first; an
+/// unsafe member inherits a justification attached to such an item.
+fn inherited(f: &SourceFile, i: usize) -> bool {
+    for item in &f.items.items {
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        if !(open < i && i < close) {
+            continue;
+        }
+        if !matches!(item.kind, ItemKind::Fn { .. } | ItemKind::Impl { .. }) {
+            continue;
+        }
+        // The item itself must be `unsafe …` for its justification to
+        // extend to members.
+        let kw = item.kw_tok;
+        let item_is_unsafe = (0..kw).rev().find_map(|j| {
+            let t = &f.toks[j];
+            if t.is_comment() {
+                return None;
+            }
+            match t.kind {
+                TokKind::Ident => {
+                    let s = f.tok_text(j);
+                    if s == "unsafe" {
+                        Some(true)
+                    } else if matches!(s, "pub" | "const" | "async" | "extern" | "default") {
+                        None
+                    } else {
+                        Some(false)
+                    }
+                }
+                TokKind::Close(Delim::Paren) | TokKind::Str => None,
+                _ => Some(false),
+            }
+        });
+        if item_is_unsafe == Some(true) && attachment_justified(f, statement_start(f, kw)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The first code token of the statement/item containing token `i`:
+/// walk code tokens back until a `;`, `{`, or `}` ends the previous
+/// statement.
+fn statement_start(f: &SourceFile, i: usize) -> usize {
+    let mut start = i;
+    for j in (0..i).rev() {
+        let t = &f.toks[j];
+        if t.is_comment() {
+            continue;
+        }
+        match t.kind {
+            TokKind::Punct(';') | TokKind::Open(Delim::Brace) | TokKind::Close(Delim::Brace) => {
+                break;
+            }
+            _ => start = j,
+        }
+    }
+    start
+}
+
+/// Does the comment/attribute run directly above token `start` contain
+/// a justification? Walks back over doc comments, regular comments, and
+/// `#[…]` attribute groups only.
+fn attachment_justified(f: &SourceFile, start: usize) -> bool {
+    let mut i = start;
+    loop {
+        let Some(j) = i.checked_sub(1) else {
+            return false;
+        };
+        let t: &Tok = &f.toks[j];
+        if t.is_comment() {
+            if has_justification(&f.text[t.lo..t.hi]) {
+                return true;
+            }
+            i = j;
+            continue;
+        }
+        match t.kind {
+            // An attribute group: hop over `#[…]`.
+            TokKind::Close(Delim::Bracket) => {
+                let Some(open) = f.pair[j] else { return false };
+                let hashed = open
+                    .checked_sub(1)
+                    .is_some_and(|h| matches!(f.toks[h].kind, TokKind::Punct('#')));
+                if !hashed {
+                    return false;
+                }
+                i = open - 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn has_justification(comment: &str) -> bool {
+    JUSTIFICATIONS.iter().any(|j| comment.contains(j))
+}

@@ -88,18 +88,20 @@ impl<T: ?Sized> Mutex<T> {
                 }
                 match self.inner.try_lock() {
                     Ok(g) => {
+                        crate::hb::on_acquire(self.id());
                         return Ok(MutexGuard {
                             inner: Some(g),
                             mx: self,
                             model: Some((exec, me)),
-                        })
+                        });
                     }
                     Err(TryLockError::Poisoned(p)) => {
+                        crate::hb::on_acquire(self.id());
                         return Err(PoisonError::new(MutexGuard {
                             inner: Some(p.into_inner()),
                             mx: self,
                             model: Some((exec, me)),
-                        }))
+                        }));
                     }
                     Err(TryLockError::WouldBlock) => {
                         exec.block(me, ThreadState::BlockedOnMutex(self.id()));
@@ -107,7 +109,7 @@ impl<T: ?Sized> Mutex<T> {
                 }
             }
         }
-        match self.inner.lock() {
+        let result = match self.inner.lock() {
             Ok(g) => Ok(MutexGuard {
                 inner: Some(g),
                 mx: self,
@@ -118,7 +120,9 @@ impl<T: ?Sized> Mutex<T> {
                 mx: self,
                 model: None,
             })),
-        }
+        };
+        crate::hb::on_acquire(self.id());
+        result
     }
 }
 
@@ -145,8 +149,12 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        // Release the real lock first, then mark blocked threads
-        // runnable; they re-contend when the scheduler picks them.
+        // Record the happens-before release edge while still exclusive,
+        // release the real lock, then mark blocked threads runnable;
+        // they re-contend when the scheduler picks them.
+        if self.inner.is_some() {
+            crate::hb::on_release(self.mx.id());
+        }
         self.inner.take();
         if let Some((exec, _)) = self.model.take() {
             exec.wake_mutex_waiters(self.mx.id());
@@ -197,7 +205,12 @@ impl Condvar {
         let std_guard = guard.inner.take().expect("guard still holds the lock");
         let model = guard.model.take();
         drop(guard); // fields taken: releases nothing, wakes nobody
-        match self.inner.wait(std_guard) {
+                     // The std wait releases and re-acquires the mutex outside our
+                     // guard's Drop, so record the hb edges explicitly.
+        crate::hb::on_release(mx.id());
+        let waited = self.inner.wait(std_guard);
+        crate::hb::on_acquire(mx.id());
+        match waited {
             Ok(g) => Ok(MutexGuard {
                 inner: Some(g),
                 mx,
@@ -254,22 +267,40 @@ macro_rules! model_atomic {
                 }
             }
 
+            fn hb_id(&self) -> usize {
+                self as *const Self as *const u8 as usize
+            }
+
             /// Atomic load.
             pub fn load(&self, order: Ordering) -> $prim {
                 self.yield_point();
-                self.inner.load(order)
+                let v = self.inner.load(order);
+                crate::hb::on_atomic_load(self.hb_id(), order);
+                v
             }
 
             /// Atomic store.
             pub fn store(&self, v: $prim, order: Ordering) {
                 self.yield_point();
-                self.inner.store(v, order)
+                // Publish the hb clock *before* the value becomes
+                // visible: a loader that observes `v` must also observe
+                // the clock, or the edge is recorded too late and the
+                // detector reports a spurious race. (Publishing early
+                // can only hide a race, never invent one — same
+                // direction as the guard's release hook.)
+                crate::hb::on_atomic_store(self.hb_id(), order);
+                self.inner.store(v, order);
             }
 
             /// Atomic swap.
             pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
                 self.yield_point();
-                self.inner.swap(v, order)
+                // RMW = release-publish before + acquire-join after
+                // (see `store` for why the publish precedes the op).
+                crate::hb::on_atomic_store(self.hb_id(), order);
+                let prev = self.inner.swap(v, order);
+                crate::hb::on_atomic_load(self.hb_id(), order);
+                prev
             }
 
             /// Atomic read-modify-write via `f`, retried on contention.
@@ -283,7 +314,10 @@ macro_rules! model_atomic {
                 F: FnMut($prim) -> Option<$prim>,
             {
                 self.yield_point();
-                self.inner.fetch_update(set_order, fetch_order, f)
+                crate::hb::on_atomic_store(self.hb_id(), set_order);
+                let r = self.inner.fetch_update(set_order, fetch_order, f);
+                crate::hb::on_atomic_load(self.hb_id(), fetch_order);
+                r
             }
         }
     };
@@ -296,13 +330,19 @@ impl AtomicUsize {
     /// Atomic add, returning the previous value.
     pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
         self.yield_point();
-        self.inner.fetch_add(v, order)
+        crate::hb::on_atomic_store(self.hb_id(), order);
+        let prev = self.inner.fetch_add(v, order);
+        crate::hb::on_atomic_load(self.hb_id(), order);
+        prev
     }
 
     /// Atomic subtract, returning the previous value.
     pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
         self.yield_point();
-        self.inner.fetch_sub(v, order)
+        crate::hb::on_atomic_store(self.hb_id(), order);
+        let prev = self.inner.fetch_sub(v, order);
+        crate::hb::on_atomic_load(self.hb_id(), order);
+        prev
     }
 }
 
@@ -316,6 +356,7 @@ pub mod thread {
     pub struct JoinHandle<T> {
         inner: Option<std::thread::JoinHandle<T>>,
         model: Option<(Arc<ExecShared>, usize)>,
+        hb: crate::hb::ThreadLink,
     }
 
     impl<T> JoinHandle<T> {
@@ -332,10 +373,13 @@ pub mod thread {
                     exec.join_wait(usize::MAX, child);
                 }
             }
-            self.inner
+            let result = self
+                .inner
                 .take()
                 .expect("join handle not yet consumed")
-                .join()
+                .join();
+            self.hb.joined();
+            result
         }
     }
 
@@ -347,13 +391,17 @@ pub mod thread {
         T: Send + 'static,
     {
         let builder = std::thread::Builder::new().name(name.to_string());
+        let hb = crate::hb::ThreadLink::for_spawn();
+        let child_hb = hb.clone();
         if let Some((exec, me)) = current_model() {
             let child = exec.register_thread();
             let texec = Arc::clone(&exec);
             let handle = builder.spawn(move || {
                 enter_model(Arc::clone(&texec), child);
                 texec.wait_first_schedule(child);
+                child_hb.child_started();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                child_hb.child_finished();
                 match result {
                     Ok(v) => {
                         texec.thread_finished(child);
@@ -374,12 +422,22 @@ pub mod thread {
             return Ok(JoinHandle {
                 inner: Some(handle),
                 model: Some((exec, child)),
+                hb,
             });
         }
-        let handle = builder.spawn(f)?;
+        let handle = builder.spawn(move || {
+            child_hb.child_started();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            child_hb.child_finished();
+            match result {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })?;
         Ok(JoinHandle {
             inner: Some(handle),
             model: None,
+            hb,
         })
     }
 }

@@ -1,0 +1,163 @@
+//! Vector-clock happens-before detector tests.
+//!
+//! Each test opens an exclusive [`hb::session`], drives a small
+//! concurrent program through the `lf_check::sync` shims, and asserts
+//! on the races the detector collected. The first test is the seeded
+//! bug the tentpole requires: the lock that *should* protect the cell
+//! is simply not taken, and the detector must say so — in every
+//! schedule, because unordered accesses are racy regardless of which
+//! one the OS happens to run first.
+
+use lf_check::hb::{self, Tracked};
+use lf_check::sync::thread::spawn_named;
+use lf_check::sync::{AtomicBool, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[test]
+fn removed_lock_races_in_every_schedule() {
+    let session = hb::session();
+    let cell = Arc::new(Tracked::new("unprotected-counter", 0u64));
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let cell = Arc::clone(&cell);
+            // Seeded bug: the mutex that used to serialize this write
+            // was removed; nothing orders the two threads.
+            spawn_named(&format!("racer-{i}"), move || {
+                cell.write(|v| *v += 1);
+            })
+            .expect("spawn")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("join");
+    }
+    let races = session.finish();
+    assert!(
+        races
+            .iter()
+            .any(|r| r.location == "unprotected-counter" && r.kind == "write-write"),
+        "detector must flag the unordered writes: {races:?}"
+    );
+}
+
+#[test]
+fn mutex_edges_order_the_same_accesses() {
+    let session = hb::session();
+    let cell = Arc::new(Tracked::new("locked-counter", 0u64));
+    let lock = Arc::new(Mutex::new(()));
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let cell = Arc::clone(&cell);
+            let lock = Arc::clone(&lock);
+            spawn_named(&format!("writer-{i}"), move || {
+                let _g = lock.lock().expect("not poisoned");
+                cell.write(|v| *v += 1);
+            })
+            .expect("spawn")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("join");
+    }
+    let races = session.finish();
+    assert!(
+        races.is_empty(),
+        "lock release→acquire is an hb edge: {races:?}"
+    );
+}
+
+#[test]
+fn relaxed_flag_handoff_races() {
+    let session = hb::session();
+    let cell = Arc::new(Tracked::new("relaxed-handoff", 0u64));
+    let ready = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cell = Arc::clone(&cell);
+        let ready = Arc::clone(&ready);
+        spawn_named("producer", move || {
+            cell.write(|v| *v = 42);
+            // Seeded bug: Relaxed publishes the flag but synchronizes
+            // nothing — the cell write is not released to the reader.
+            ready.store(true, Ordering::Relaxed);
+        })
+        .expect("spawn")
+    };
+    let reader = {
+        let cell = Arc::clone(&cell);
+        let ready = Arc::clone(&ready);
+        spawn_named("consumer", move || {
+            while !ready.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            cell.read(|v| *v)
+        })
+        .expect("spawn")
+    };
+    writer.join().expect("join");
+    let seen = reader.join().expect("join");
+    assert_eq!(
+        seen, 42,
+        "x86 happens to deliver the value; the race is still real"
+    );
+    let races = session.finish();
+    assert!(
+        races
+            .iter()
+            .any(|r| r.location == "relaxed-handoff" && r.kind == "write-read"),
+        "Relaxed creates no edge; the read must race the write: {races:?}"
+    );
+}
+
+#[test]
+fn release_acquire_flag_handoff_is_ordered() {
+    let session = hb::session();
+    let cell = Arc::new(Tracked::new("ra-handoff", 0u64));
+    let ready = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let cell = Arc::clone(&cell);
+        let ready = Arc::clone(&ready);
+        spawn_named("producer", move || {
+            cell.write(|v| *v = 42);
+            ready.store(true, Ordering::Release);
+        })
+        .expect("spawn")
+    };
+    let reader = {
+        let cell = Arc::clone(&cell);
+        let ready = Arc::clone(&ready);
+        spawn_named("consumer", move || {
+            while !ready.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            cell.read(|v| *v)
+        })
+        .expect("spawn")
+    };
+    writer.join().expect("join");
+    assert_eq!(reader.join().expect("join"), 42);
+    let races = session.finish();
+    assert!(
+        races.is_empty(),
+        "Release store → Acquire load is an hb edge: {races:?}"
+    );
+}
+
+#[test]
+fn spawn_and_join_are_edges() {
+    let session = hb::session();
+    let cell = Arc::new(Tracked::new("spawn-join", 0u64));
+    cell.write(|v| *v = 1);
+    let child = {
+        let cell = Arc::clone(&cell);
+        spawn_named("child", move || cell.write(|v| *v += 1)).expect("spawn")
+    };
+    child.join().expect("join");
+    cell.write(|v| *v += 1);
+    assert_eq!(cell.read(|v| *v), 3);
+    let races = session.finish();
+    assert!(
+        races.is_empty(),
+        "spawn and join order parent and child: {races:?}"
+    );
+}

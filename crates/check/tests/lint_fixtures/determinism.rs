@@ -1,0 +1,11 @@
+//! Fixture: `determinism`. A fused multiply-add in kernel code — the
+//! product is kept at infinite precision, so the result differs in the
+//! last ulp from the plain mul-then-add path every other engine uses.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

@@ -1,0 +1,12 @@
+//! Fixture: `lock-order`. Acquires `BatchGroup.state` and then
+//! `BatchBoard.open` while still holding it — the inversion of the
+//! declared hierarchy (board level 10 before group level 20), and the
+//! exact shape of the pre-PR-6 deadlock.
+
+impl BatchBoard {
+    fn close_inverted(&self, group: &BatchGroup) {
+        let _st = lock(&group.state);
+        let mut open = lock(&self.open);
+        open.clear();
+    }
+}

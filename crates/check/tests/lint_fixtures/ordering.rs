@@ -1,0 +1,8 @@
+//! Fixture: `ordering-whitelist`. An explicit memory ordering outside
+//! `crates/sim/` (the one place orderings are allowed to live).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst)
+}

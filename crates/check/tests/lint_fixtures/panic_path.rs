@@ -1,0 +1,8 @@
+//! Fixture: `panic-path`. A bare `unwrap` in the request path with no
+//! catch_unwind shield and no justification comment. (This fixture is
+//! mounted at the virtual path `crates/serve/src/engine.rs` so the
+//! request-path scope applies.)
+
+pub fn resolve(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: suppression semantics. A suppression with no reason is
+//! inert — the underlying finding still fires, and the comment itself
+//! draws a `suppression-needs-reason` finding.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        // lf-lint: allow(determinism)
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

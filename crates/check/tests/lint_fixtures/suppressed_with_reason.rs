@@ -1,0 +1,12 @@
+//! Fixture: suppression semantics. The same determinism defect as
+//! `determinism.rs`, but waived by an inline suppression that carries
+//! a reason — it must land in `suppressed`, not `findings`.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        // lf-lint: allow(determinism): fixture exercising the waiver path
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

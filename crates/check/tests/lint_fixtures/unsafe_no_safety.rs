@@ -1,0 +1,8 @@
+//! Fixture: `unsafe-needs-safety`. The unsafe block below carries no
+//! SAFETY comment on its line, its statement, or the attachment above
+//! it, and no enclosing unsafe item inherits one.
+
+pub fn read_first(v: &[u64]) -> u64 {
+    // A nearby comment that is not a justification.
+    unsafe { *v.get_unchecked(0) }
+}

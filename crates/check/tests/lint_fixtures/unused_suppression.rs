@@ -1,0 +1,8 @@
+//! Fixture: suppression semantics. A reasoned suppression that matches
+//! no finding is itself a finding (`unused-suppression`) — stale
+//! waivers must not accumulate.
+
+pub fn sum(a: &[f64]) -> f64 {
+    // lf-lint: allow(determinism): nothing on the next line actually fires
+    a.iter().sum()
+}

@@ -126,7 +126,11 @@ impl std::error::Error for LfError {
         match self {
             LfError::InvalidInput(e) => Some(e),
             LfError::PlanDecode(e) => Some(e),
-            _ => None,
+            LfError::Overloaded { .. }
+            | LfError::DeadlineExceeded { .. }
+            | LfError::ComposePanicked { .. }
+            | LfError::ExecutePanicked { .. }
+            | LfError::ResourceExhausted { .. } => None,
         }
     }
 }

@@ -33,6 +33,7 @@ impl StageStats {
     /// *spawned by the stage* are exactly what should be counted).
     pub fn measure<R>(f: impl FnOnce() -> R) -> (R, StageStats) {
         let before = alloc_counters::snapshot();
+        // lf-lint: allow(determinism): stage timing is observability-only — plan selection reads structural features, never wall time
         let t0 = Instant::now();
         let out = f();
         let wall_s = t0.elapsed().as_secs_f64();

@@ -257,9 +257,33 @@ unsafe fn block_body<T: Scalar, const LANES: usize, const GROUPS: usize>(
     }
 }
 
+/// The rejected FMA variant of the scalar tail, kept (unused) as the
+/// determinism rule's seeded bug: `mul_add` keeps the infinitely
+/// precise product, so its result differs from the plain
+/// mul-then-add path in the last ulp and the batched-vs-solo bitwise
+/// property breaks. `crates/check/tests/lint_rules.rs` runs the lint
+/// with suppressions ignored and asserts the `determinism` rule
+/// rediscovers this line.
+#[allow(dead_code)]
+fn scalar_tail_fma_reverted(acc: &mut [f64], coeffs: &[f64], rows: &[&[f64]], offset: usize) {
+    for (s, slot) in acc.iter_mut().enumerate() {
+        let mut r = *slot;
+        for (a, row) in coeffs.iter().zip(rows) {
+            // lf-lint: allow(determinism): seeded FMA, never called; regression-tested via --no-suppress
+            r = a.mul_add(row[offset + s], r);
+        }
+        *slot = r;
+    }
+}
+
 /// The same generic body entered with AVX2 codegen: LLVM re-lowers the
 /// lane arrays onto 256-bit registers. No FMA is enabled — fused
 /// multiply-adds would change result bits vs. the scalar path.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime (the
+/// `is_x86_feature_detected!` gate in the dispatcher) before calling.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn block_body_avx2<T: Scalar, const LANES: usize, const GROUPS: usize>(

@@ -873,6 +873,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     // The fused compose failed: the leader takes the
                     // typed error (exactly as its solo compose would
                     // have); joiners retry solo via the guard.
+                    // lf-lint: allow(panic-path): a closed group always has a leader at members[0]
                     members[0].slot.resolve(Resolution::Failed(e));
                     return;
                 }
@@ -1105,12 +1106,14 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             return; // someone else already quarantined this plan
         }
         self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        // lf-lint: allow(panic-path): shard() reduces modulo shards.len(), always in bounds
         let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
         let ours = shard
             .map
             .get(key)
             .is_some_and(|e| Arc::ptr_eq(&e.slot, slot));
         if ours {
+            // lf-lint: allow(panic-path): presence was observed two lines up under this shard lock
             let evicted = shard.map.remove(key).expect("entry just observed");
             shard.bytes -= evicted.bytes;
         }
@@ -1123,12 +1126,14 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
     }
 
     fn lookup(&self, key: &(Fingerprint, usize)) -> Option<Arc<PlanSlot<T>>> {
+        // lf-lint: allow(panic-path): shard() reduces modulo shards.len(), always in bounds
         let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
         let entry = shard.map.get_mut(key)?;
         if entry.slot.poisoned.load(Ordering::Relaxed) {
             // Belt-and-braces sweep: the poisoner evicts under the shard
             // lock, so this window is a replaced-entry race at most —
             // never serve a poisoned plan.
+            // lf-lint: allow(panic-path): get_mut above proved presence under this shard lock
             let evicted = shard.map.remove(key).expect("entry just observed");
             shard.bytes -= evicted.bytes;
             return None;
@@ -1166,6 +1171,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         }
         let mut victims = Vec::new();
         let inserted = {
+            // lf-lint: allow(panic-path): shard() reduces modulo shards.len(), always in bounds
             let mut shard = lock_unpoisoned(&self.shards[key.0.shard(self.shards.len())]);
             if shard.map.contains_key(&key) {
                 false
@@ -1176,7 +1182,9 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                         .iter()
                         .min_by_key(|(_, e)| e.last_used)
                         .map(|(k, _)| *k)
+                        // lf-lint: allow(panic-path): loop guard bytes > 0 implies a non-empty map
                         .expect("bytes > 0 implies a cached entry");
+                    // lf-lint: allow(panic-path): victim key was just read from this map
                     let evicted = shard.map.remove(&victim).expect("victim exists");
                     shard.bytes -= evicted.bytes;
                     self.counters.evictions.fetch_add(1, Ordering::Relaxed);

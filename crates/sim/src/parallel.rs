@@ -263,6 +263,9 @@ pub struct DisjointSlice<'a, T> {
 // callers to hand out disjoint ranges; T: Send makes cross-thread
 // mutation of disjoint elements sound.
 unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+// SAFETY: `&DisjointSlice` only hands out writers via `slice_mut` under
+// the same disjointness contract, so shared references add no aliasing
+// beyond what the `Send` argument above already covers.
 unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
 
 impl<'a, T> DisjointSlice<'a, T> {
@@ -441,6 +444,8 @@ mod tests {
     fn disjoint_slice_bounds_checked() {
         let mut data = vec![0u8; 8];
         let view = DisjointSlice::new(&mut data);
+        // SAFETY: deliberately out of bounds — the call must panic at
+        // the shadow-region check before any write happens.
         let _ = unsafe { view.slice_mut(6, 4) };
     }
 
@@ -453,7 +458,11 @@ mod tests {
     fn disjoint_slice_overlapping_split_detected() {
         let mut data = vec![0u32; 16];
         let view = DisjointSlice::new(&mut data);
+        // SAFETY: in-bounds first claim; held only to provoke the
+        // overlap below.
         let _lo = unsafe { view.slice_mut(0, 10) };
+        // SAFETY: deliberately overlaps [8,10) — the shadow detector
+        // must panic before the aliased writer is returned.
         let _hi = unsafe { view.slice_mut(8, 8) }; // [8,10) double-claimed
     }
 

@@ -61,6 +61,8 @@ struct RawFn(*const (dyn Fn() + Sync));
 // is only dereferenced while the owning `broadcast` frame is blocked in
 // `wait_idle`, so the borrow outlives every use.
 unsafe impl Send for RawFn {}
+// SAFETY: the pointee is `Sync`, so concurrent shared calls through the
+// pointer are safe for the same lifetime argument as `Send` above.
 unsafe impl Sync for RawFn {}
 
 /// One published parallel region.

@@ -15,6 +15,13 @@
 //! shadow race detector and differential tests, and modeling them would
 //! blow up the schedule space.
 
+/// The happens-before race-detector surface (`lf_check::hb`). Always
+/// available — `lf-check` is an unconditional dependency — but the
+/// shim hooks that feed it lock/atomic/spawn edges only exist in the
+/// instrumented primitives, so meaningful sessions require
+/// `--features check`. Hooks are no-ops while no session is active.
+pub use lf_check::hb;
+
 #[cfg(not(feature = "check"))]
 pub use std::sync::atomic::{AtomicBool, AtomicUsize};
 #[cfg(not(feature = "check"))]

@@ -19,9 +19,14 @@
 #             trip + 2000-mutation decoder fuzz) and the store crash-
 #             recovery suite, all in release mode;
 #   --check   appends the verification tier (lf-check): the model
-#             checker's self-tests, the model-checked pool-protocol,
+#             checker's self-tests, the lint rule fixtures and the
+#             seeded-bug rediscovery suite (lock-order inversion in
+#             batch.rs, FMA in simd.rs, found with suppressions
+#             ignored), the vector-clock happens-before detector's
+#             seeded races, the model-checked pool-protocol,
 #             plan-cache, and quarantine scenarios (including the
-#             reverted-fix use-after-free rediscoveries), the shadow race
+#             reverted-fix use-after-free rediscoveries), the hb-
+#             instrumented end-to-end pool region, the shadow race
 #             detector's seeded-bug proofs in debug mode, the
 #             differential fuzzer with the detector live, and the
 #             release-mode hot-path allocation-discipline test;
@@ -66,7 +71,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> unsafe/ordering lint (lf-check)"
+echo "==> source-invariant lint (lf-check: unsafe/ordering/lock-order/panic-path/determinism/ledger)"
 cargo run -q -p lf-check --bin lint
 
 if [[ "$RUN_BENCH" == "1" ]]; then
@@ -95,10 +100,12 @@ if [[ "$RUN_STRESS" == "1" ]]; then
 fi
 
 if [[ "$RUN_CHECK" == "1" ]]; then
-  echo "==> model checker self-tests (lf-check)"
+  echo "==> model checker self-tests, lint fixtures, hb detector (lf-check)"
   cargo test -p lf-check -q
   echo "==> model-checked pool protocol (lf-sim --features check)"
   cargo test -p lf-sim --features check --test model_pool -q
+  echo "==> hb-instrumented pool region (lf-sim --features check)"
+  cargo test -p lf-sim --features check --test hb_pool -q
   echo "==> full lf-sim suite under instrumented primitives"
   cargo test -p lf-sim --features check -q
   echo "==> clippy with the check feature"
