@@ -28,8 +28,10 @@ pub mod build;
 pub mod config;
 pub mod matrix;
 pub mod span;
+pub mod update;
 
 pub use build::{build_cell, build_cell_reference};
 pub use config::CellConfig;
 pub use matrix::{Bucket, CellMatrix, Partition};
 pub use span::{effective_partitions, partition_of_col, partition_spans, SpanMap};
+pub use update::update_cell;

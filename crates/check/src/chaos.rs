@@ -53,10 +53,22 @@ pub enum ChaosSite {
     /// Startup cache warming aborts part-way (models a crash during
     /// recovery itself; the next restart must still come up clean).
     WarmAbort = 6,
+    /// A delta batch "dies" after validating but before committing the
+    /// new epoch: the handle must stay on the old epoch, bitwise intact,
+    /// and every plan it retires must still be retired later.
+    UpdateTorn = 7,
+    /// The RAM sweep of retired-epoch plans aborts part-way: some stale
+    /// entries survive in cache and must stay unreachable until a later
+    /// sweep retires them.
+    EpochSweepAbort = 8,
+    /// Disk invalidation of a retired epoch is skipped: the stale record
+    /// stays on disk and must be refused (or ignored) on every future
+    /// read, never served against the new epoch.
+    StaleDiskRecord = 9,
 }
 
 /// All sites, for iteration in harnesses and reports.
-pub const CHAOS_SITES: [ChaosSite; 7] = [
+pub const CHAOS_SITES: [ChaosSite; 10] = [
     ChaosSite::ComposePanic,
     ChaosSite::ExecutePanic,
     ChaosSite::AllocFail,
@@ -64,6 +76,9 @@ pub const CHAOS_SITES: [ChaosSite; 7] = [
     ChaosSite::DemoteTorn,
     ChaosSite::ManifestTorn,
     ChaosSite::WarmAbort,
+    ChaosSite::UpdateTorn,
+    ChaosSite::EpochSweepAbort,
+    ChaosSite::StaleDiskRecord,
 ];
 
 impl ChaosSite {
@@ -77,6 +92,9 @@ impl ChaosSite {
             ChaosSite::DemoteTorn => "demote_torn",
             ChaosSite::ManifestTorn => "manifest_torn",
             ChaosSite::WarmAbort => "warm_abort",
+            ChaosSite::UpdateTorn => "update_torn",
+            ChaosSite::EpochSweepAbort => "epoch_sweep_abort",
+            ChaosSite::StaleDiskRecord => "stale_disk_record",
         }
     }
 
@@ -91,6 +109,9 @@ impl ChaosSite {
             0x1d8e_4e27_c47d_124f,
             0xeb44_accb_917f_9e91,
             0x9c6e_6877_736c_46e3,
+            0x2f63_8c92_6e9f_3a11,
+            0xd1b5_4a32_d192_ed03,
+            0x8d90_fdb7_35c9_0b2d,
         ][self as usize]
     }
 }
@@ -103,7 +124,7 @@ pub struct ChaosPlan {
     pub seed: u64,
     /// Injection rate per site, in per-mille (0..=1000), indexed by
     /// `ChaosSite as usize`.
-    pub permille: [u16; 7],
+    pub permille: [u16; 10],
 }
 
 impl ChaosPlan {
@@ -111,7 +132,7 @@ impl ChaosPlan {
     pub fn disabled(seed: u64) -> Self {
         ChaosPlan {
             seed,
-            permille: [0; 7],
+            permille: [0; 10],
         }
     }
 
@@ -119,7 +140,7 @@ impl ChaosPlan {
     pub fn uniform(seed: u64, permille: u16) -> Self {
         ChaosPlan {
             seed,
-            permille: [permille; 7],
+            permille: [permille; 10],
         }
     }
 
@@ -134,8 +155,8 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<ChaosPlan>> = Mutex::new(None);
 #[allow(clippy::declare_interior_mutable_const)]
 const ZERO: AtomicU64 = AtomicU64::new(0);
-static DECISIONS: [AtomicU64; 7] = [ZERO; 7];
-static INJECTED: [AtomicU64; 7] = [ZERO; 7];
+static DECISIONS: [AtomicU64; 10] = [ZERO; 10];
+static INJECTED: [AtomicU64; 10] = [ZERO; 10];
 
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);

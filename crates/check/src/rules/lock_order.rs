@@ -3,20 +3,23 @@
 //!
 //! The serving stack's deadlock-freedom argument (PR 5/6) is a total
 //! order: `BatchBoard.open` → `BatchGroup.state` → `JoinSlot.state`,
-//! with the cache shards, the plan store, and the planner's breaker
-//! map as *leaf* locks (nothing may be acquired while holding one),
-//! and the thread-pool job mutexes never nested under any serving
-//! lock. The bounded model checker proves specific interleavings; this
-//! rule proves the *shape*, statically, for every function — including
-//! ones no model scenario drives.
+//! with the matrix-handle `RwLock`, the cache shards, the plan store,
+//! and the planner's breaker map as *leaf* locks (nothing may be
+//! acquired while holding one), and the thread-pool job mutexes never
+//! nested under any serving lock. The bounded model checker proves
+//! specific interleavings; this rule proves the *shape*, statically,
+//! for every function — including ones no model scenario drives.
 //!
 //! Mechanics: for each non-test `fn` in `crates/{serve,sim,core,
 //! kernels}/src`, the rule extracts the guard-scope acquisition
-//! sequence (`.lock()` / `try_lock()` methods and the `lock(…)` /
-//! `lock_unpoisoned(…)` helpers; a `let`-bound guard lives to its
-//! enclosing block, a temporary to its statement, and `drop(guard)`
-//! releases early). Receivers are classified into lock classes using
-//! the file path and enclosing-`impl` type. Acquiring a class at a
+//! sequence (`.lock()` / `try_lock()` methods, the `.read()` /
+//! `.write()` RwLock methods, and the `lock(…)` / `lock_unpoisoned(…)`
+//! helpers; a `let`-bound guard lives to its enclosing block, a
+//! temporary to its statement, and `drop(guard)` releases early).
+//! Receivers are classified into lock classes using the file path and
+//! enclosing-`impl` type — `.read()`/`.write()` only ever classify via
+//! the handle's `shared` field, so hasher and I/O `write` calls never
+//! match. Acquiring a class at a
 //! level ≤ a held class, or anything under a leaf, is an inversion.
 //! Effects propagate one level through a name-based intra-workspace
 //! call graph (common std-colliding method names are stoplisted), and
@@ -56,6 +59,11 @@ const SLOT: LockClass = LockClass {
     name: "JoinSlot.state",
     level: 30,
     leaf: false,
+};
+const HANDLE: LockClass = LockClass {
+    name: "MatrixHandle.shared",
+    level: 35,
+    leaf: true,
 };
 const SHARD: LockClass = LockClass {
     name: "cache shard",
@@ -106,8 +114,12 @@ const POOL_ENTRIES: [&str; 11] = [
 ];
 
 /// Method names too generic for name-based call-graph propagation
-/// (they collide with std collection methods on every other receiver).
-const CALL_STOPLIST: [&str; 24] = [
+/// (they collide with std collection methods on every other receiver;
+/// `read`/`write` with `io::Read`/`Write` and the fingerprint hasher;
+/// `current` with `thread::current` and `cancel::current`; `csr` with
+/// the kernel accessors; `apply_updates` with the out-of-scope
+/// `CsrMatrix` method the handle forwards to).
+const CALL_STOPLIST: [&str; 29] = [
     "get",
     "put",
     "insert",
@@ -132,6 +144,11 @@ const CALL_STOPLIST: [&str; 24] = [
     "clear",
     "fmt",
     "unwrap",
+    "read",
+    "write",
+    "apply_updates",
+    "current",
+    "csr",
 ];
 
 const KEYWORDS: [&str; 8] = [
@@ -157,6 +174,7 @@ fn classify(path: &str, impl_ty: Option<&str>, recv: &str) -> Option<LockClass> 
     }
     match last {
         "open" if path.starts_with("crates/serve/") => Some(BOARD),
+        "shared" if path.starts_with("crates/serve/") => Some(HANDLE),
         "failures" => Some(BREAKER),
         "active" if in_pool => Some(POOL_ACTIVE),
         "panic" if in_pool => Some(POOL_PANIC),
@@ -200,7 +218,7 @@ impl Rule for LockOrder {
     }
     fn describe(&self) -> &'static str {
         "mutex acquisitions follow the declared BatchBoard→BatchGroup→JoinSlot hierarchy; \
-         shards/store/breaker are leaves; nothing serving-side nests over pool mutexes"
+         handle/shards/store/breaker are leaves; nothing serving-side nests over pool mutexes"
     }
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
         let fns = collect_fns(ws);
@@ -299,6 +317,20 @@ fn acquisition_at(f: &SourceFile, info: &FnInfo, i: usize) -> Option<Acquisition
         .is_some_and(|p| matches!(f.toks[p].kind, TokKind::Punct('.')));
     let recv = if (s == "lock" || s == "try_lock") && prev_dot {
         receiver_before_dot(f, i)
+    } else if (s == "read" || s == "write") && prev_dot {
+        // RwLock acquisitions. Inside `impl MatrixHandle`, bare
+        // `self.read()` / `self.write()` are the handle's own lock
+        // helpers forwarding to `self.shared` — substitute the field so
+        // every handle method's hold is tracked directly, not only the
+        // two helpers. Everything else (`hasher.write(word)`,
+        // `io::Write`) keeps its literal receiver and fails to
+        // classify.
+        let r = receiver_before_dot(f, i);
+        if r == "self" && info.impl_ty.as_deref() == Some("MatrixHandle") {
+            "self.shared".to_string()
+        } else {
+            r
+        }
     } else if (s == "lock" || s == "lock_unpoisoned") && !prev_dot {
         receiver_in_parens(f, next)
     } else {

@@ -1,0 +1,31 @@
+//! Fixture: `lock-order`, `MatrixHandle.shared` class. The handle's
+//! RwLock is a leaf: nothing may be acquired while holding its guard.
+//! `commit_bad` grabs a cache shard under the write guard;
+//! `observe_bad` goes through the handle's own `self.read()` helper
+//! (which forwards to `self.shared`) and then takes the batch board —
+//! both are leaf violations. The hasher-style `digest` call must NOT
+//! match: `.write()` on a non-`shared` receiver never classifies.
+
+impl MatrixHandle {
+    fn read(&self) -> Guard {
+        self.shared.read()
+    }
+
+    fn commit_bad(&self) {
+        let mut st = self.shared.write();
+        let shard = lock(&self.shards[0]);
+        st.touch(&shard);
+    }
+
+    fn observe_bad(&self, board: &BatchBoard) {
+        let st = self.read();
+        let open = lock(&board.open);
+        open.note(&st);
+    }
+
+    fn digest_ok(&self) -> u64 {
+        let mut h = WordHasher::new();
+        h.write(self.epoch);
+        h.finish()
+    }
+}

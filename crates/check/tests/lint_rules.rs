@@ -99,6 +99,39 @@ fn lock_inversion_fires_on_second_acquisition() {
 }
 
 #[test]
+fn handle_rwlock_is_a_leaf() {
+    let text = include_str!("lint_fixtures/handle_leaf.rs");
+    let report = lint_one("crates/serve/src/handle.rs", text, true);
+    // Direct `.write()` guard: taking a shard underneath is an
+    // inversion…
+    assert_fires(
+        &report,
+        "lock-order",
+        "crates/serve/src/handle.rs",
+        line_of(text, "lock(&self.shards[0])"),
+    );
+    // …and so is anything acquired through the `self.read()` helper.
+    assert_fires(
+        &report,
+        "lock-order",
+        "crates/serve/src/handle.rs",
+        line_of(text, "lock(&board.open)"),
+    );
+    // The hasher's `.write()` and the initial guards themselves are
+    // clean: exactly the two violations above.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "lock-order")
+            .count(),
+        2,
+        "unexpected lock-order findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn unshielded_unwrap_in_request_path_fires() {
     let text = include_str!("lint_fixtures/panic_path.rs");
     let report = lint_one("crates/serve/src/engine.rs", text, true);

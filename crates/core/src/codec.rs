@@ -57,7 +57,16 @@ use lf_sparse::{CsrMatrix, Index, Scalar};
 /// Record magic: "LFPL" (LiteForm PLan).
 pub const MAGIC: [u8; 4] = *b"LFPL";
 /// Current record version. Bump on any layout change.
-pub const VERSION: u16 = 1;
+///
+/// Version history:
+/// * **1** — initial layout.
+/// * **2** — adds the operand's mutation epoch (`u64`) to the common
+///   section, so the disk tier can refuse plans composed before an
+///   update batch. Version-1 records predate mutable matrices and are
+///   rejected ([`CodecError::UnsupportedVersion`]) rather than assumed
+///   to be epoch 0 — the store treats that as a stale record and
+///   deletes it.
+pub const VERSION: u16 = 2;
 
 /// Why an encode or decode was refused. Every variant is a *rejection*:
 /// the bytes (or the plan) are returned to the caller untouched and
@@ -386,7 +395,7 @@ pub fn encode_plan<T: AtomicScalar>(plan: &PreparedPlan<T>) -> Result<Vec<u8>, C
     match &plan.kernel {
         PreparedKernel::Cell { config, kernel } => {
             payload.u8(KIND_CELL);
-            encode_common(&mut payload, plan.tuned_j, tile);
+            encode_common(&mut payload, plan.tuned_j, tile, plan.epoch);
             let cell = kernel.cell();
             payload.u64(cell.rows() as u64);
             payload.u64(cell.cols() as u64);
@@ -410,7 +419,7 @@ pub fn encode_plan<T: AtomicScalar>(plan: &PreparedPlan<T>) -> Result<Vec<u8>, C
         }
         PreparedKernel::FixedCsr(kernel) => {
             payload.u8(KIND_CSR);
-            encode_common(&mut payload, plan.tuned_j, tile);
+            encode_common(&mut payload, plan.tuned_j, tile, plan.epoch);
             let csr = kernel.csr();
             payload.u64(csr.rows() as u64);
             payload.u64(csr.cols() as u64);
@@ -432,12 +441,13 @@ pub fn encode_plan<T: AtomicScalar>(plan: &PreparedPlan<T>) -> Result<Vec<u8>, C
     Ok(w.into_bytes())
 }
 
-fn encode_common(w: &mut ByteWriter, tuned_j: usize, tile: TileParams) {
+fn encode_common(w: &mut ByteWriter, tuned_j: usize, tile: TileParams, epoch: u64) {
     w.u64(tuned_j as u64);
     w.u32(tile.j_tile as u32);
     w.u32(tile.k_block as u32);
     w.u8(lanes_tag(tile.lanes));
     w.u32(tile.chunk_slots as u32);
+    w.u64(epoch);
 }
 
 fn encode_config(w: &mut ByteWriter, config: &CellConfig) {
@@ -506,6 +516,7 @@ pub fn decode_plan<T: AtomicScalar>(bytes: &[u8]) -> Result<PreparedPlan<T>, Cod
     if tile.j_tile == 0 || tile.k_block == 0 || tile.chunk_slots == 0 {
         return Err(CodecError::BadField("tile"));
     }
+    let epoch = r.u64()?;
     let rows = r.len(usize::MAX >> 8, "rows")?;
     let cols = r.len(usize::MAX >> 8, "cols")?;
     let nnz = r.len(usize::MAX >> 8, "nnz")?;
@@ -536,6 +547,7 @@ pub fn decode_plan<T: AtomicScalar>(bytes: &[u8]) -> Result<PreparedPlan<T>, Cod
         overhead: Default::default(),
         profile: PreprocessProfile::default(),
         degraded: false,
+        epoch,
     })
 }
 

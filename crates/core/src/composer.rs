@@ -97,6 +97,7 @@ impl<T: AtomicScalar> CompositionPlan<T> {
             overhead: self.overhead,
             profile: self.profile,
             degraded: false,
+            epoch: 0,
         }
     }
 }
@@ -137,6 +138,12 @@ pub struct PreparedPlan<T: AtomicScalar> {
     /// the plan executes the baseline CSR kernel instead. The serving
     /// layer counts such requests separately and never caches the plan.
     pub degraded: bool,
+    /// Mutation epoch of the operand the plan was composed from. A
+    /// freshly registered matrix is epoch 0; every applied update batch
+    /// bumps it. The serving layer folds the epoch into the plan's
+    /// cache key and the disk codec persists it, so a plan composed
+    /// before a mutation can never be served after it.
+    pub epoch: u64,
 }
 
 impl<T: AtomicScalar> PreparedPlan<T> {
@@ -156,6 +163,7 @@ impl<T: AtomicScalar> PreparedPlan<T> {
             overhead: profile.overhead(),
             profile,
             degraded: false,
+            epoch: 0,
         }
     }
 
@@ -171,6 +179,7 @@ impl<T: AtomicScalar> PreparedPlan<T> {
             overhead: profile.overhead(),
             profile,
             degraded: false,
+            epoch: 0,
         }
     }
 
@@ -201,6 +210,13 @@ impl<T: AtomicScalar> PreparedPlan<T> {
         self
     }
 
+    /// Stamp the operand's mutation epoch (builder style; see
+    /// [`PreparedPlan::epoch`]).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     /// The bound kernel as a trait object (name, shape, launches, ...).
     pub fn kernel(&self) -> &dyn SpmmKernel<T> {
         match &self.kernel {
@@ -218,6 +234,17 @@ impl<T: AtomicScalar> PreparedPlan<T> {
     pub fn cell_config(&self) -> Option<&CellConfig> {
         match &self.kernel {
             PreparedKernel::Cell { config, .. } => Some(config),
+            PreparedKernel::FixedCsr(_) => None,
+        }
+    }
+
+    /// The materialized CELL operand, when the plan composes CELL.
+    /// Read-only: the serving layer's delta path clones it to migrate a
+    /// cached plan incrementally (`lf_cell::update_cell`) instead of
+    /// recomposing from scratch.
+    pub fn cell(&self) -> Option<&CellMatrix<T>> {
+        match &self.kernel {
+            PreparedKernel::Cell { kernel, .. } => Some(kernel.cell()),
             PreparedKernel::FixedCsr(_) => None,
         }
     }
@@ -310,6 +337,7 @@ impl<T: AtomicScalar> std::fmt::Debug for PreparedPlan<T> {
             .field("tile", &self.tile)
             .field("format_bytes", &self.format_bytes())
             .field("degraded", &self.degraded)
+            .field("epoch", &self.epoch)
             .finish()
     }
 }

@@ -35,6 +35,31 @@ fn sample_record() -> Vec<u8> {
 }
 
 #[test]
+fn epoch_round_trips_and_version_one_records_are_refused() {
+    let case = fuzz_case::<f64>(0);
+    let config = CellConfig::default();
+    let cell = build_cell(&case.csr, &config).unwrap();
+    let plan = PreparedPlan::from_cell(config, cell, PreprocessProfile::default())
+        .with_tuned_j(case.j.max(1))
+        .with_epoch(41);
+    let bytes = encode_plan(&plan).unwrap();
+    let back = decode_plan::<f64>(&bytes).unwrap();
+    assert_eq!(back.epoch, 41, "epoch must survive the round trip");
+
+    // A record stamped with the pre-epoch version must be refused, not
+    // parsed as if its payload had today's layout.
+    let mut v1 = bytes;
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    assert!(
+        matches!(
+            decode_plan::<f64>(&v1),
+            Err(CodecError::UnsupportedVersion(1))
+        ),
+        "version-1 records must be rejected as unsupported"
+    );
+}
+
+#[test]
 fn round_trip_is_bitwise_identical_across_all_classes_kernels_and_tiles() {
     let mut classes_seen = std::collections::HashSet::new();
     let mut checked = 0usize;

@@ -50,15 +50,16 @@ use crate::batch::{Admission, BatchBoard, Member, Resolution, ResolveGuard};
 use crate::fingerprint::Fingerprint;
 use crate::planner::Planner;
 use crate::store::{Placement, PlanStore, StoreConfig};
+use lf_cost::TileFeatures;
 use lf_sim::atomicf::AtomicScalar;
 use lf_sim::cancel::{self, CancelToken};
-use lf_sparse::{CsrMatrix, DenseMatrix, Scalar, SparseError};
+use lf_sparse::{CsrMatrix, DenseMatrix, EdgeUpdate, Scalar, SparseError};
 use liteform_core::{panic_detail, LfError, LfResult, PreparedPlan, PreprocessProfile, StageStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Serving-layer tuning knobs.
@@ -127,37 +128,212 @@ impl Default for ServeConfig {
     }
 }
 
+/// The mutable registration behind a [`MatrixHandle`]: the current
+/// payload, its epoch-stamped fingerprint, and the fingerprints of
+/// retired epochs whose cached plans may still linger in some tier.
+#[derive(Debug)]
+struct HandleState<T> {
+    csr: Arc<CsrMatrix<T>>,
+    fingerprint: Fingerprint,
+    /// Fingerprints retired by [`MatrixHandle::apply_updates`], kept
+    /// until a sweep confirms both cache tiers hold nothing under them.
+    /// Persisting the list (rather than sweeping fire-and-forget) is
+    /// what makes invalidation crash-tolerant: an aborted sweep retries
+    /// on the next one.
+    retired: Vec<Fingerprint>,
+}
+
 /// A registered matrix: validated once, fingerprint computed once,
 /// payload retained so the engine can re-compose after an eviction
 /// without resubmission.
-#[derive(Debug, Clone)]
+///
+/// Handles are **mutable registrations**: [`apply_updates`] applies an
+/// edge-delta batch atomically, bumping the matrix's *epoch* — the
+/// version counter folded into [`Fingerprint`] equality, hashing, and
+/// digests — so every plan cached for an earlier generation becomes
+/// unreachable the instant the batch commits. Clones share the
+/// registration (an update through one clone is visible to all), which
+/// is what lets concurrent servers and updaters coordinate through the
+/// epoch.
+///
+/// [`apply_updates`]: MatrixHandle::apply_updates
+#[derive(Debug)]
 pub struct MatrixHandle<T> {
-    fingerprint: Fingerprint,
-    csr: Arc<CsrMatrix<T>>,
+    shared: Arc<RwLock<HandleState<T>>>,
+}
+
+impl<T> Clone for MatrixHandle<T> {
+    fn clone(&self) -> Self {
+        MatrixHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// What one committed delta batch did to a handle — the engine's
+/// cache-maintenance input, and the caller's receipt.
+#[derive(Debug)]
+pub struct AppliedDelta<T> {
+    /// The fingerprint retired by this batch.
+    pub old_fingerprint: Fingerprint,
+    /// The handle's new fingerprint (epoch = old + 1).
+    pub fingerprint: Fingerprint,
+    /// The updated payload the handle now serves.
+    pub csr: Arc<CsrMatrix<T>>,
+    /// Every touched `(row, col)` coordinate, in batch order.
+    pub touched: Vec<(usize, usize)>,
+    /// Distinct rows the batch touched.
+    pub touched_rows: usize,
+    /// `true` when the churn crossed [`lf_cost::churn_threshold`]: the
+    /// measured-cost model predicts incremental CELL maintenance would
+    /// be slower than recomposing, so cached plans should be dropped and
+    /// rebuilt rather than migrated.
+    pub rebuild: bool,
 }
 
 impl<T: Scalar> MatrixHandle<T> {
     /// Register a matrix: validates it strictly (structure **and**
     /// finiteness — handles are the trusted fast path, so they always
     /// get the strict policy), then fingerprints it (one O(nnz) pass)
-    /// and wraps the payload for cheap sharing across requests.
+    /// and wraps the payload for cheap sharing across requests. A fresh
+    /// registration is epoch 0.
     pub fn new(csr: CsrMatrix<T>) -> LfResult<Self> {
         csr.validate_finite()?;
+        let fingerprint = Fingerprint::of_csr(&csr);
         Ok(MatrixHandle {
-            fingerprint: Fingerprint::of_csr(&csr),
-            csr: Arc::new(csr),
+            shared: Arc::new(RwLock::new(HandleState {
+                csr: Arc::new(csr),
+                fingerprint,
+                retired: Vec::new(),
+            })),
         })
     }
 
-    /// The handle's fingerprint.
-    pub fn fingerprint(&self) -> &Fingerprint {
-        &self.fingerprint
+    fn read(&self) -> RwLockReadGuard<'_, HandleState<T>> {
+        self.shared.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The underlying matrix.
-    pub fn csr(&self) -> &CsrMatrix<T> {
-        &self.csr
+    fn write(&self) -> RwLockWriteGuard<'_, HandleState<T>> {
+        self.shared.write().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// The handle's current fingerprint (epoch included).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.read().fingerprint
+    }
+
+    /// The handle's current mutation epoch (0 until the first update).
+    pub fn epoch(&self) -> u64 {
+        self.read().fingerprint.epoch
+    }
+
+    /// The current payload (cheap: clones the `Arc`, not the matrix).
+    pub fn csr(&self) -> Arc<CsrMatrix<T>> {
+        Arc::clone(&self.read().csr)
+    }
+
+    /// One consistent `(fingerprint, payload)` snapshot — the pair a
+    /// serve must use together. Reading the two through separate calls
+    /// could interleave with a concurrent update and pair the old
+    /// payload with the new key (or vice versa).
+    pub fn current(&self) -> (Fingerprint, Arc<CsrMatrix<T>>) {
+        let st = self.read();
+        (st.fingerprint, Arc::clone(&st.csr))
+    }
+
+    /// Fingerprints of retired epochs not yet confirmed swept from
+    /// every cache tier.
+    pub fn retired(&self) -> Vec<Fingerprint> {
+        self.read().retired.clone()
+    }
+
+    /// Drop retired fingerprints a sweep has confirmed clean.
+    fn clear_retired(&self, done: &[Fingerprint]) {
+        if done.is_empty() {
+            return;
+        }
+        self.write().retired.retain(|fp| !done.contains(fp));
+    }
+
+    /// Apply an edge-delta batch **atomically**: the whole batch is
+    /// validated against the current matrix first (typed
+    /// [`SparseError`]s: out-of-range coordinates, duplicate targets,
+    /// insert-present / delete-absent conflicts, non-finite values), a
+    /// new payload is built, and only then — under the handle's write
+    /// lock — the payload, fingerprint, and epoch swap in together. A
+    /// rejected batch leaves the handle bitwise untouched; a reader
+    /// never observes a half-applied generation because the previous
+    /// payload is an immutable `Arc` snapshot until the commit point.
+    ///
+    /// The returned [`AppliedDelta`] carries what cache maintenance
+    /// needs (retired fingerprint, touched coordinates, the
+    /// churn-threshold verdict). Callers serving through a
+    /// [`ServeEngine`] should prefer
+    /// [`ServeEngine::apply_updates`], which also migrates cached plans
+    /// and retires stale ones across both cache tiers.
+    pub fn apply_updates(&self, updates: &[EdgeUpdate<T>]) -> LfResult<AppliedDelta<T>> {
+        let mut st = self.write();
+        let new_csr = st
+            .csr
+            .apply_updates(updates)
+            .map_err(LfError::InvalidInput)?;
+        #[cfg(feature = "chaos")]
+        {
+            use lf_check::chaos::{decide, ChaosSite};
+            if decide(ChaosSite::UpdateTorn) {
+                // Simulated kill between validation and commit: the
+                // fully built next generation is dropped and the handle
+                // stays on the old epoch — the only two states a torn
+                // update may leave.
+                return Err(LfError::ResourceExhausted {
+                    what: format!("chaos: torn update at {}", ChaosSite::UpdateTorn.name()),
+                });
+            }
+        }
+        let touched: Vec<(usize, usize)> = updates.iter().map(EdgeUpdate::coord).collect();
+        let mut rows: Vec<usize> = touched.iter().map(|&(r, _)| r).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let touched_rows = rows.len();
+        let features = TileFeatures::new(new_csr.rows(), new_csr.nnz(), std::mem::size_of::<T>());
+        let rebuild = lf_cost::should_rebuild(features, touched_rows);
+        let old_fingerprint = st.fingerprint;
+        let fingerprint = Fingerprint::of_csr(&new_csr).with_epoch(old_fingerprint.epoch + 1);
+        let csr = Arc::new(new_csr);
+        st.csr = Arc::clone(&csr);
+        st.fingerprint = fingerprint;
+        st.retired.push(old_fingerprint);
+        Ok(AppliedDelta {
+            old_fingerprint,
+            fingerprint,
+            csr,
+            touched,
+            touched_rows,
+            rebuild,
+        })
+    }
+}
+
+/// What [`ServeEngine::apply_updates`] did: the committed delta's new
+/// identity plus the cache maintenance that followed it.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOutcome {
+    /// The handle's epoch after the batch.
+    pub epoch: u64,
+    /// The handle's fingerprint after the batch.
+    pub fingerprint: Fingerprint,
+    /// Distinct rows the batch touched.
+    pub touched_rows: usize,
+    /// `true` when churn crossed the measured crossover and cached plans
+    /// were dropped for lazy recomposition instead of migrated.
+    pub rebuild: bool,
+    /// Cached plans incrementally migrated to the new epoch (0 when
+    /// `rebuild` is set, or when nothing was cached).
+    pub migrated: usize,
+    /// Whether every retired fingerprint was confirmed swept from both
+    /// tiers (`false` only under injected sweep faults; the handle
+    /// retries on its next sweep).
+    pub swept: bool,
 }
 
 /// One served request's result and accounting.
@@ -233,8 +409,15 @@ pub struct ServeStats {
     /// Persisted records rejected by strict validation — bad framing,
     /// checksum mismatch, version drift, stale fingerprint — at warm or
     /// promotion time. Rejected records are deleted and recomposed on
-    /// demand; they are **never served**.
+    /// demand; they are **never served**. Retired-**epoch** rejections
+    /// are split out into `stale_evicted`.
     pub warm_rejected: u64,
+    /// Stale-epoch plans retired across both cache tiers: RAM entries
+    /// swept after an update batch (or by the publish-time epoch
+    /// re-check), disk records deleted by the epoch sweep, and disk
+    /// records *refused* by read-side validation because their epoch was
+    /// retired. Evicted, never corrupted: none of these were served.
+    pub stale_evicted: u64,
     /// Plans too large for their shard's budget slice (served, never
     /// admitted).
     pub oversized: u64,
@@ -336,6 +519,7 @@ struct Counters {
     promotions: AtomicU64,
     warm_loaded: AtomicU64,
     warm_rejected: AtomicU64,
+    stale_evicted: AtomicU64,
     oversized: AtomicU64,
     quarantined: AtomicU64,
     batches: AtomicU64,
@@ -467,11 +651,22 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                     }
                 }
                 Ok(None) => {}
-                Err(_) => {
-                    self.counters.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    self.note_record_rejection(&e);
                 }
             }
         }
+    }
+
+    /// Account one disk-record rejection: a retired-epoch refusal counts
+    /// as a stale eviction, everything else as generic warm rejection.
+    fn note_record_rejection(&self, e: &LfError) {
+        let class = if crate::store::is_stale_epoch(e) {
+            &self.counters.stale_evicted
+        } else {
+            &self.counters.warm_rejected
+        };
+        class.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Persist every currently cached RAM plan to the disk tier and
@@ -530,13 +725,32 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
     }
 
     /// Serve a registered handle: skips validation (done at
-    /// registration) and fingerprinting entirely.
+    /// registration) and fingerprinting entirely. The request runs
+    /// against one consistent `(fingerprint, payload)` snapshot, so a
+    /// concurrent [`apply_updates`](Self::apply_updates) can never pair
+    /// this request's result with the wrong generation — an in-flight
+    /// request pinned to the old epoch completes on the old payload
+    /// (the `Arc` keeps it alive) and lands in its ledger class
+    /// normally.
     pub fn serve_handle(
         &self,
         h: &MatrixHandle<T>,
         b: &DenseMatrix<T>,
     ) -> LfResult<ServeOutcome<T>> {
-        self.serve_keyed(h.fingerprint(), h.csr(), b)
+        let (fp, csr) = h.current();
+        let out = self.serve_keyed(&fp, &csr, b);
+        // Publish-time epoch re-check (the mutation-side mirror of the
+        // deadline re-check above the classification point): if the
+        // handle moved on while this request ran, any plan the request
+        // admitted under the snapshot key is already stale — and may
+        // have been admitted *after* the updater's sweep passed. Sweep
+        // the snapshot key again so the stale entry cannot outlive the
+        // race. (The served result itself is fine: it answers the
+        // snapshot the caller handed in.)
+        if h.epoch() != fp.epoch {
+            self.retire_epoch(&fp);
+        }
+        out
     }
 
     /// Pre-compose a handle's plan for width `j` (admission-warming).
@@ -545,16 +759,188 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
     /// never cached). Warming is not a request: it touches no ledger
     /// class.
     pub fn warm(&self, h: &MatrixHandle<T>, j: usize) -> LfResult<bool> {
-        let key = (*h.fingerprint(), j);
+        let (fp, csr) = h.current();
+        let key = (fp, j);
         if self.lookup(&key).is_some() {
             return Ok(false);
         }
-        let slot = self.compose_guarded(Self::digest(h.fingerprint(), j), h.csr(), j)?;
+        let slot = self.compose_guarded(Self::digest(&fp, j), &csr, j, fp.epoch)?;
         if slot.plan.degraded {
             return Ok(false);
         }
         self.admit(key, slot);
+        if h.epoch() != fp.epoch {
+            self.retire_epoch(&fp);
+            return Ok(false);
+        }
         Ok(true)
+    }
+
+    /// Apply an edge-delta batch to a registered handle **and** bring
+    /// both cache tiers to the new epoch (DESIGN.md §15):
+    ///
+    /// 1. the handle commits the batch atomically
+    ///    ([`MatrixHandle::apply_updates`]) — from this instant every
+    ///    lookup misses the old generation, because the epoch is part of
+    ///    the cache key;
+    /// 2. unless churn crossed [`lf_cost::churn_threshold`], cached CELL
+    ///    plans for the retired fingerprint are **migrated**: their CELL
+    ///    payload is incrementally re-bucketed
+    ///    ([`lf_cell::update_cell`] — bitwise-identical to a rebuild)
+    ///    and re-admitted under the new key, so the next serve hits
+    ///    instead of recomposing;
+    /// 3. stale plans are retired RAM-first, then disk
+    ///    ([`Self::sweep_stale`]) — counted in
+    ///    [`ServeStats::stale_evicted`].
+    ///
+    /// Failures leave nothing half-applied: a rejected batch (typed
+    /// [`SparseError`]) changes neither the handle nor the caches; a
+    /// failed migration just skips the plan (the sweep still retires the
+    /// stale copy and the next serve recomposes); an aborted sweep
+    /// leaves the retired fingerprint on the handle's list for the next
+    /// sweep to retry. In-flight requests pinned to the old epoch
+    /// complete on the old payload and are accounted normally.
+    pub fn apply_updates(
+        &self,
+        h: &MatrixHandle<T>,
+        updates: &[EdgeUpdate<T>],
+    ) -> LfResult<UpdateOutcome> {
+        let delta = h.apply_updates(updates)?;
+        let migrated = if delta.rebuild {
+            0
+        } else {
+            self.migrate_plans(&delta)
+        };
+        let swept = self.sweep_stale(h);
+        Ok(UpdateOutcome {
+            epoch: delta.fingerprint.epoch,
+            fingerprint: delta.fingerprint,
+            touched_rows: delta.touched_rows,
+            rebuild: delta.rebuild,
+            migrated,
+            swept,
+        })
+    }
+
+    /// Migrate every cached CELL plan keyed by the retired fingerprint
+    /// to the new epoch via incremental maintenance. CSR-kernel and
+    /// poisoned plans are skipped (swept and recomposed on demand); a
+    /// panicking or failing migration skips that plan the same way.
+    /// Returns how many plans were re-admitted under the new key.
+    fn migrate_plans(&self, delta: &AppliedDelta<T>) -> usize {
+        // Every `j` of a fingerprint maps to the same shard, so one
+        // lock snapshot collects all candidates.
+        let candidates: Vec<(usize, Arc<PlanSlot<T>>)> = {
+            let old = &delta.old_fingerprint;
+            // lf-lint: allow(panic-path): shard() reduces modulo shards.len(), always in bounds
+            let shard = lock_unpoisoned(&self.shards[old.shard(self.shards.len())]);
+            shard
+                .map
+                .iter()
+                .filter(|((fp, _), e)| fp == old && !e.slot.poisoned.load(Ordering::Relaxed))
+                .map(|((_, j), e)| (*j, Arc::clone(&e.slot)))
+                .collect()
+        };
+        let mut migrated = 0usize;
+        for (j, slot) in candidates {
+            let (Some(config), Some(cell)) = (slot.plan.cell_config(), slot.plan.cell()) else {
+                continue;
+            };
+            let rebucketed = catch_unwind(AssertUnwindSafe(|| {
+                let mut cell = cell.clone();
+                lf_cell::update_cell(&mut cell, &delta.csr, &delta.touched).map(|()| cell)
+            }));
+            let Ok(Ok(cell)) = rebucketed else { continue };
+            let plan = PreparedPlan::from_cell(config.clone(), cell, slot.plan.profile)
+                .with_tuned_j(slot.plan.tuned_j)
+                .with_epoch(delta.fingerprint.epoch);
+            let migrated_slot = PlanSlot::new(plan, slot.cost_ns);
+            if self.admit_with((delta.fingerprint, j), migrated_slot, 0) {
+                migrated += 1;
+            }
+        }
+        migrated
+    }
+
+    /// Retire every stale-epoch plan for the handle's retired
+    /// fingerprints — RAM first (so a promotion can't resurrect what RAM
+    /// just dropped), then disk. Returns `true` when every retired
+    /// fingerprint was confirmed clean in both tiers (and forgotten);
+    /// `false` means a sweep was aborted and the fingerprint stays on
+    /// the handle's retired list for the next sweep — stale entries are
+    /// unreachable meanwhile (the epoch is part of every key), just not
+    /// yet reclaimed.
+    pub fn sweep_stale(&self, h: &MatrixHandle<T>) -> bool {
+        let mut done = Vec::new();
+        #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
+        let mut clean = true;
+        for fp in h.retired() {
+            #[cfg(feature = "chaos")]
+            {
+                use lf_check::chaos::{decide, ChaosSite};
+                if decide(ChaosSite::EpochSweepAbort) {
+                    // Simulated kill before this epoch's sweep: both
+                    // tiers keep their stale entries until a later
+                    // sweep retries.
+                    clean = false;
+                    continue;
+                }
+            }
+            let ram = self.retire_epoch_ram(&fp);
+            self.counters
+                .stale_evicted
+                .fetch_add(ram as u64, Ordering::Relaxed);
+            #[cfg(feature = "chaos")]
+            {
+                use lf_check::chaos::{decide, ChaosSite};
+                if decide(ChaosSite::StaleDiskRecord) {
+                    // Simulated kill between the RAM and disk halves:
+                    // the stale record stays on disk. Read-side epoch
+                    // validation refuses it if anything ever asks.
+                    clean = false;
+                    continue;
+                }
+            }
+            if let Some(store) = &self.store {
+                let disk = store.remove_matrix(&fp);
+                self.counters
+                    .stale_evicted
+                    .fetch_add(disk as u64, Ordering::Relaxed);
+            }
+            done.push(fp);
+        }
+        h.clear_retired(&done);
+        clean
+    }
+
+    /// Drop every RAM entry keyed by `fp` (all widths). Stale entries
+    /// are discarded, not demoted — a retired epoch must not re-enter
+    /// through the disk tier. Returns the number of entries dropped.
+    fn retire_epoch_ram(&self, fp: &Fingerprint) -> usize {
+        // lf-lint: allow(panic-path): shard() reduces modulo shards.len(), always in bounds
+        let mut shard = lock_unpoisoned(&self.shards[fp.shard(self.shards.len())]);
+        let keys: Vec<(Fingerprint, usize)> =
+            shard.map.keys().filter(|(f, _)| f == fp).copied().collect();
+        for key in &keys {
+            // lf-lint: allow(panic-path): key was just read from this map under this lock
+            let evicted = shard.map.remove(key).expect("key just observed");
+            shard.bytes -= evicted.bytes;
+        }
+        keys.len()
+    }
+
+    /// Retire one fingerprint from both tiers immediately (the
+    /// publish-time epoch re-check's sweep; no chaos gating — the chaos
+    /// sites model crashes of the *update* path).
+    fn retire_epoch(&self, fp: &Fingerprint) {
+        let ram = self.retire_epoch_ram(fp);
+        let disk = self
+            .store
+            .as_ref()
+            .map_or(0, |store| store.remove_matrix(fp));
+        self.counters
+            .stale_evicted
+            .fetch_add((ram + disk) as u64, Ordering::Relaxed);
     }
 
     /// Stable per-`(matrix, j)` key for planner failure memory.
@@ -708,7 +1094,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                         batched: false,
                     });
                 }
-                let slot = self.compose_guarded(digest, csr, j)?;
+                let slot = self.compose_guarded(digest, csr, j, fp.epoch)?;
                 let profile = slot.plan.profile;
                 // Degraded fallback plans are served but never cached:
                 // the cache must only amortize *intended* compositions.
@@ -744,8 +1130,8 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                 Some(slot)
             }
             Ok(None) => None,
-            Err(_) => {
-                self.counters.warm_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(e) => {
+                self.note_record_rejection(&e);
                 None
             }
         }
@@ -861,7 +1247,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         let digest = Self::digest(fp, total_j);
         let (slot, hit, compose) = match self.lookup(&key).or_else(|| self.try_promote(&key)) {
             Some(slot) => (slot, true, None),
-            None => match self.compose_guarded(digest, csr, total_j) {
+            None => match self.compose_guarded(digest, csr, total_j, fp.epoch) {
                 Ok(slot) => {
                     let profile = slot.plan.profile;
                     if !slot.plan.degraded {
@@ -998,6 +1384,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
         digest: u64,
         csr: &CsrMatrix<T>,
         j: usize,
+        epoch: u64,
     ) -> LfResult<Arc<PlanSlot<T>>> {
         if cancel::cancelled() {
             return Err(LfError::DeadlineExceeded { stage: "compose" });
@@ -1016,7 +1403,11 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
                 self.counters
                     .cold_alloc_bytes
                     .fetch_add(stats.alloc_bytes, Ordering::Relaxed);
-                let plan = outcome?;
+                // Stamp the operand's epoch: the disk tier refuses any
+                // record whose key and blob epochs disagree, so a plan
+                // composed for a mutated handle must carry its
+                // generation from birth.
+                let plan = outcome?.with_epoch(epoch);
                 if cancel::cancelled() {
                     // The deadline fired during composition: the plan is
                     // intact but the request is over budget. Fail fast;
@@ -1258,6 +1649,7 @@ impl<T: AtomicScalar, P: Planner<T>> ServeEngine<T, P> {
             promotions: c.promotions.load(Ordering::Relaxed),
             warm_loaded: c.warm_loaded.load(Ordering::Relaxed),
             warm_rejected: c.warm_rejected.load(Ordering::Relaxed),
+            stale_evicted: c.stale_evicted.load(Ordering::Relaxed),
             oversized: c.oversized.load(Ordering::Relaxed),
             quarantined: c.quarantined.load(Ordering::Relaxed),
             cold_compose: StageStats {
@@ -1356,7 +1748,7 @@ mod tests {
         let out = e.serve_handle(&h, &b).unwrap();
         assert!(out.hit, "warmed handle must hit");
         // Payload and handle share the cache entry.
-        assert!(e.serve(h.csr(), &b).unwrap().hit);
+        assert!(e.serve(&h.csr(), &b).unwrap().hit);
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct Fingerprint {
     pub col_structure: u64,
     /// Hash of the non-zero value bits.
     pub values: u64,
+    /// Mutation epoch of the handle the matrix was served under. A
+    /// freshly registered (or anonymous) matrix is epoch 0; every
+    /// applied delta batch bumps it. The epoch participates in
+    /// equality, hashing, and [`digest`](Fingerprint::digest), so a
+    /// plan composed before an update can never satisfy a lookup made
+    /// after it — even if an update cycle returns the matrix to
+    /// byte-identical content.
+    pub epoch: u64,
 }
 
 impl Fingerprint {
@@ -86,7 +94,14 @@ impl Fingerprint {
             row_structure: rh.finish(),
             col_structure: ch.finish(),
             values: vh.finish(),
+            epoch: 0,
         }
+    }
+
+    /// The same fingerprint pinned to a different mutation epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Fold the whole fingerprint into one 64-bit digest — the stable
@@ -102,6 +117,7 @@ impl Fingerprint {
         h.write(self.row_structure);
         h.write(self.col_structure);
         h.write(self.values);
+        h.write(self.epoch);
         h.finish()
     }
 
@@ -168,6 +184,20 @@ mod tests {
                 assert_eq!(i == j, fps[i] == fps[j], "{i} vs {j}");
             }
         }
+    }
+
+    #[test]
+    fn epoch_separates_otherwise_identical_matrices() {
+        let base = Fingerprint::of_csr(&matrix(9));
+        assert_eq!(base.epoch, 0, "fresh fingerprints start at epoch 0");
+        let bumped = base.with_epoch(3);
+        assert_ne!(base, bumped, "epoch must participate in key equality");
+        assert_ne!(
+            base.digest(),
+            bumped.digest(),
+            "stale-epoch records must land under distinct digests"
+        );
+        assert_eq!(bumped.with_epoch(0), base);
     }
 
     #[test]

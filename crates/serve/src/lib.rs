@@ -53,9 +53,12 @@ pub mod fingerprint;
 pub mod planner;
 pub mod store;
 
-pub use engine::{MatrixHandle, ServeConfig, ServeEngine, ServeOutcome, ServeStats};
+pub use engine::{
+    AppliedDelta, MatrixHandle, ServeConfig, ServeEngine, ServeOutcome, ServeStats, UpdateOutcome,
+};
 pub use fingerprint::Fingerprint;
 pub use planner::{FixedCellPlanner, PinnedLiteForm, Planner, ResilientPlanner};
 pub use store::{
-    CostAware, LruBytes, Placement, PlacementPolicy, PlanStore, RecordMeta, StoreConfig,
+    is_stale_epoch, CostAware, LruBytes, Placement, PlacementPolicy, PlanStore, RecordMeta,
+    StoreConfig,
 };

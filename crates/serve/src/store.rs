@@ -53,9 +53,26 @@ const RECORD_MAGIC: [u8; 4] = *b"LFPR";
 /// Manifest magic: "LFPM" (LiteForm Plan Manifest).
 const MANIFEST_MAGIC: [u8; 4] = *b"LFPM";
 /// Store format version (records and manifest move together).
-const STORE_VERSION: u16 = 1;
+///
+/// History: v1 keyed records by the six-field fingerprint; v2 adds the
+/// mutation epoch as a seventh key word (and the plan blob inside moved
+/// to codec v2 for the same reason). v1 records predate epoch
+/// versioning, so they cannot prove which mutation generation they
+/// describe — they are refused at open (header sweep) and on read, and
+/// deleted rather than migrated.
+const STORE_VERSION: u16 = 2;
 /// The manifest's file name inside the store directory.
 const MANIFEST_NAME: &str = "manifest.lfm";
+/// Rejection label for records from a retired mutation epoch; the
+/// engine matches on it (via [`is_stale_epoch`]) to split these out of
+/// the generic corruption count.
+const STALE_EPOCH: &str = "stale epoch";
+
+/// Whether an error is the disk tier refusing a retired-epoch record
+/// (as opposed to corruption or a key mismatch).
+pub fn is_stale_epoch(err: &LfError) -> bool {
+    matches!(err, LfError::PlanDecode(CodecError::BadField(s)) if *s == STALE_EPOCH)
+}
 
 /// Which placement/eviction policy the disk tier runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -225,6 +242,7 @@ fn write_fingerprint(w: &mut ByteWriter, fp: &Fingerprint) {
     w.u64(fp.row_structure);
     w.u64(fp.col_structure);
     w.u64(fp.values);
+    w.u64(fp.epoch);
 }
 
 fn read_fingerprint(r: &mut ByteReader<'_>) -> Result<Fingerprint, CodecError> {
@@ -235,6 +253,7 @@ fn read_fingerprint(r: &mut ByteReader<'_>) -> Result<Fingerprint, CodecError> {
         row_structure: r.u64()?,
         col_structure: r.u64()?,
         values: r.u64()?,
+        epoch: r.u64()?,
     })
 }
 
@@ -334,6 +353,11 @@ impl<T: AtomicScalar> PlanStore<T> {
         cost_ns: u64,
         uses: u64,
     ) -> LfResult<()> {
+        // A record whose key epoch disagrees with the plan's own stamp
+        // would fail read-side validation anyway; refuse to write it.
+        if plan.epoch != fp.epoch {
+            return Err(LfError::PlanDecode(CodecError::BadField(STALE_EPOCH)));
+        }
         let blob = codec::encode_plan(plan)?;
         let mut record = ByteWriter::with_capacity(blob.len() + 96);
         record.bytes(&RECORD_MAGIC);
@@ -468,17 +492,32 @@ impl<T: AtomicScalar> PlanStore<T> {
     ) -> LfResult<PreparedPlan<T>> {
         let (stored_fp, stored_j, blob) = parse_record(bytes)?;
         if stored_fp != *fp || stored_j != j {
+            // A record that matches in every field *except* the epoch is
+            // a plan from a retired generation of this matrix — the one
+            // state the epoch protocol exists to refuse. Classify it
+            // separately so the engine can count it as a stale eviction
+            // rather than generic corruption.
+            if stored_j == j && stored_fp.with_epoch(fp.epoch) == *fp {
+                return Err(LfError::PlanDecode(CodecError::BadField(STALE_EPOCH)));
+            }
             return Err(LfError::PlanDecode(CodecError::BadField(
                 "record key mismatch",
             )));
         }
         let plan = codec::decode_plan::<T>(blob)?;
+        // The epoch stamped inside the plan blob must agree with the
+        // record key: a blob spliced from another generation passes its
+        // own CRC but not this check.
+        if plan.epoch != fp.epoch {
+            return Err(LfError::PlanDecode(CodecError::BadField(STALE_EPOCH)));
+        }
         // Fingerprint re-check: the plan's buckets must still encode the
         // exact matrix the record is keyed by. This catches records that
         // pass both CRCs but were written for a different matrix (or a
-        // stale version of this one).
+        // stale version of this one). The reconstruction carries no
+        // epoch, so align it before comparing content.
         let refp = Fingerprint::of_csr(&plan.reconstruct_csr());
-        if refp != *fp {
+        if refp.with_epoch(fp.epoch) != *fp {
             return Err(LfError::PlanDecode(CodecError::BadField(
                 "stale fingerprint",
             )));
@@ -491,6 +530,29 @@ impl<T: AtomicScalar> PlanStore<T> {
         let _ = fs::remove_file(self.record_path(fp, j));
         self.forget(fp, j);
         let _ = self.write_manifest();
+    }
+
+    /// Remove **every** record keyed by `fp` (all batch widths) — the
+    /// disk half of retiring an epoch. Returns how many records were
+    /// dropped. File deletion is idempotent, so a crash part-way merely
+    /// leaves records the next sweep (or read-side validation) retires.
+    pub fn remove_matrix(&self, fp: &Fingerprint) -> usize {
+        let keys: Vec<usize> = {
+            let st = lock(&self.state);
+            st.index
+                .keys()
+                .filter(|(f, _)| f == fp)
+                .map(|&(_, j)| j)
+                .collect()
+        };
+        for &j in &keys {
+            let _ = fs::remove_file(self.record_path(fp, j));
+            self.forget(fp, j);
+        }
+        if !keys.is_empty() {
+            let _ = self.write_manifest();
+        }
+        keys.len()
     }
 
     fn forget(&self, fp: &Fingerprint, j: usize) {
@@ -609,7 +671,7 @@ fn read_manifest(path: &Path) -> Option<HashMap<(Fingerprint, usize), RecordMeta
     if r.u16().ok()? != STORE_VERSION {
         return None;
     }
-    let n = r.len(r.remaining() / 96, "manifest entries").ok()?;
+    let n = r.len(r.remaining() / 104, "manifest entries").ok()?;
     let mut map = HashMap::with_capacity(n);
     for _ in 0..n {
         let fp = read_fingerprint(&mut r).ok()?;

@@ -32,6 +32,20 @@ pub enum SparseError {
         /// First offending position.
         index: (usize, usize),
     },
+    /// Two updates in one batch target the same `(row, col)` coordinate;
+    /// batches are atomic and must be unambiguous.
+    DuplicateUpdate {
+        /// The coordinate targeted twice.
+        index: (usize, usize),
+    },
+    /// An update's precondition on the stored pattern is violated: insert
+    /// on an existing entry, or delete/set-value on a missing one.
+    UpdateConflict {
+        /// The offending coordinate.
+        index: (usize, usize),
+        /// What the update required of the stored pattern.
+        expected: &'static str,
+    },
     /// Underlying IO failure while reading/writing Matrix Market files.
     Io(std::io::Error),
     /// Matrix Market (or other text) parse failure.
@@ -61,6 +75,16 @@ impl fmt::Display for SparseError {
             SparseError::NonFiniteValue { index } => {
                 write!(f, "non-finite value at ({}, {})", index.0, index.1)
             }
+            SparseError::DuplicateUpdate { index } => write!(
+                f,
+                "duplicate update for ({}, {}) in one batch",
+                index.0, index.1
+            ),
+            SparseError::UpdateConflict { index, expected } => write!(
+                f,
+                "update conflict at ({}, {}): {expected}",
+                index.0, index.1
+            ),
             SparseError::Io(e) => write!(f, "io error: {e}"),
             SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }

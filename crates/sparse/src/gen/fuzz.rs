@@ -17,15 +17,26 @@
 use super::{nz_value, PatternFamily};
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::rng::Pcg32;
 use crate::scalar::Scalar;
+use crate::update::EdgeUpdate;
 
 /// Number of structural classes [`fuzz_case`] rotates through.
-pub const FUZZ_CLASSES: u64 = 12;
+pub const FUZZ_CLASSES: u64 = 13;
 
 /// The class index whose cases are **malformed** payloads (invariants
 /// deliberately broken; see [`FuzzCase::malformed`]).
 pub const MALFORMED_CLASS: u64 = 10;
+
+/// The class index whose cases are produced by an **update stream**: a
+/// base corpus matrix mutated through seeded [`EdgeUpdate`] batches
+/// (insert / delete / value change). Hostile batches — duplicates,
+/// out-of-range coordinates, pattern conflicts, non-finite values — are
+/// interleaved and must be rejected with typed [`SparseError`]s; the
+/// generator asserts those rejections itself, so a regression in update
+/// validation fails every fuzz consumer loudly.
+pub const UPDATE_STREAM_CLASS: u64 = 12;
 
 /// One generated differential-testing case.
 #[derive(Debug, Clone)]
@@ -62,6 +73,16 @@ pub fn fuzz_case<T: Scalar>(seed: u64) -> FuzzCase<T> {
             csr,
             j,
             malformed: true,
+        };
+    }
+    if class == UPDATE_STREAM_CLASS {
+        let csr = update_stream_csr::<T>(&mut rng);
+        let j = draw_j(&mut rng);
+        return FuzzCase {
+            label: "update-stream",
+            csr,
+            j,
+            malformed: false,
         };
     }
     let (label, coo) = generate_structure::<T>(class, &mut rng);
@@ -139,6 +160,165 @@ fn malformed_csr<T: Scalar>(rng: &mut Pcg32) -> (&'static str, CsrMatrix<T>) {
         label,
         CsrMatrix::from_raw_unchecked(rows, cols, row_ptr, col_ind, values),
     )
+}
+
+/// Base corpus matrix mutated through a seeded update stream. Between
+/// valid batches, hostile batches are thrown at the matrix and must be
+/// rejected with typed errors, leaving the matrix untouched (the batch
+/// contract is atomic).
+fn update_stream_csr<T: Scalar>(rng: &mut Pcg32) -> CsrMatrix<T> {
+    let fam = PatternFamily::ALL[rng.usize_in(0, PatternFamily::ALL.len())];
+    let rows = rng.usize_in(8, 120);
+    let cols = rng.usize_in(8, 120);
+    let nnz = rng.usize_in(rows, rows * 8);
+    let mut csr = CsrMatrix::from_coo(&fam.generate(rows, cols, nnz, rng));
+    for _ in 0..rng.usize_in(1, 4) {
+        if rng.bernoulli(0.5) {
+            let (before_ptr, before_cols) = (csr.row_ptr().to_vec(), csr.col_ind().to_vec());
+            if let Some(hostile) = hostile_batch(&csr, rng) {
+                let err = csr
+                    .apply_updates(&hostile)
+                    .expect_err("hostile update batch must be rejected");
+                assert!(
+                    matches!(
+                        err,
+                        SparseError::IndexOutOfBounds { .. }
+                            | SparseError::DuplicateUpdate { .. }
+                            | SparseError::UpdateConflict { .. }
+                            | SparseError::NonFiniteValue { .. }
+                            | SparseError::InvalidFormat(_)
+                    ),
+                    "hostile update batch must fail with a typed error: {err}"
+                );
+                assert_eq!(
+                    csr.row_ptr(),
+                    &before_ptr[..],
+                    "rejected batch mutated base"
+                );
+                assert_eq!(
+                    csr.col_ind(),
+                    &before_cols[..],
+                    "rejected batch mutated base"
+                );
+            }
+        }
+        let batch = valid_batch(&csr, rng);
+        csr = csr.apply_updates(&batch).expect("valid update batch");
+    }
+    csr
+}
+
+/// `(row, col)` of stored entry number `k` (CSR order).
+fn entry_coord<T: Scalar>(csr: &CsrMatrix<T>, k: usize) -> (usize, usize) {
+    let row = csr.row_ptr().partition_point(|&p| p <= k) - 1;
+    (row, csr.col_ind()[k] as usize)
+}
+
+/// A batch that must apply cleanly: deletes and value changes on
+/// distinct existing entries, inserts on empty slots.
+fn valid_batch<T: Scalar>(csr: &CsrMatrix<T>, rng: &mut Pcg32) -> Vec<EdgeUpdate<T>> {
+    let mut batch = Vec::new();
+    let nnz = csr.nnz();
+    if nnz > 0 {
+        let count = rng.usize_in(1, nnz.min(16) + 1);
+        let picks = rng.sample_distinct(nnz, count);
+        for k in picks {
+            let (row, col) = entry_coord(csr, k);
+            batch.push(if rng.bernoulli(0.5) {
+                EdgeUpdate::Delete { row, col }
+            } else {
+                EdgeUpdate::SetValue {
+                    row,
+                    col,
+                    value: nz_value::<T>(rng),
+                }
+            });
+        }
+    }
+    // A few inserts on slots that are empty and not already targeted.
+    let mut taken: Vec<(usize, usize)> = batch.iter().map(EdgeUpdate::coord).collect();
+    for _ in 0..rng.usize_in(0, 6) {
+        let coord = (rng.usize_in(0, csr.rows()), rng.usize_in(0, csr.cols()));
+        let present = csr
+            .row_cols(coord.0)
+            .binary_search(&(coord.1 as crate::Index))
+            .is_ok();
+        if !present && !taken.contains(&coord) {
+            taken.push(coord);
+            batch.push(EdgeUpdate::Insert {
+                row: coord.0,
+                col: coord.1,
+                value: nz_value::<T>(rng),
+            });
+        }
+    }
+    batch
+}
+
+/// A batch that must be rejected with a typed error. `None` when the
+/// drawn sub-mode needs stored entries and the matrix has none.
+fn hostile_batch<T: Scalar>(csr: &CsrMatrix<T>, rng: &mut Pcg32) -> Option<Vec<EdgeUpdate<T>>> {
+    let nnz = csr.nnz();
+    let mode = rng.usize_in(0, 5);
+    match mode {
+        // Out-of-range coordinate.
+        0 => Some(vec![EdgeUpdate::Insert {
+            row: csr.rows() + rng.usize_in(0, 100),
+            col: rng.usize_in(0, csr.cols().max(1)),
+            value: nz_value::<T>(rng),
+        }]),
+        // Duplicate coordinate in one batch.
+        1 if nnz > 0 => {
+            let (row, col) = entry_coord(csr, rng.usize_in(0, nnz));
+            Some(vec![
+                EdgeUpdate::SetValue {
+                    row,
+                    col,
+                    value: nz_value::<T>(rng),
+                },
+                EdgeUpdate::Delete { row, col },
+            ])
+        }
+        // Insert on a present entry.
+        2 if nnz > 0 => {
+            let (row, col) = entry_coord(csr, rng.usize_in(0, nnz));
+            Some(vec![EdgeUpdate::Insert {
+                row,
+                col,
+                value: nz_value::<T>(rng),
+            }])
+        }
+        // Non-finite value.
+        3 if nnz > 0 => {
+            let (row, col) = entry_coord(csr, rng.usize_in(0, nnz));
+            Some(vec![EdgeUpdate::SetValue {
+                row,
+                col,
+                value: T::from_f64(if rng.bernoulli(0.5) {
+                    f64::NAN
+                } else {
+                    f64::INFINITY
+                }),
+            }])
+        }
+        // Delete on a missing entry (an all-full matrix has no missing
+        // slot to target; vanishingly unlikely for corpus families).
+        4 => {
+            for _ in 0..32 {
+                let row = rng.usize_in(0, csr.rows());
+                let col = rng.usize_in(0, csr.cols());
+                if csr
+                    .row_cols(row)
+                    .binary_search(&(col as crate::Index))
+                    .is_err()
+                {
+                    return Some(vec![EdgeUpdate::Delete { row, col }]);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
 }
 
 fn generate_structure<T: Scalar>(class: u64, rng: &mut Pcg32) -> (&'static str, CooMatrix<T>) {
@@ -331,6 +511,20 @@ mod tests {
             labels.insert(c.label);
         }
         assert!(labels.len() >= 5, "sub-modes seen: {labels:?}");
+    }
+
+    #[test]
+    fn update_stream_class_produces_valid_mutated_matrices() {
+        // The class both exercises hostile-batch rejection (asserted
+        // inside the generator) and must end on a strictly valid matrix.
+        for k in 0..24u64 {
+            let c = fuzz_case::<f64>(UPDATE_STREAM_CLASS + k * FUZZ_CLASSES);
+            assert_eq!(c.label, "update-stream");
+            assert!(!c.malformed);
+            c.csr
+                .validate_finite()
+                .unwrap_or_else(|e| panic!("update-stream case {k}: {e}"));
+        }
     }
 
     #[test]

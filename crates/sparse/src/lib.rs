@@ -37,6 +37,7 @@ pub mod io;
 pub mod rng;
 pub mod scalar;
 pub mod sell;
+pub mod update;
 
 pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
@@ -52,6 +53,7 @@ pub use hyb::HybMatrix;
 pub use rng::Pcg32;
 pub use scalar::Scalar;
 pub use sell::SellMatrix;
+pub use update::{validate_updates, EdgeUpdate};
 
 /// Index type used for row/column indices inside sparse formats.
 ///

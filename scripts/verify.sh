@@ -5,19 +5,23 @@
 # pre-commit hooks get a single unambiguous exit code.
 #
 # Optional tiers:
-#   --bench   appends a seconds-scale benchmark smoke (bench_spmm --quick
-#             and bench_serve --quick at reduced sizes) that fails on
-#             catastrophic engine or serving-cache regressions, and on
-#             the SIMD gather engine dropping below its 1.2x geomean
-#             speedup floor over the forced-scalar engine;
+#   --bench   appends a seconds-scale benchmark smoke (bench_spmm,
+#             bench_serve, and bench_update, all --quick at reduced
+#             sizes) that fails on catastrophic engine or serving-cache
+#             regressions, on the SIMD gather engine dropping below its
+#             1.2x geomean speedup floor over the forced-scalar engine,
+#             and on incremental CELL maintenance failing to beat a
+#             full rebuild 3x at <= 1% churn;
 #   --stress  appends the heavy differential/concurrency tier: the
 #             structure-aware kernel fuzzer at raised iteration counts
 #             and the serving-engine stress suite at raised thread and
 #             iteration counts (including the same-fingerprint request-
 #             coalescing storm and the batched-vs-solo bitwise property
 #             suite), plus the plan-codec serialization suite (round-
-#             trip + 2000-mutation decoder fuzz) and the store crash-
-#             recovery suite, all in release mode;
+#             trip + 2000-mutation decoder fuzz), the store crash-
+#             recovery suite, and the incremental-vs-rebuild mutation
+#             suite (migrated plans bitwise-equal to fresh composes),
+#             all in release mode;
 #   --check   appends the verification tier (lf-check): the model
 #             checker's self-tests, the lint rule fixtures and the
 #             seeded-bug rediscovery suite (lock-order inversion in
@@ -36,9 +40,12 @@
 #             iterations per thread, release mode, across three seeds —
 #             asserting no deadlocks, no wrong bytes, the exact outcome
 #             ledger, and an achieved fault rate of >= 5% of requests —
-#             and the plan-store kill-and-restart scenarios (torn
-#             demotion, torn manifest, aborted warm) asserting recovery
-#             never serves wrong bytes.
+#             the plan-store kill-and-restart scenarios (torn demotion,
+#             torn manifest, aborted warm) asserting recovery never
+#             serves wrong bytes, and the mid-update kill scenarios
+#             (torn update commit, aborted epoch sweep, stale disk
+#             record surviving a crash) asserting the handle and both
+#             cache tiers stay on exactly one epoch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +86,8 @@ if [[ "$RUN_BENCH" == "1" ]]; then
   cargo run --release -p lf-bench --bin bench_spmm -- --quick
   echo "==> bench smoke (bench_serve --quick)"
   cargo run --release -p lf-bench --bin bench_serve -- --quick
+  echo "==> bench smoke (bench_update --quick)"
+  cargo run --release -p lf-bench --bin bench_update -- --quick
 fi
 
 if [[ "$RUN_STRESS" == "1" ]]; then
@@ -97,6 +106,9 @@ if [[ "$RUN_STRESS" == "1" ]]; then
   cargo test --release -p liteform-core --test plan_codec -q
   echo "==> store crash-recovery suite (release)"
   cargo test --release -p lf-serve --test store_recovery -q
+  echo "==> incremental-vs-rebuild mutation suite (release)"
+  cargo test --release -p lf-serve --test updates -q
+  cargo test --release -p lf-cell --test incremental -q
 fi
 
 if [[ "$RUN_CHECK" == "1" ]]; then
@@ -132,6 +144,8 @@ if [[ "$RUN_CHAOS" == "1" ]]; then
   done
   echo "==> store kill-and-restart scenarios (chaos kill points, release)"
   cargo test --release -p lf-serve --features chaos --test store_recovery -q
+  echo "==> mid-update kill-and-restart scenarios (chaos kill points, release)"
+  cargo test --release -p lf-serve --features chaos --test updates -q
 fi
 
 echo "verify: OK"
